@@ -1,0 +1,63 @@
+//! Criterion microbenchmarks for the analog-crossbar kernels (paper
+//! Sec. II): forward read, transposed read, stochastic-pulse update, and
+//! write-verify programming, across array sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use enw_core::crossbar::devices;
+use enw_core::crossbar::tile::{AnalogTile, TileConfig, UpdateScheme};
+use enw_core::nn::backend::LinearBackend;
+use enw_core::numerics::matrix::Matrix;
+use enw_core::numerics::rng::Rng64;
+
+fn tile(n: usize, scheme: UpdateScheme, seed: u64) -> AnalogTile {
+    let mut rng = Rng64::new(seed);
+    let cfg = TileConfig { update: scheme, ..TileConfig::ideal() };
+    let mut t = AnalogTile::new(n, n, &devices::ideal(2000), cfg, &mut rng);
+    let target = Matrix::random_uniform(n, n + 1, -0.2, 0.2, &mut rng);
+    t.program_effective(&target);
+    t
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossbar_forward");
+    for &n in &[64usize, 256] {
+        let mut t = tile(n, UpdateScheme::StochasticPulse { bl: 31 }, 1);
+        let x: Vec<f32> = (0..n).map(|i| (i as f32 / n as f32) - 0.5).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(t.forward(black_box(&x))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossbar_backward");
+    for &n in &[64usize, 256] {
+        let mut t = tile(n, UpdateScheme::StochasticPulse { bl: 31 }, 2);
+        let d: Vec<f32> = (0..n).map(|i| (i as f32 / n as f32) - 0.5).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(t.backward(black_box(&d))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossbar_update");
+    for (name, scheme) in [
+        ("stochastic_bl31", UpdateScheme::StochasticPulse { bl: 31 }),
+        ("mean_field", UpdateScheme::MeanField),
+    ] {
+        let n = 128;
+        let mut t = tile(n, scheme, 3);
+        let d: Vec<f32> = (0..n).map(|i| ((i % 7) as f32 - 3.0) / 10.0).collect();
+        let x: Vec<f32> = (0..n).map(|i| ((i % 5) as f32 - 2.0) / 10.0).collect();
+        group.bench_function(name, |b| {
+            b.iter(|| t.update(black_box(&d), black_box(&x), 0.01));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_backward, bench_update);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion microbenchmarks for the MANN differentiable-memory kernels
+//! (paper Sec. III): similarity scans, soft reads and soft writes on the
+//! reference memory, and the X-MANN architectural simulator's overhead.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use enw_core::mann::memory::{DifferentiableMemory, Similarity};
+use enw_core::numerics::rng::Rng64;
+use enw_core::xmann::arch::{Xmann, XmannConfig};
+use enw_core::xmann::cost::XmannCostParams;
+
+fn bench_similarity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mann_similarity_scan");
+    for &slots in &[1024usize, 8192] {
+        let mut rng = Rng64::new(1);
+        let mem = DifferentiableMemory::random(slots, 64, &mut rng);
+        let q: Vec<f32> = (0..64).map(|_| rng.range(-1.0, 1.0) as f32).collect();
+        group.bench_with_input(BenchmarkId::new("cosine", slots), &slots, |b, _| {
+            b.iter(|| black_box(mem.similarities(black_box(&q), Similarity::Cosine)));
+        });
+        group.bench_with_input(BenchmarkId::new("l2", slots), &slots, |b, _| {
+            b.iter(|| black_box(mem.similarities(black_box(&q), Similarity::NegL2)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_soft_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mann_soft_ops");
+    let mut rng = Rng64::new(2);
+    let mut mem = DifferentiableMemory::random(4096, 64, &mut rng);
+    let w: Vec<f32> = (0..4096).map(|_| 1.0 / 4096.0).collect();
+    let erase = vec![0.1f32; 64];
+    let add = vec![0.05f32; 64];
+    group.bench_function("soft_read_4096x64", |b| {
+        b.iter(|| black_box(mem.soft_read(black_box(&w))));
+    });
+    group.bench_function("soft_write_4096x64", |b| {
+        b.iter(|| mem.soft_write(black_box(&w), black_box(&erase), black_box(&add)));
+    });
+    group.finish();
+}
+
+fn bench_xmann_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xmann_simulator");
+    let mut x = Xmann::new(4096, 64, XmannConfig::default(), XmannCostParams::default());
+    let q = vec![0.1f32; 64];
+    group.bench_function("content_address_4096x64", |b| {
+        b.iter(|| black_box(x.content_address(black_box(&q), 5.0)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_similarity, bench_soft_ops, bench_xmann_sim);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion microbenchmarks for the recommendation-model path (paper
+//! Sec. V): end-to-end inference, the embedding gather/pool kernel alone,
+//! quantized gathers, and cache simulation throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use enw_core::numerics::rng::{Rng64, ZipfSampler};
+use enw_core::recsys::cache::EmbeddingCache;
+use enw_core::recsys::model::{EmbeddingTable, Interaction, RecModel, RecModelConfig};
+use enw_core::recsys::quantize::QuantizedTable;
+use enw_core::recsys::trace::TraceGenerator;
+
+fn small_cfg() -> RecModelConfig {
+    RecModelConfig {
+        dense_features: 32,
+        bottom_mlp: vec![64, 32],
+        tables: vec![(100_000, 8); 8],
+        embedding_dim: 32,
+        top_mlp: vec![64],
+        interaction: Interaction::Concat,
+    }
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let cfg = small_cfg();
+    let mut rng = Rng64::new(1);
+    let mut model = RecModel::new(&cfg, &mut rng);
+    let gen = TraceGenerator::new(&cfg, 1.0);
+    let queries = gen.batch(64, &mut rng);
+    c.bench_function("recsys_predict_8tables_8lookups", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(model.predict_query(black_box(q)))
+        });
+    });
+}
+
+fn bench_gather(c: &mut Criterion) {
+    let mut group = c.benchmark_group("embedding_gather_pool");
+    let mut rng = Rng64::new(2);
+    let table = EmbeddingTable::random(100_000, 64, &mut rng);
+    let q8 = QuantizedTable::from_table(&table, 8);
+    for &lookups in &[4usize, 32] {
+        let idx: Vec<usize> = (0..lookups).map(|_| rng.below(100_000)).collect();
+        group.bench_with_input(BenchmarkId::new("fp32", lookups), &lookups, |b, _| {
+            b.iter(|| black_box(table.lookup_pool(black_box(&idx))));
+        });
+        group.bench_with_input(BenchmarkId::new("int8", lookups), &lookups, |b, _| {
+            b.iter(|| black_box(q8.lookup_pool(black_box(&idx))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let zipf = ZipfSampler::new(1_000_000, 1.0);
+    let mut rng = Rng64::new(3);
+    let mut cache = EmbeddingCache::new(10_000);
+    c.bench_function("embedding_cache_access_zipf", |b| {
+        b.iter(|| {
+            let row = zipf.sample(&mut rng);
+            black_box(cache.access(0, row))
+        });
+    });
+}
+
+criterion_group!(benches, bench_inference, bench_gather, bench_cache);
+criterion_main!(benches);

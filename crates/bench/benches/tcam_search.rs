@@ -1,0 +1,59 @@
+//! Criterion microbenchmarks for the TCAM search paths (paper Sec. IV):
+//! nearest-Hamming search, ternary cube matching, and LSH encoding.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use enw_core::cam::array::{TcamArray, TcamConfig};
+use enw_core::cam::cells;
+use enw_core::mann::encoding::{cube_pattern, encode_levels};
+use enw_core::mann::lsh::RandomHyperplaneLsh;
+use enw_core::numerics::bits::BitVec;
+use enw_core::numerics::rng::Rng64;
+
+fn random_word(bits: usize, rng: &mut Rng64) -> BitVec {
+    (0..bits).map(|_| rng.bernoulli(0.5)).collect()
+}
+
+fn bench_nearest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tcam_nearest_search");
+    for &entries in &[512usize, 8192] {
+        let mut rng = Rng64::new(1);
+        let mut cam = TcamArray::new(128, cells::cmos_16t(), TcamConfig::default());
+        for _ in 0..entries {
+            let w = random_word(128, &mut rng);
+            cam.write(w);
+        }
+        let q = random_word(128, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, _| {
+            b.iter(|| black_box(cam.search_nearest(black_box(&q))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ternary(c: &mut Criterion) {
+    let mut rng = Rng64::new(2);
+    let bits = 4u32;
+    let dims = 16usize;
+    let mut cam = TcamArray::new(dims * bits as usize, cells::cmos_16t(), TcamConfig::default());
+    for _ in 0..2048 {
+        let levels: Vec<u32> = (0..dims).map(|_| rng.below(16) as u32).collect();
+        cam.write(encode_levels(&levels, bits));
+    }
+    let q_levels: Vec<u32> = (0..dims).map(|_| rng.below(16) as u32).collect();
+    let pattern = cube_pattern(&q_levels, 2, bits);
+    c.bench_function("tcam_ternary_cube_2048x64", |b| {
+        b.iter(|| black_box(cam.search_ternary(black_box(&pattern))));
+    });
+}
+
+fn bench_lsh_encode(c: &mut Criterion) {
+    let mut rng = Rng64::new(3);
+    let lsh = RandomHyperplaneLsh::new(256, 64, &mut rng);
+    let v: Vec<f32> = (0..64).map(|_| rng.range(-1.0, 1.0) as f32).collect();
+    c.bench_function("lsh_encode_256planes_64d", |b| {
+        b.iter(|| black_box(lsh.encode(black_box(&v))));
+    });
+}
+
+criterion_group!(benches, bench_nearest, bench_ternary, bench_lsh_encode);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! E11 — End-to-end execution of the DLRM-style recommendation model
+//! (paper Fig. 6, Sec. V-A): dense stack + embedding pooling + feature
+//! interaction + predictor stack, on representative configurations.
+
+use enw_bench::{banner, emit};
+use enw_core::numerics::rng::Rng64;
+use enw_core::numerics::stats::OnlineStats;
+use enw_core::recsys::model::{Interaction, RecModel, RecModelConfig};
+use enw_core::recsys::trace::TraceGenerator;
+use enw_core::report::Table;
+
+fn configs() -> Vec<(&'static str, RecModelConfig)> {
+    let mut memory_small = RecModelConfig::memory_bound();
+    // Shrink catalogue rows (not structure) so the binary runs in seconds.
+    memory_small.tables = vec![(100_000, 32); 16];
+    vec![
+        ("RM-compute (MLP-heavy)", RecModelConfig::compute_bound()),
+        ("RM-memory (embedding-heavy)", memory_small),
+        (
+            "RM-dlrm (pairwise interaction)",
+            RecModelConfig {
+                dense_features: 64,
+                bottom_mlp: vec![128, 64, 32],
+                tables: vec![(50_000, 4); 8],
+                embedding_dim: 32,
+                top_mlp: vec![128, 64],
+                interaction: Interaction::DotPairwise,
+            },
+        ),
+    ]
+}
+
+fn main() {
+    banner("E11");
+    let mut table = Table::new(&[
+        "model",
+        "tables",
+        "lookups/query",
+        "model size (MB)",
+        "mean CTR",
+        "CTR spread [min, max]",
+    ]);
+    for (name, cfg) in configs() {
+        let mut rng = Rng64::new(11);
+        let mut model = RecModel::new(&cfg, &mut rng);
+        let gen = TraceGenerator::new(&cfg, 1.0);
+        let mut stats = OnlineStats::new();
+        for q in gen.batch(200, &mut rng) {
+            let ctr = model.predict_query(&q);
+            assert!((0.0..=1.0).contains(&ctr), "CTR must be a probability");
+            stats.push(ctr as f64);
+        }
+        let lookups: usize = cfg.tables.iter().map(|&(_, l)| l).sum();
+        table.row_owned(vec![
+            name.to_string(),
+            format!("{}", cfg.tables.len()),
+            format!("{lookups}"),
+            format!("{:.1}", model.bytes() as f64 / 1e6),
+            format!("{:.3}", stats.mean()),
+            format!("[{:.3}, {:.3}]", stats.min(), stats.max()),
+        ]);
+    }
+    emit(&table);
+    println!("Reading: the same model skeleton spans MLP-dominated and embedding-dominated");
+    println!("configurations; outputs are valid click-through probabilities that vary with the");
+    println!("sparse inputs, and table storage dwarfs the MLP parameters — Fig. 6 realized.");
+}

@@ -1,0 +1,113 @@
+//! EXT-1 (extension beyond the paper's tables) — end-to-end analog
+//! *inference* deployment on PCM, combining three Sec. II ingredients:
+//! write-verify programming of a software-trained network, resistance
+//! drift over deployment time, the projection liner \[26\]\[27\], and the
+//! algorithmic drift compensation of \[28\].
+//!
+//! Not a table of the paper itself (the paper cites these results), but a
+//! direct consequence of its Sec. II discussion; recorded in
+//! EXPERIMENTS.md under "extensions".
+
+use enw_bench::emit;
+use enw_core::crossbar::devices::pcm::PcmConfig;
+use enw_core::crossbar::inference::PcmLayer;
+use enw_core::nn::activation::Activation;
+use enw_core::nn::backend::LinearBackend;
+use enw_core::nn::data::{Split, SyntheticImages};
+use enw_core::nn::mlp::{Mlp, SgdConfig};
+use enw_core::numerics::rng::Rng64;
+use enw_core::numerics::vector::argmax;
+use enw_core::report::{percent, Table};
+
+/// A two-layer network deployed on PCM.
+struct DeployedNet {
+    l1: PcmLayer,
+    l2: PcmLayer,
+}
+
+impl DeployedNet {
+    fn classify(&self, x: &[f32], now: f64) -> usize {
+        let mut xa = x.to_vec();
+        xa.push(1.0);
+        let mut h = self.l1.matvec(&xa, now);
+        for v in &mut h {
+            *v = v.tanh();
+        }
+        h.push(1.0);
+        argmax(&self.l2.matvec(&h, now))
+    }
+
+    fn accuracy(&self, split: &Split, now: f64) -> f64 {
+        let test = &split.test;
+        let correct =
+            (0..test.len()).filter(|&i| self.classify(test.input(i), now) == test.label(i)).count();
+        correct as f64 / test.len() as f64
+    }
+
+    fn compensate(&mut self, now: f64) {
+        self.l1.compensate_drift(now);
+        self.l2.compensate_drift(now);
+    }
+
+    fn reset(&mut self) {
+        self.l1.reset_compensation();
+        self.l2.reset_compensation();
+    }
+}
+
+fn main() {
+    println!("== EXT-1 [extension of Sec. II-B1: PCM inference deployment] ==");
+    println!("claim: drift degrades deployed accuracy; liner and compensation recover it\n");
+    let mut rng = Rng64::new(51);
+    let split = SyntheticImages::builder()
+        .classes(10)
+        .dim(64)
+        .train_per_class(60)
+        .test_per_class(60)
+        .noise(1.3)
+        .build(&mut rng);
+    // Train in software.
+    let mut mlp = Mlp::digital(&[64, 24, 10], Activation::Tanh, &mut rng);
+    mlp.train_sgd(&split.train, &SgdConfig { epochs: 8, learning_rate: 0.05 }, &mut rng);
+    let sw_acc = mlp.evaluate(&split.test);
+    println!("software (FP32) test accuracy: {}\n", percent(sw_acc));
+
+    let mut table = Table::new(&[
+        "deployment",
+        "t = 0",
+        "t = 1e4",
+        "t = 1e6",
+        "t = 1e8",
+        "t = 1e8 + compensation",
+    ]);
+    for (name, cfg) in [("bare PCM", PcmConfig::bare()), ("projected PCM", PcmConfig::projected())]
+    {
+        let w1 = mlp.layers()[0].backend().weights();
+        let w2 = mlp.layers()[1].backend().weights();
+        let mut net = DeployedNet {
+            l1: PcmLayer::program(&w1, cfg, &mut rng),
+            l2: PcmLayer::program(&w2, cfg, &mut rng),
+        };
+        let a0 = net.accuracy(&split, 0.0);
+        let a4 = net.accuracy(&split, 1e4);
+        let a6 = net.accuracy(&split, 1e6);
+        let a8 = net.accuracy(&split, 1e8);
+        net.compensate(1e8);
+        let a8c = net.accuracy(&split, 1e8);
+        net.reset();
+        table.row_owned(vec![
+            name.to_string(),
+            percent(a0),
+            percent(a4),
+            percent(a6),
+            percent(a8),
+            percent(a8c),
+        ]);
+    }
+    emit(&table);
+    println!("Reading: per-device drift dispersion walks the deployed network away from its");
+    println!("programmed operating point; the projection liner (nu ~10x lower) holds accuracy");
+    println!("flat across the whole deployment window, while the scalar correction of ref. [28]");
+    println!("recovers the mean-scale component of the loss (the nu dispersion it cannot see");
+    println!("remains — which is why the paper presents the liner as the stronger fix).");
+}

@@ -1,0 +1,61 @@
+//! EXT-4 (extension beyond the paper's tables) — the reduced-precision
+//! inference paragraph of Sec. II: statistical weight scaling, calibrated
+//! activation clipping, and the claim (ref. \[13\]) that "2-bit integer
+//! weights and activations" can approach full-precision accuracy given
+//! the right training.
+//!
+//! Sweeps precision for naive post-training quantization vs
+//! quantization-aware fine-tuning (straight-through estimator).
+
+use enw_bench::emit;
+use enw_core::nn::activation::Activation;
+use enw_core::nn::data::SyntheticImages;
+use enw_core::nn::mlp::{Mlp, SgdConfig};
+use enw_core::nn::quantized::{quantization_aware_finetune, InferenceQuant, QuantizedMlp};
+use enw_core::numerics::rng::Rng64;
+use enw_core::report::{percent, Table};
+
+fn main() {
+    println!("== EXT-4 [extension of Sec. II: reduced-precision inference] ==");
+    println!("claim: statistical scaling + calibrated clipping keep int8/int4 near FP32;");
+    println!("2-bit needs quantization-aware training (ref. [13])\n");
+    let mut rng = Rng64::new(44);
+    let split = SyntheticImages::builder()
+        .classes(8)
+        .dim(64)
+        .train_per_class(60)
+        .test_per_class(30)
+        .noise(1.0)
+        .build(&mut rng);
+    let mut mlp = Mlp::digital(&[64, 32, 8], Activation::Tanh, &mut rng);
+    mlp.train_sgd(&split.train, &SgdConfig { epochs: 8, learning_rate: 0.05 }, &mut rng);
+    let fp = mlp.evaluate(&split.test);
+    println!("FP32 baseline: {}\n", percent(fp));
+
+    let mut table = Table::new(&["precision (w/a)", "post-training", "after QAT fine-tune", "vs FP32 (QAT)"]);
+    for &bits in &[8u32, 4, 2] {
+        // Low-bit grids want the clip near the weight bulk, not the tail.
+        let wp = if bits <= 2 { 0.75 } else { 0.999 };
+        let cfg = InferenceQuant {
+            weight_bits: bits,
+            activation_bits: bits,
+            weight_percentile: wp,
+            ..Default::default()
+        };
+        let naive = QuantizedMlp::from_mlp(&mut mlp, &cfg, &split.train).evaluate(&split.test);
+        // Fine-tune a copy so each row starts from the same FP32 network.
+        let mut tuned = mlp.clone();
+        quantization_aware_finetune(&mut tuned, &cfg, &split.train, 10, 0.03, &mut Rng64::new(45));
+        let qat = QuantizedMlp::from_mlp(&mut tuned, &cfg, &split.train).evaluate(&split.test);
+        table.row_owned(vec![
+            format!("int{bits}/int{bits}"),
+            percent(naive),
+            percent(qat),
+            format!("{:+.1} pts", 100.0 * (qat - fp)),
+        ]);
+    }
+    emit(&table);
+    println!("Reading: int8 is free and int4 nearly so with pure post-training calibration;");
+    println!("at 2 bits the straight-through fine-tune recovers most of the collapse — the");
+    println!("'proper algorithmic advances' Sec. II says reduced precision depends on.");
+}

@@ -1,0 +1,19 @@
+//! Prints the experiment registry: one binary name per line (pipe into a
+//! shell loop to run everything), with `-v` for the full table.
+
+use enw_core::report::Table;
+
+fn main() {
+    let verbose = std::env::args().any(|a| a == "-v" || a == "--verbose");
+    if verbose {
+        let mut t = Table::new(&["id", "paper anchor", "binary", "claim"]);
+        for e in enw_core::experiments() {
+            t.row(&[e.id, e.paper_anchor, e.binary, e.claim]);
+        }
+        println!("{}", t.render());
+    } else {
+        for e in enw_core::experiments() {
+            println!("{}", e.binary);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Shared helpers for the experiment binaries (`src/bin/expXX_*`), the
+//! Criterion benches and the workspace-level integration tests.
+//!
+//! Each binary regenerates one table or figure of the paper; run them all
+//! with:
+//!
+//! ```text
+//! for exp in $(cargo run -q --bin list_experiments); do
+//!     cargo run --release --bin $exp
+//! done
+//! ```
+
+use enw_core::report::Table;
+
+/// Prints an experiment header (id, anchor, claim) before its table.
+pub fn banner(id: &str) {
+    let exp = enw_core::experiments()
+        .into_iter()
+        .find(|e| e.id == id)
+        .unwrap_or_else(|| panic!("unknown experiment id {id}"));
+    println!("== {} [{}] ==", exp.id, exp.paper_anchor);
+    println!("claim: {}", exp.claim);
+    println!("binary: {}", exp.binary);
+    println!();
+}
+
+/// Prints a rendered table with a trailing blank line.
+pub fn emit(table: &Table) {
+    println!("{}", table.render());
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn banner_knows_all_registered_ids() {
+        for e in enw_core::experiments() {
+            // Must not panic for any registered id.
+            super::banner(e.id);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn banner_rejects_unknown_id() {
+        super::banner("E99");
+    }
+}

@@ -1,0 +1,38 @@
+//! Umbrella crate for the *Emerging Neural Workloads and Their Impact on
+//! Hardware* (DATE 2020) reproduction workspace.
+//!
+//! The paper surveys three workload/hardware pairings; each lives in its
+//! own crate and is re-exported here:
+//!
+//! | Paper section | Workload | Hardware | Crates |
+//! |---|---|---|---|
+//! | Sec. II | CNN/MLP training & inference | analog resistive crossbars | [`crossbar`] over [`nn`] |
+//! | Sec. III–IV | memory-augmented NNs (one/few-shot) | X-MANN crossbars, TCAMs | [`mann`], [`xmann`], [`cam`] |
+//! | Sec. V | neural recommendation | memory-system co-design | [`recsys`] |
+//!
+//! Shared numerics live in [`numerics`]. The [`registry`] module indexes
+//! every reproduced table/figure (E1–E14) and the `enw-bench` binary that
+//! regenerates it; [`report`] renders the result tables.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use enw_core::registry::registry;
+//!
+//! for exp in registry() {
+//!     println!("{}: {} -> {}", exp.id, exp.paper_anchor, exp.binary);
+//! }
+//! ```
+
+pub use enw_cam as cam;
+pub use enw_crossbar as crossbar;
+pub use enw_mann as mann;
+pub use enw_nn as nn;
+pub use enw_numerics as numerics;
+pub use enw_recsys as recsys;
+pub use enw_xmann as xmann;
+
+pub mod registry;
+pub mod report;
+
+pub use registry::{registry as experiments, Experiment};

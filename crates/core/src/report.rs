@@ -1,0 +1,172 @@
+//! Plain-text table rendering for the experiment binaries.
+//!
+//! Every `expXX_*` binary prints the rows of the paper table/figure it
+//! regenerates; this module keeps those tables aligned and uniform.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-column text table.
+///
+/// # Example
+///
+/// ```
+/// use enw_core::report::Table;
+///
+/// let mut t = Table::new(&["device", "asymmetry"]);
+/// t.row(&["RRAM", "0.33"]);
+/// let out = t.render();
+/// assert!(out.contains("device"));
+/// assert!(out.contains("RRAM"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(headers: &[&str]) -> Self {
+        assert!(!headers.is_empty(), "table needs at least one column");
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends a row of already-owned strings (handy with `format!`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<w$}", w = w);
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a ratio like `23.7x`.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.1}x")
+}
+
+/// Formats a percentage like `96.00%`.
+pub fn percent(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Formats an energy value with an adaptive unit (pJ/nJ/µJ/mJ).
+pub fn energy(pj: f64) -> String {
+    if pj < 1e3 {
+        format!("{pj:.1} pJ")
+    } else if pj < 1e6 {
+        format!("{:.2} nJ", pj / 1e3)
+    } else if pj < 1e9 {
+        format!("{:.2} uJ", pj / 1e6)
+    } else {
+        format!("{:.2} mJ", pj / 1e9)
+    }
+}
+
+/// Formats a latency with an adaptive unit (ns/µs/ms).
+pub fn latency(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{:.2} ms", ns / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(&["a", "long-header"]);
+        t.row(&["wide-cell-content", "x"]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Second column starts at the same offset in header and data rows.
+        let h = lines[0].find("long-header").expect("header present");
+        let d = lines[2].find('x').expect("cell present");
+        assert_eq!(h, d);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        Table::new(&["a", "b"]).row(&["only-one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ratio(23.72), "23.7x");
+        assert_eq!(percent(0.9606), "96.06%");
+        assert_eq!(energy(500.0), "500.0 pJ");
+        assert_eq!(energy(2_500.0), "2.50 nJ");
+        assert_eq!(energy(3.2e6), "3.20 uJ");
+        assert_eq!(latency(12.0), "12.0 ns");
+        assert_eq!(latency(4.2e3), "4.20 us");
+        assert_eq!(latency(7.5e6), "7.50 ms");
+    }
+
+    #[test]
+    fn row_owned_accepts_format_output() {
+        let mut t = Table::new(&["v"]);
+        t.row_owned(vec![format!("{:.3}", 1.0 / 3.0)]);
+        assert!(t.render().contains("0.333"));
+    }
+}

@@ -1,0 +1,259 @@
+//! 2T-1FeFET hybrid-precision weight cells (paper Sec. II-B3, ref. \[38\]).
+//!
+//! A single FeFET switches in coarse, asymmetric polarization-domain steps
+//! and wears out after 10⁶–10⁹ program cycles. The 2T-1FeFET cell pairs it
+//! with a volatile capacitor: the capacitor absorbs the frequent
+//! lower-significance updates with fine, symmetric steps, and its
+//! accumulated value transfers to the FeFET (in coarse quanta) only when a
+//! threshold is crossed — the same mixed-precision idea demonstrated for
+//! PCM \[24\]. This reduces FeFET write traffic by orders of magnitude,
+//! directly addressing the endurance limit.
+
+use crate::device::{PulseDir, PulsedDevice};
+use enw_numerics::rng::Rng64;
+
+/// Configuration of a 2T-1FeFET hybrid cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridCellConfig {
+    /// The nonvolatile FeFET device (coarse, asymmetric).
+    pub fefet: PulsedDevice,
+    /// Capacitor step size (fine, symmetric).
+    pub cap_step: f32,
+    /// Capacitor range: `w_fast ∈ [-cap_range, cap_range]`.
+    pub cap_range: f32,
+    /// Transfer to the FeFET when `|w_fast|` exceeds this value.
+    pub transfer_threshold: f32,
+    /// Capacitor leakage per [`HybridCell::tick`] (volatile storage decays).
+    pub cap_leak: f32,
+    /// Program cycles after which the FeFET's steps start degrading.
+    pub endurance: u64,
+}
+
+impl Default for HybridCellConfig {
+    fn default() -> Self {
+        let fefet = PulsedDevice {
+            dw_up: 0.0125,
+            dw_down: 0.008,
+            w_min: -1.0,
+            w_max: 1.0,
+            gamma_up: 0.7,
+            gamma_down: 0.7,
+            write_noise: 0.4,
+            responsive: true,
+        };
+        HybridCellConfig {
+            fefet,
+            cap_step: 0.0005,
+            cap_range: 0.05,
+            transfer_threshold: 0.02,
+            cap_leak: 1e-4,
+            endurance: 1_000_000,
+        }
+    }
+}
+
+/// A 2T-1FeFET mixed-precision weight cell.
+///
+/// # Example
+///
+/// ```
+/// use enw_crossbar::devices::fefet::HybridCell;
+/// use enw_numerics::rng::Rng64;
+///
+/// let mut rng = Rng64::new(0);
+/// let mut cell = HybridCell::new(Default::default());
+/// for _ in 0..100 {
+///     cell.pulse_up(&mut rng);
+/// }
+/// assert!(cell.weight() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridCell {
+    cfg: HybridCellConfig,
+    w_slow: f32,
+    w_fast: f32,
+    fefet_writes: u64,
+}
+
+impl HybridCell {
+    /// A zero-initialized cell.
+    pub fn new(cfg: HybridCellConfig) -> Self {
+        HybridCell { cfg, w_slow: 0.0, w_fast: 0.0, fefet_writes: 0 }
+    }
+
+    /// Effective weight `w_slow + w_fast`.
+    pub fn weight(&self) -> f32 {
+        self.w_slow + self.w_fast
+    }
+
+    /// Nonvolatile (FeFET) component alone — what survives a power cycle.
+    pub fn nonvolatile_weight(&self) -> f32 {
+        self.w_slow
+    }
+
+    /// Total FeFET program pulses issued so far.
+    pub fn fefet_writes(&self) -> u64 {
+        self.fefet_writes
+    }
+
+    /// Returns `true` once the FeFET has exceeded its rated endurance.
+    pub fn worn_out(&self) -> bool {
+        self.fefet_writes > self.cfg.endurance
+    }
+
+    fn effective_fefet(&self) -> PulsedDevice {
+        let mut d = self.cfg.fefet;
+        if self.worn_out() {
+            // Past rated endurance the polarization window collapses; model
+            // as step sizes shrinking with the excess write count.
+            let excess = self.fefet_writes as f64 / self.cfg.endurance as f64;
+            let derate = (1.0 / excess).min(1.0) as f32;
+            d.dw_up *= derate;
+            d.dw_down *= derate;
+        }
+        d
+    }
+
+    /// One fine update pulse in the up direction (to the capacitor).
+    pub fn pulse_up(&mut self, rng: &mut Rng64) {
+        self.apply_fast(self.cfg.cap_step, rng);
+    }
+
+    /// One fine update pulse in the down direction (to the capacitor).
+    pub fn pulse_down(&mut self, rng: &mut Rng64) {
+        self.apply_fast(-self.cfg.cap_step, rng);
+    }
+
+    fn apply_fast(&mut self, step: f32, rng: &mut Rng64) {
+        self.w_fast = (self.w_fast + step).clamp(-self.cfg.cap_range, self.cfg.cap_range);
+        if self.w_fast.abs() >= self.cfg.transfer_threshold {
+            self.transfer(rng);
+        }
+    }
+
+    /// Transfers the accumulated capacitor value to the FeFET in coarse
+    /// device pulses, subtracting what was actually written.
+    ///
+    /// A worn-out FeFET whose step has collapsed below 1 % of its rated
+    /// step can no longer absorb transfers; the capacitor value then stays
+    /// put (and leaks), which is the observable failure mode of exceeding
+    /// endurance.
+    pub fn transfer(&mut self, rng: &mut Rng64) {
+        let dev = self.effective_fefet();
+        let dir = if self.w_fast > 0.0 { PulseDir::Up } else { PulseDir::Down };
+        let step = 0.5 * (dev.dw_up + dev.dw_down);
+        let rated = 0.5 * (self.cfg.fefet.dw_up + self.cfg.fefet.dw_down);
+        if step <= rated * 0.01 {
+            return; // device too degraded to program
+        }
+        let pulses = (self.w_fast.abs() / step).floor() as usize;
+        for _ in 0..pulses {
+            self.w_slow = dev.pulse(self.w_slow, dir, rng);
+            self.fefet_writes += 1;
+            // Subtract the *intended* quantum; device nonidealities remain
+            // as residual error, exactly as in the mixed-precision scheme.
+            self.w_fast -= step * if dir == PulseDir::Up { 1.0 } else { -1.0 };
+        }
+    }
+
+    /// Advances volatile-decay time by one unit: the capacitor leaks
+    /// toward zero.
+    pub fn tick(&mut self) {
+        self.w_fast -= self.w_fast.signum() * self.cfg.cap_leak.min(self.w_fast.abs());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_cfg() -> HybridCellConfig {
+        let mut cfg = HybridCellConfig::default();
+        cfg.fefet.write_noise = 0.0;
+        cfg
+    }
+
+    #[test]
+    fn accumulates_fine_updates() {
+        let mut rng = Rng64::new(1);
+        let mut c = HybridCell::new(quiet_cfg());
+        for _ in 0..20 {
+            c.pulse_up(&mut rng);
+        }
+        assert!(c.weight() > 0.005);
+    }
+
+    #[test]
+    fn transfer_moves_value_to_fefet() {
+        let mut rng = Rng64::new(2);
+        let mut c = HybridCell::new(quiet_cfg());
+        for _ in 0..200 {
+            c.pulse_up(&mut rng);
+        }
+        assert!(c.nonvolatile_weight() > 0.0, "nothing transferred");
+        assert!(c.fefet_writes() > 0);
+    }
+
+    #[test]
+    fn fefet_writes_far_fewer_than_updates() {
+        // The whole point of the hybrid cell: most updates stay on the
+        // capacitor.
+        let mut rng = Rng64::new(3);
+        let mut c = HybridCell::new(quiet_cfg());
+        let updates = 10_000;
+        for i in 0..updates {
+            if i % 2 == 0 {
+                c.pulse_up(&mut rng);
+            } else {
+                c.pulse_down(&mut rng);
+            }
+        }
+        assert!(
+            c.fefet_writes() < updates / 10,
+            "fefet saw {} writes for {updates} updates",
+            c.fefet_writes()
+        );
+    }
+
+    #[test]
+    fn net_weight_tracks_signed_sum() {
+        let mut rng = Rng64::new(4);
+        let mut c = HybridCell::new(quiet_cfg());
+        // 300 net up pulses.
+        for _ in 0..400 {
+            c.pulse_up(&mut rng);
+        }
+        for _ in 0..100 {
+            c.pulse_down(&mut rng);
+        }
+        let expected = 300.0 * c.cfg.cap_step;
+        assert!((c.weight() - expected).abs() < expected * 0.5, "{} vs {expected}", c.weight());
+    }
+
+    #[test]
+    fn capacitor_leaks_but_fefet_does_not() {
+        let mut rng = Rng64::new(5);
+        let mut c = HybridCell::new(quiet_cfg());
+        for _ in 0..200 {
+            c.pulse_up(&mut rng);
+        }
+        let nv = c.nonvolatile_weight();
+        for _ in 0..100_000 {
+            c.tick();
+        }
+        assert_eq!(c.nonvolatile_weight(), nv);
+        assert!(c.weight() - nv < 1e-4, "capacitor failed to leak");
+    }
+
+    #[test]
+    fn wearout_derates_steps() {
+        let mut cfg = quiet_cfg();
+        cfg.endurance = 10;
+        let mut c = HybridCell::new(cfg);
+        let mut rng = Rng64::new(6);
+        for _ in 0..5000 {
+            c.pulse_up(&mut rng);
+        }
+        assert!(c.worn_out());
+    }
+}

@@ -1,0 +1,290 @@
+//! Phase-change memory differential pairs with resistance drift (paper
+//! Sec. II-B1).
+//!
+//! PCM conductance can only be *increased* incrementally (progressive
+//! crystallization); erasing is an abrupt melt-quench reset. Signed weights
+//! therefore need a differential pair `w = G⁺ − G⁻`, both members of which
+//! crystallize toward saturation and must periodically be reset while
+//! preserving their difference \[18\]. The amorphous phase additionally
+//! relaxes over time, dropping conductance as `G(t) ∝ (t/t₀)^{−ν}`
+//! (resistance drift); a metallic "projection" liner shunts the read
+//! current around the amorphous region and suppresses ν by roughly an
+//! order of magnitude \[26\]\[27\].
+
+use enw_numerics::rng::Rng64;
+
+/// Configuration of a PCM differential pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcmConfig {
+    /// Mean conductance increment per SET pulse at `g = 0` (normalized
+    /// conductance units; full range is `[0, 1]`).
+    pub dg: f32,
+    /// Cycle-to-cycle noise σ as a fraction of `dg` (crystallization is
+    /// stochastic).
+    pub write_noise: f32,
+    /// Mean drift exponent ν (unitless; ~0.05 for a bare mushroom cell,
+    /// ~0.005 with a projection liner).
+    pub drift_nu: f64,
+    /// Device-to-device σ of the drift exponent, as a fraction of
+    /// `drift_nu`. The *dispersion* of ν (not its mean) is what degrades
+    /// deployed networks: a uniform conductance scale factors out of an
+    /// argmax, per-device spread does not.
+    pub drift_nu_sigma: f64,
+    /// Conductance level above which a pair member triggers an automatic
+    /// refresh (reset preserving the difference).
+    pub refresh_threshold: f32,
+}
+
+impl PcmConfig {
+    /// A bare (unlined) analog PCM cell.
+    pub fn bare() -> Self {
+        PcmConfig { dg: 0.01, write_noise: 0.3, drift_nu: 0.05, drift_nu_sigma: 0.2, refresh_threshold: 0.9 }
+    }
+
+    /// A projected-PCM cell: the metallic liner leaves programming
+    /// behaviour unchanged but suppresses drift ~10×.
+    pub fn projected() -> Self {
+        PcmConfig { drift_nu: 0.005, ..PcmConfig::bare() }
+    }
+}
+
+impl Default for PcmConfig {
+    fn default() -> Self {
+        PcmConfig::bare()
+    }
+}
+
+/// A differential PCM weight: two unidirectional conductances and their
+/// programming times (for drift).
+///
+/// # Example
+///
+/// ```
+/// use enw_crossbar::devices::pcm::{PcmConfig, PcmPair};
+/// use enw_numerics::rng::Rng64;
+///
+/// let mut rng = Rng64::new(0);
+/// let mut pair = PcmPair::new(PcmConfig::bare());
+/// pair.update(0.05, &mut rng); // program a positive weight increment
+/// assert!(pair.weight(1.0) > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcmPair {
+    cfg: PcmConfig,
+    /// This pair's materialized drift exponent.
+    nu: f64,
+    g_plus: f32,
+    g_minus: f32,
+    /// Time at which each conductance was last programmed (drift clock
+    /// origin), in the caller's time unit.
+    t_prog_plus: f64,
+    t_prog_minus: f64,
+    refresh_count: u64,
+}
+
+/// Reference time offset so `t = t_prog` gives drift factor 1.
+const DRIFT_T0: f64 = 1.0;
+
+impl PcmPair {
+    /// A fresh pair with both conductances at zero, programmed at `t = 0`,
+    /// using the *mean* drift exponent exactly.
+    pub fn new(cfg: PcmConfig) -> Self {
+        PcmPair { cfg, nu: cfg.drift_nu, g_plus: 0.0, g_minus: 0.0, t_prog_plus: 0.0, t_prog_minus: 0.0, refresh_count: 0 }
+    }
+
+    /// A fresh pair with its drift exponent drawn from the
+    /// device-to-device distribution (truncated at zero).
+    pub fn new_with(cfg: PcmConfig, rng: &mut Rng64) -> Self {
+        let nu = (cfg.drift_nu * (1.0 + cfg.drift_nu_sigma * rng.normal())).max(0.0);
+        PcmPair { cfg, nu, ..PcmPair::new(cfg) }
+    }
+
+    /// This pair's materialized drift exponent.
+    pub fn drift_nu(&self) -> f64 {
+        self.nu
+    }
+
+    /// Raw stored conductances `(G⁺, G⁻)` ignoring drift.
+    pub fn conductances(&self) -> (f32, f32) {
+        (self.g_plus, self.g_minus)
+    }
+
+    /// Number of refresh (reset) events so far.
+    pub fn refresh_count(&self) -> u64 {
+        self.refresh_count
+    }
+
+    fn drifted(&self, g: f32, t_prog: f64, now: f64) -> f32 {
+        if g <= 0.0 {
+            return 0.0;
+        }
+        let age = (now - t_prog).max(0.0);
+        (g as f64 * ((age + DRIFT_T0) / DRIFT_T0).powf(-self.nu)) as f32
+    }
+
+    /// The signed weight read at time `now`, including drift of both
+    /// members.
+    pub fn weight(&self, now: f64) -> f32 {
+        self.drifted(self.g_plus, self.t_prog_plus, now)
+            - self.drifted(self.g_minus, self.t_prog_minus, now)
+    }
+
+    /// Applies one SET pulse to the `G⁺` (if `up`) or `G⁻` member at time
+    /// `now`. Crystallization saturates: the increment shrinks as the
+    /// conductance approaches full scale.
+    pub fn pulse_at(&mut self, up: bool, now: f64, rng: &mut Rng64) {
+        let (g, t_prog) = if up {
+            (&mut self.g_plus, &mut self.t_prog_plus)
+        } else {
+            (&mut self.g_minus, &mut self.t_prog_minus)
+        };
+        let mut dg = self.cfg.dg * (1.0 - *g);
+        if self.cfg.write_noise > 0.0 {
+            dg += (self.cfg.write_noise as f64 * self.cfg.dg as f64 * rng.normal()) as f32;
+        }
+        *g = (*g + dg.max(0.0)).clamp(0.0, 1.0);
+        *t_prog = now;
+        if self.g_plus > self.cfg.refresh_threshold || self.g_minus > self.cfg.refresh_threshold {
+            self.refresh(now);
+        }
+    }
+
+    /// Applies a signed weight increment at `t = now` as the appropriate
+    /// number of SET pulses on the appropriate pair member.
+    pub fn update_at(&mut self, delta: f32, now: f64, rng: &mut Rng64) {
+        let pulses = (delta.abs() / self.cfg.dg).round() as usize;
+        for _ in 0..pulses {
+            self.pulse_at(delta > 0.0, now, rng);
+        }
+    }
+
+    /// Convenience: [`PcmPair::update_at`] at `t = 0`.
+    pub fn update(&mut self, delta: f32, rng: &mut Rng64) {
+        self.update_at(delta, 0.0, rng);
+    }
+
+    /// Melt-quench reset of both members, re-programming only the
+    /// difference — the periodic "simultaneous reset maintaining the
+    /// difference" of \[18\].
+    pub fn refresh(&mut self, now: f64) {
+        let w = self.weight(now);
+        self.g_plus = w.max(0.0);
+        self.g_minus = (-w).max(0.0);
+        self.t_prog_plus = now;
+        self.t_prog_minus = now;
+        self.refresh_count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet(cfg: PcmConfig) -> PcmConfig {
+        PcmConfig { write_noise: 0.0, ..cfg }
+    }
+
+    #[test]
+    fn positive_update_raises_weight() {
+        let mut rng = Rng64::new(1);
+        let mut p = PcmPair::new(quiet(PcmConfig::bare()));
+        p.update(0.1, &mut rng);
+        assert!(p.weight(0.0) > 0.05);
+    }
+
+    #[test]
+    fn negative_update_uses_g_minus() {
+        let mut rng = Rng64::new(2);
+        let mut p = PcmPair::new(quiet(PcmConfig::bare()));
+        p.update(-0.1, &mut rng);
+        let (gp, gm) = p.conductances();
+        assert_eq!(gp, 0.0);
+        assert!(gm > 0.0);
+        assert!(p.weight(0.0) < 0.0);
+    }
+
+    #[test]
+    fn signed_sequence_tracks_target() {
+        // Alternating +/− updates must track their running sum even though
+        // each member only ever increases.
+        let mut rng = Rng64::new(3);
+        let mut p = PcmPair::new(quiet(PcmConfig::bare()));
+        let deltas = [0.2f32, -0.1, 0.15, -0.3, 0.1];
+        let mut target = 0.0f32;
+        for d in deltas {
+            p.update(d, &mut rng);
+            target += d;
+        }
+        assert!((p.weight(0.0) - target).abs() < 0.05, "{} vs {target}", p.weight(0.0));
+    }
+
+    #[test]
+    fn refresh_preserves_weight_and_desaturates() {
+        let mut rng = Rng64::new(4);
+        let mut p = PcmPair::new(quiet(PcmConfig { refresh_threshold: 0.5, ..PcmConfig::bare() }));
+        // Push both members up: weight stays small but conductances grow.
+        for _ in 0..150 {
+            p.update(0.02, &mut rng);
+            p.update(-0.02, &mut rng);
+        }
+        assert!(p.refresh_count() > 0, "saturation never triggered refresh");
+        let (gp, gm) = p.conductances();
+        // Refresh fires the moment either member crosses the threshold, so
+        // neither can have strayed more than one pulse beyond it.
+        assert!(gp < 0.55 && gm < 0.55, "refresh failed to desaturate: {gp}, {gm}");
+        assert!(p.weight(0.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn drift_decays_conductance() {
+        let mut rng = Rng64::new(5);
+        let mut p = PcmPair::new(quiet(PcmConfig::bare()));
+        p.update(0.3, &mut rng);
+        let w_now = p.weight(0.0);
+        let w_later = p.weight(1e6);
+        assert!(w_later < w_now * 0.8, "{w_later} vs {w_now}");
+    }
+
+    #[test]
+    fn projection_liner_suppresses_drift() {
+        let mut rng = Rng64::new(6);
+        let mut bare = PcmPair::new(quiet(PcmConfig::bare()));
+        let mut lined = PcmPair::new(quiet(PcmConfig::projected()));
+        bare.update(0.3, &mut rng);
+        lined.update(0.3, &mut rng);
+        let loss_bare = 1.0 - bare.weight(1e6) / bare.weight(0.0);
+        let loss_lined = 1.0 - lined.weight(1e6) / lined.weight(0.0);
+        assert!(loss_lined < loss_bare / 5.0, "bare {loss_bare}, lined {loss_lined}");
+    }
+
+    #[test]
+    fn materialized_drift_exponents_vary() {
+        let mut rng = Rng64::new(9);
+        let a = PcmPair::new_with(PcmConfig::bare(), &mut rng);
+        let b = PcmPair::new_with(PcmConfig::bare(), &mut rng);
+        assert_ne!(a.drift_nu(), b.drift_nu());
+        assert!(a.drift_nu() >= 0.0 && b.drift_nu() >= 0.0);
+    }
+
+    #[test]
+    fn exact_constructor_uses_mean_nu() {
+        let p = PcmPair::new(PcmConfig::bare());
+        assert_eq!(p.drift_nu(), PcmConfig::bare().drift_nu);
+    }
+
+    #[test]
+    fn crystallization_saturates() {
+        let mut rng = Rng64::new(7);
+        let mut p = PcmPair::new(quiet(PcmConfig { refresh_threshold: 2.0, ..PcmConfig::bare() }));
+        let mut prev = 0.0;
+        let mut steps = Vec::new();
+        for _ in 0..200 {
+            p.pulse_at(true, 0.0, &mut rng);
+            let g = p.conductances().0;
+            steps.push(g - prev);
+            prev = g;
+        }
+        assert!(steps[199] < steps[0] * 0.5, "no saturation: {} vs {}", steps[199], steps[0]);
+        assert!(p.conductances().0 <= 1.0);
+    }
+}

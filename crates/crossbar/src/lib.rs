@@ -1,0 +1,68 @@
+//! Analog resistive crossbar simulation — paper Sec. II.
+//!
+//! This crate reproduces the modeling methodology behind the paper's
+//! analog-training discussion: crosspoint devices with bounded, asymmetric,
+//! noisy conductance updates; crossbar arrays performing in-place
+//! vector–matrix products; tiles with realistic converter peripheries and
+//! the stochastic-pulse parallel update of the Resistive Processing Unit
+//! concept \[14\]; and the algorithmic mitigations the paper surveys —
+//! zero-shifting \[30\], the coupled-dynamics training algorithm \[35\],
+//! mixed-precision PCM/FeFET weight cells \[24\]\[38\], and hardware-aware
+//! drop-connect training \[33\].
+//!
+//! # Layering
+//!
+//! * [`device`] — one crosspoint's pulse dynamics ([`device::PulsedDevice`]).
+//! * [`devices`] — technology presets (RRAM, ECRAM, FeFET) plus the PCM
+//!   differential pair and 2T-1FeFET hybrid cell.
+//! * [`mod@array`] — a grid of devices with forward/transposed reads,
+//!   write-verify programming, defect injection.
+//! * [`noise`] — DAC/ADC quantization, read noise, clipping.
+//! * [`inference`] — inference-only deployment on PCM pairs: programming,
+//!   drift over time, and algorithmic drift compensation \[28\].
+//! * [`tile`] — [`tile::AnalogTile`]: array + periphery, implementing the
+//!   `enw-nn` `LinearBackend` trait so networks train on it unmodified.
+//! * [`tiki_taka`] — the coupled-array training scheme for asymmetric
+//!   devices.
+//! * [`train`] — whole-network constructors and the comparison harness.
+//!
+//! # Example: train an MLP on simulated RRAM with Tiki-Taka
+//!
+//! ```
+//! use enw_crossbar::{devices, train, tiki_taka::TikiTakaConfig, tile::TileConfig};
+//! use enw_nn::activation::Activation;
+//! use enw_nn::data::SyntheticImages;
+//! use enw_nn::mlp::SgdConfig;
+//! use enw_numerics::rng::Rng64;
+//!
+//! let mut rng = Rng64::new(1);
+//! let split = SyntheticImages::builder()
+//!     .classes(3).dim(16).train_per_class(20).test_per_class(10)
+//!     .build(&mut rng);
+//! let mut mlp = train::tiki_taka_mlp(
+//!     &[16, 8, 3],
+//!     &devices::rram(),
+//!     TileConfig::ideal(),
+//!     TikiTakaConfig { calibration_pairs: 200, ..Default::default() },
+//!     Activation::Tanh,
+//!     &mut rng,
+//! );
+//! let out = train::train_and_evaluate(
+//!     &mut mlp, &split, &SgdConfig { epochs: 1, learning_rate: 0.05 }, &mut rng);
+//! assert!(out.test_accuracy >= 0.0);
+//! ```
+
+pub mod array;
+pub mod device;
+pub mod devices;
+pub mod inference;
+pub mod noise;
+pub mod tiki_taka;
+pub mod tile;
+pub mod train;
+
+pub use array::AnalogArray;
+pub use device::{DeviceSpec, PulseDir, PulsedDevice};
+pub use noise::AnalogNoise;
+pub use tiki_taka::{TikiTakaConfig, TikiTakaTile};
+pub use tile::{AnalogTile, TileConfig, UpdateScheme};

@@ -1,0 +1,150 @@
+//! Peripheral-circuit nonidealities: DAC/ADC quantization, read noise and
+//! output clipping.
+//!
+//! An analog tile is only as good as its converters. The original RPU
+//! analysis \[14\] bounds the periphery at roughly 7-bit input DACs, 9-bit
+//! output ADCs with a bounded range, and additive cycle-to-cycle read
+//! noise; [`AnalogNoise::standard`] reproduces that operating point.
+
+use enw_numerics::rng::Rng64;
+
+/// Peripheral noise/quantization configuration of an analog tile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalogNoise {
+    /// Input DAC resolution; `None` disables input quantization.
+    /// Inputs are clipped to `[-1, 1]` (the DAC full scale).
+    pub dac_bits: Option<u32>,
+    /// Output ADC resolution over `[-output_bound, output_bound]`;
+    /// `None` disables output quantization.
+    pub adc_bits: Option<u32>,
+    /// Additive Gaussian read-noise σ per output line (absolute units).
+    pub read_noise: f32,
+    /// Output clipping bound (the ADC full scale).
+    pub output_bound: f32,
+    /// IR-drop coefficient: fractional signal attenuation accumulated
+    /// across the array (0 disables; see `AnalogArray` for the model).
+    pub ir_drop: f32,
+}
+
+impl AnalogNoise {
+    /// A noiseless, quantization-free tile (floating-point equivalent).
+    pub fn ideal() -> Self {
+        AnalogNoise { dac_bits: None, adc_bits: None, read_noise: 0.0, output_bound: f32::INFINITY, ir_drop: 0.0 }
+    }
+
+    /// The RPU baseline periphery: 7-bit DAC, 9-bit ADC bounded at ±12,
+    /// σ = 0.06 read noise.
+    pub fn standard() -> Self {
+        AnalogNoise { dac_bits: Some(7), adc_bits: Some(9), read_noise: 0.06, output_bound: 12.0, ir_drop: 0.0 }
+    }
+
+    /// Quantizes the input vector through the DAC model (in place).
+    pub fn apply_input(&self, x: &mut [f32]) {
+        if let Some(bits) = self.dac_bits {
+            let levels = (1u32 << bits) - 1;
+            for v in x.iter_mut() {
+                let clipped = v.clamp(-1.0, 1.0);
+                // Map [-1,1] onto `levels` uniform codes and back.
+                let code = ((clipped + 1.0) / 2.0 * levels as f32).round();
+                *v = code / levels as f32 * 2.0 - 1.0;
+            }
+        } else {
+            for v in x.iter_mut() {
+                *v = v.clamp(-1.0, 1.0);
+            }
+        }
+    }
+
+    /// Adds read noise, clips to the ADC range and quantizes the output
+    /// vector (in place).
+    pub fn apply_output(&self, y: &mut [f32], rng: &mut Rng64) {
+        for v in y.iter_mut() {
+            if self.read_noise > 0.0 {
+                *v += (self.read_noise as f64 * rng.normal()) as f32;
+            }
+            if self.output_bound.is_finite() {
+                *v = v.clamp(-self.output_bound, self.output_bound);
+            }
+            if let Some(bits) = self.adc_bits {
+                let levels = (1u32 << bits) - 1;
+                let b = self.output_bound;
+                let code = ((*v + b) / (2.0 * b) * levels as f32).round();
+                *v = code / levels as f32 * 2.0 * b - b;
+            }
+        }
+    }
+}
+
+impl Default for AnalogNoise {
+    fn default() -> Self {
+        AnalogNoise::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_is_identity() {
+        let n = AnalogNoise::ideal();
+        let mut x = vec![0.123, -0.77, 0.5];
+        let orig = x.clone();
+        n.apply_input(&mut x);
+        assert_eq!(x, orig);
+        let mut rng = Rng64::new(0);
+        let mut y = vec![100.0, -3.0];
+        n.apply_output(&mut y, &mut rng);
+        assert_eq!(y, vec![100.0, -3.0]);
+    }
+
+    #[test]
+    fn dac_clips_and_quantizes() {
+        let n = AnalogNoise { dac_bits: Some(2), ..AnalogNoise::ideal() };
+        let mut x = vec![2.0, -2.0, 0.1];
+        n.apply_input(&mut x);
+        assert_eq!(x[0], 1.0);
+        assert_eq!(x[1], -1.0);
+        // 2 bits → 3 levels {-1, -1/3... } codes {0..3}: values -1, -1/3, 1/3, 1.
+        assert!((x[2] - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dac_error_bounded_by_half_lsb() {
+        let n = AnalogNoise { dac_bits: Some(7), ..AnalogNoise::ideal() };
+        let lsb = 2.0 / ((1 << 7) - 1) as f32;
+        for i in -50..=50 {
+            let v = i as f32 / 50.0;
+            let mut x = vec![v];
+            n.apply_input(&mut x);
+            assert!((x[0] - v).abs() <= lsb / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn adc_clips_to_bound() {
+        let n = AnalogNoise { adc_bits: Some(9), output_bound: 12.0, ..AnalogNoise::ideal() };
+        let mut rng = Rng64::new(1);
+        let mut y = vec![50.0, -50.0];
+        n.apply_output(&mut y, &mut rng);
+        assert_eq!(y, vec![12.0, -12.0]);
+    }
+
+    #[test]
+    fn read_noise_perturbs() {
+        let n = AnalogNoise { read_noise: 0.1, ..AnalogNoise::ideal() };
+        let mut rng = Rng64::new(2);
+        let mut y = vec![1.0; 100];
+        n.apply_output(&mut y, &mut rng);
+        let spread = y.iter().fold((f32::MAX, f32::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        assert!(spread.1 - spread.0 > 0.1);
+    }
+
+    #[test]
+    fn standard_matches_rpu_operating_point() {
+        let n = AnalogNoise::standard();
+        assert_eq!(n.dac_bits, Some(7));
+        assert_eq!(n.adc_bits, Some(9));
+        assert_eq!(n.output_bound, 12.0);
+    }
+}

@@ -1,0 +1,483 @@
+//! The analog tile: a crossbar array plus its periphery, exposed through
+//! the `enw-nn` [`LinearBackend`] trait so that whole networks train on
+//! simulated hardware unmodified.
+//!
+//! A tile performs the three crossbar cycles of paper Fig. 1:
+//!
+//! * **Forward** — DAC-quantized inputs on the columns, currents summed per
+//!   row, read noise added, ADC-quantized output.
+//! * **Backward** — the transposed read, same periphery.
+//! * **Update** — the parallel stochastic pulse scheme of \[14\]: rows and
+//!   columns fire independent Bernoulli pulse trains of length `BL`;
+//!   every coincidence steps the device at that crosspoint once. The
+//!   expected step equals the SGD rank-1 update while touching each device
+//!   `O(BL)` times independent of array size.
+
+use crate::array::AnalogArray;
+use crate::device::{DeviceSpec, PulseDir};
+use crate::noise::AnalogNoise;
+use enw_nn::backend::LinearBackend;
+use enw_numerics::matrix::Matrix;
+use enw_numerics::rng::Rng64;
+
+/// How the rank-1 update is realized on the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateScheme {
+    /// Stochastic pulse trains of length `bl` (the hardware scheme).
+    StochasticPulse {
+        /// Pulse-train length (paper uses BL ≈ 10–100; 31 is typical).
+        bl: u32,
+    },
+    /// Analytic expectation of the pulse scheme: one state-dependent step
+    /// evaluation per crosspoint. Faster, preserves bounded/asymmetric
+    /// dynamics, drops pulse-level stochasticity. For sweeps.
+    MeanField,
+}
+
+/// Event counts for one tile (inputs to energy/latency models and the
+/// O(1)-scaling experiment E1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TileStats {
+    /// Forward crossbar reads.
+    pub forward_ops: u64,
+    /// Backward (transposed) crossbar reads.
+    pub backward_ops: u64,
+    /// Rank-1 update operations.
+    pub update_ops: u64,
+    /// Device programming pulses actually fired.
+    pub pulses: u64,
+}
+
+/// Tile configuration: periphery plus update realization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TileConfig {
+    /// Converter/noise model.
+    pub noise: AnalogNoise,
+    /// Update realization.
+    pub update: UpdateScheme,
+    /// Probability of suppressing an individual update coincidence —
+    /// hardware-aware "drop-connect" training \[33\]. 0 disables.
+    pub drop_connect: f32,
+}
+
+impl Default for TileConfig {
+    fn default() -> Self {
+        TileConfig {
+            noise: AnalogNoise::standard(),
+            update: UpdateScheme::StochasticPulse { bl: 31 },
+            drop_connect: 0.0,
+        }
+    }
+}
+
+impl TileConfig {
+    /// An ideal tile: no converters, no noise, stochastic pulses.
+    pub fn ideal() -> Self {
+        TileConfig { noise: AnalogNoise::ideal(), ..TileConfig::default() }
+    }
+}
+
+/// An analog crossbar tile of shape `out_dim × (in_dim + 1)` (one bias
+/// column), implementing [`LinearBackend`].
+///
+/// # Example
+///
+/// ```
+/// use enw_crossbar::devices;
+/// use enw_crossbar::tile::{AnalogTile, TileConfig};
+/// use enw_nn::backend::LinearBackend;
+/// use enw_numerics::rng::Rng64;
+///
+/// let mut rng = Rng64::new(0);
+/// let mut tile = AnalogTile::new(8, 4, &devices::ideal(1000), TileConfig::ideal(), &mut rng);
+/// let y = tile.forward(&[0.1, -0.2, 0.3, 0.4]);
+/// assert_eq!(y.len(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AnalogTile {
+    array: AnalogArray,
+    /// Zero-shift reference conductances (row-major), if calibrated.
+    reference: Option<Vec<f32>>,
+    cfg: TileConfig,
+    in_dim: usize,
+    /// Mean step size used to scale pulse probabilities.
+    dw_avg: f32,
+    rng: Rng64,
+    stats: TileStats,
+}
+
+impl AnalogTile {
+    /// Builds a tile over freshly materialized devices, weights at zero.
+    pub fn new(
+        out_dim: usize,
+        in_dim: usize,
+        spec: &DeviceSpec,
+        cfg: TileConfig,
+        rng: &mut Rng64,
+    ) -> Self {
+        let array = AnalogArray::new(out_dim, in_dim + 1, spec, rng);
+        let dw_avg = 0.5 * (spec.base.dw_up + spec.base.dw_down);
+        AnalogTile { array, reference: None, cfg, in_dim, dw_avg, rng: rng.fork(), stats: TileStats::default() }
+    }
+
+    /// Write-verify programs the tile's *effective* weights to `target`
+    /// (shape `out_dim × (in_dim + 1)`), accounting for any zero-shift
+    /// reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape mismatches.
+    pub fn program_effective(&mut self, target: &Matrix) {
+        let physical = match &self.reference {
+            None => target.clone(),
+            Some(r) => {
+                let mut t = target.clone();
+                for row in 0..t.rows() {
+                    for col in 0..t.cols() {
+                        let v = t.at(row, col) + r[row * t.cols() + col];
+                        t.set(row, col, v);
+                    }
+                }
+                t
+            }
+        };
+        let mut rng = self.rng.fork();
+        self.array.program(&physical, self.dw_avg * 0.6, 4000, &mut rng);
+    }
+
+    /// Zero-shift calibration \[30\]: drives every device to its symmetry
+    /// point, then records that state as the reference. Effective weights
+    /// are zero afterwards; the symmetry point becomes the logical zero,
+    /// so asymmetric devices decay toward 0 instead of a biased value.
+    pub fn calibrate_zero_shift(&mut self, pairs: u32) {
+        let mut rng = self.rng.fork();
+        self.array.converge_to_symmetry(pairs, &mut rng);
+        self.reference = Some(self.array.read_matrix().as_slice().to_vec());
+    }
+
+    /// Returns `true` if a zero-shift reference is installed.
+    pub fn is_zero_shifted(&self) -> bool {
+        self.reference.is_some()
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> TileStats {
+        self.stats
+    }
+
+    /// The underlying array (for defect injection and inspection).
+    pub fn array_mut(&mut self) -> &mut AnalogArray {
+        &mut self.array
+    }
+
+    /// The underlying array, shared.
+    pub fn array(&self) -> &AnalogArray {
+        &self.array
+    }
+
+    fn effective(&self, physical: Vec<f32>, reference_product: Option<Vec<f32>>) -> Vec<f32> {
+        match reference_product {
+            None => physical,
+            Some(refp) => physical.iter().zip(&refp).map(|(a, b)| a - b).collect(),
+        }
+    }
+
+    fn reference_matvec(&self, x: &[f32]) -> Option<Vec<f32>> {
+        self.reference.as_ref().map(|r| {
+            let rows = self.array.rows();
+            let cols = self.array.cols();
+            let mut y = vec![0.0f32; rows];
+            for (row, out) in y.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (c, xi) in x.iter().enumerate() {
+                    acc += r[row * cols + c] * xi;
+                }
+                *out = acc;
+            }
+            y
+        })
+    }
+
+    fn reference_matvec_t(&self, d: &[f32]) -> Option<Vec<f32>> {
+        self.reference.as_ref().map(|r| {
+            let cols = self.array.cols();
+            let mut y = vec![0.0f32; cols];
+            for (row, di) in d.iter().enumerate() {
+                for (c, out) in y.iter_mut().enumerate() {
+                    *out += r[row * cols + c] * di;
+                }
+            }
+            y
+        })
+    }
+
+    fn augmented(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.in_dim, "input dimension mismatch");
+        let mut xa = Vec::with_capacity(self.in_dim + 1);
+        xa.extend_from_slice(x);
+        xa.push(1.0);
+        xa
+    }
+
+    fn update_stochastic(&mut self, delta: &[f32], xa: &[f32], lr: f32, bl: u32) {
+        // Choose pulse probabilities so the expected coincidence count
+        // yields the SGD step: E[Δw_ij] = −lr·d_i·x_j.
+        let amp = (lr / (bl as f32 * self.dw_avg)).sqrt();
+        let p_row: Vec<f32> = delta.iter().map(|d| (amp * d.abs()).min(1.0)).collect();
+        let p_col: Vec<f32> = xa.iter().map(|x| (amp * x.abs()).min(1.0)).collect();
+        let mut fired_rows: Vec<usize> = Vec::with_capacity(delta.len());
+        let mut fired_cols: Vec<usize> = Vec::with_capacity(xa.len());
+        for _ in 0..bl {
+            fired_rows.clear();
+            fired_cols.clear();
+            for (i, &p) in p_row.iter().enumerate() {
+                if p > 0.0 && self.rng.bernoulli(p as f64) {
+                    fired_rows.push(i);
+                }
+            }
+            for (j, &p) in p_col.iter().enumerate() {
+                if p > 0.0 && self.rng.bernoulli(p as f64) {
+                    fired_cols.push(j);
+                }
+            }
+            for &i in &fired_rows {
+                for &j in &fired_cols {
+                    if self.cfg.drop_connect > 0.0
+                        && self.rng.bernoulli(self.cfg.drop_connect as f64)
+                    {
+                        continue;
+                    }
+                    // Δw should be −lr·d·x: step up when d·x < 0.
+                    let dir = if delta[i] * xa[j] < 0.0 { PulseDir::Up } else { PulseDir::Down };
+                    self.array.pulse(i, j, dir, &mut self.rng);
+                    self.stats.pulses += 1;
+                }
+            }
+        }
+    }
+
+    fn update_mean_field(&mut self, delta: &[f32], xa: &[f32], lr: f32) {
+        for (i, &d) in delta.iter().enumerate() {
+            if d == 0.0 {
+                continue;
+            }
+            for (j, &x) in xa.iter().enumerate() {
+                let target = -lr * d * x;
+                if target == 0.0 {
+                    continue;
+                }
+                let dir = if target > 0.0 { PulseDir::Up } else { PulseDir::Down };
+                let n = target.abs() / self.dw_avg;
+                // One state-dependent step evaluation scaled by the pulse
+                // count; write noise scales with √n as for n i.i.d. pulses.
+                let dev = *self.array.device(i, j);
+                let mean = dev.expected_step(self.array.weight(i, j), dir) * n;
+                let noise = if dev.write_noise > 0.0 && dev.responsive {
+                    (dev.write_noise as f64
+                        * self.dw_avg as f64
+                        * (n as f64).sqrt()
+                        * self.rng.normal()) as f32
+                } else {
+                    0.0
+                };
+                let w = self.array.weight(i, j);
+                self.array.set_weight(i, j, w + mean + noise);
+                self.stats.pulses += n.ceil() as u64;
+            }
+        }
+    }
+}
+
+impl LinearBackend for AnalogTile {
+    fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    fn out_dim(&self) -> usize {
+        self.array.rows()
+    }
+
+    fn forward(&mut self, x: &[f32]) -> Vec<f32> {
+        let mut xa = self.augmented(x);
+        self.cfg.noise.apply_input(&mut xa);
+        let raw = self.array.matvec(&xa, self.cfg.noise.ir_drop);
+        let refp = self.reference_matvec(&xa);
+        let mut y = self.effective(raw, refp);
+        self.cfg.noise.apply_output(&mut y, &mut self.rng);
+        self.stats.forward_ops += 1;
+        y
+    }
+
+    fn backward(&mut self, delta: &[f32]) -> Vec<f32> {
+        assert_eq!(delta.len(), self.array.rows(), "gradient dimension mismatch");
+        let raw = self.array.matvec_t(delta, self.cfg.noise.ir_drop);
+        let refp = self.reference_matvec_t(delta);
+        let mut y = self.effective(raw, refp);
+        self.cfg.noise.apply_output(&mut y, &mut self.rng);
+        y.truncate(self.in_dim);
+        self.stats.backward_ops += 1;
+        y
+    }
+
+    fn update(&mut self, delta: &[f32], x: &[f32], lr: f32) {
+        assert_eq!(delta.len(), self.array.rows(), "gradient dimension mismatch");
+        let xa = self.augmented(x);
+        match self.cfg.update {
+            UpdateScheme::StochasticPulse { bl } => self.update_stochastic(delta, &xa, lr, bl),
+            UpdateScheme::MeanField => self.update_mean_field(delta, &xa, lr),
+        }
+        self.stats.update_ops += 1;
+    }
+
+    fn weights(&self) -> Matrix {
+        let physical = self.array.read_matrix();
+        match &self.reference {
+            None => physical,
+            Some(r) => {
+                let mut m = physical;
+                let cols = m.cols();
+                for row in 0..m.rows() {
+                    for col in 0..cols {
+                        let v = m.at(row, col) - r[row * cols + col];
+                        m.set(row, col, v);
+                    }
+                }
+                m
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices;
+
+    fn ideal_tile(out: usize, inp: usize, seed: u64) -> AnalogTile {
+        let mut rng = Rng64::new(seed);
+        AnalogTile::new(out, inp, &devices::ideal(2000), TileConfig::ideal(), &mut rng)
+    }
+
+    #[test]
+    fn forward_of_zero_weights_is_zero() {
+        let mut t = ideal_tile(3, 2, 1);
+        assert_eq!(t.forward(&[0.5, -0.5]), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn programmed_tile_matches_digital_forward() {
+        let mut t = ideal_tile(2, 2, 2);
+        let target = Matrix::from_rows(&[&[0.3, -0.2, 0.1], &[0.0, 0.5, -0.4]]);
+        t.program_effective(&target);
+        let y = t.forward(&[1.0, 1.0]);
+        let expect = [0.3 - 0.2 + 0.1, 0.5 - 0.4];
+        for (a, e) in y.iter().zip(expect) {
+            assert!((a - e).abs() < 0.01, "{a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn backward_is_transpose() {
+        let mut t = ideal_tile(2, 3, 3);
+        let target = Matrix::from_rows(&[&[0.1, 0.2, 0.3, 0.0], &[-0.1, 0.0, 0.4, 0.0]]);
+        t.program_effective(&target);
+        let dx = t.backward(&[1.0, 1.0]);
+        assert_eq!(dx.len(), 3);
+        assert!((dx[0] - 0.0).abs() < 0.02);
+        assert!((dx[2] - 0.7).abs() < 0.02);
+    }
+
+    #[test]
+    fn stochastic_update_moves_weights_in_expectation() {
+        let mut t = ideal_tile(1, 1, 4);
+        // Repeat the same update many times; mean movement should approach
+        // −lr·d·x per update.
+        let lr = 0.001;
+        let n = 400;
+        for _ in 0..n {
+            t.update(&[1.0], &[1.0], lr);
+        }
+        let w = t.weights().at(0, 0);
+        let expect = -(lr * n as f32);
+        assert!(
+            (w - expect).abs() < 0.2 * expect.abs(),
+            "w {w} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn update_sign_convention_descends() {
+        // Positive delta and positive x must *decrease* the weight
+        // (gradient descent), matching DigitalLinear.
+        let mut t = ideal_tile(1, 1, 5);
+        for _ in 0..50 {
+            t.update(&[1.0], &[1.0], 0.05);
+        }
+        assert!(t.weights().at(0, 0) < -0.01);
+    }
+
+    #[test]
+    fn mean_field_matches_stochastic_direction() {
+        let mut rng = Rng64::new(6);
+        let cfg = TileConfig { update: UpdateScheme::MeanField, ..TileConfig::ideal() };
+        let mut t = AnalogTile::new(1, 1, &devices::ideal(2000), cfg, &mut rng);
+        for _ in 0..50 {
+            t.update(&[-1.0], &[1.0], 0.05);
+        }
+        assert!(t.weights().at(0, 0) > 0.01);
+    }
+
+    #[test]
+    fn zero_shift_reference_zeroes_effective_weights() {
+        let mut rng = Rng64::new(7);
+        let mut t = AnalogTile::new(4, 3, &devices::rram(), TileConfig::ideal(), &mut rng);
+        t.calibrate_zero_shift(800);
+        assert!(t.is_zero_shifted());
+        let w = t.weights();
+        for r in 0..4 {
+            for c in 0..4 {
+                assert!(w.at(r, c).abs() < 0.05, "effective weight {} at ({r},{c})", w.at(r, c));
+            }
+        }
+        // Forward of the zero-shifted tile is ~0 for any input.
+        let y = t.forward(&[1.0, 1.0, 1.0]);
+        assert!(y.iter().all(|v| v.abs() < 0.2), "{y:?}");
+    }
+
+    #[test]
+    fn stats_count_cycles() {
+        let mut t = ideal_tile(2, 2, 8);
+        t.forward(&[0.0, 0.0]);
+        t.backward(&[0.0, 0.0]);
+        t.update(&[1.0, 0.5], &[1.0, 1.0], 0.01);
+        let s = t.stats();
+        assert_eq!(s.forward_ops, 1);
+        assert_eq!(s.backward_ops, 1);
+        assert_eq!(s.update_ops, 1);
+    }
+
+    #[test]
+    fn bias_column_participates_in_forward() {
+        let mut t = ideal_tile(1, 1, 9);
+        let target = Matrix::from_rows(&[&[0.0, 0.5]]); // zero weight, 0.5 bias
+        t.program_effective(&target);
+        let y = t.forward(&[0.0]);
+        assert!((y[0] - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn drop_connect_reduces_pulse_count() {
+        let mut rng = Rng64::new(10);
+        let spec = devices::ideal(2000);
+        let mut plain = AnalogTile::new(8, 8, &spec, TileConfig::ideal(), &mut rng);
+        let cfg_dc = TileConfig { drop_connect: 0.8, ..TileConfig::ideal() };
+        let mut dropped = AnalogTile::new(8, 8, &spec, cfg_dc, &mut rng);
+        let d = vec![1.0f32; 8];
+        let x = vec![1.0f32; 8];
+        for _ in 0..20 {
+            plain.update(&d, &x, 0.05);
+            dropped.update(&d, &x, 0.05);
+        }
+        assert!(dropped.stats().pulses < plain.stats().pulses / 2);
+    }
+}

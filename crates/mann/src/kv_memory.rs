@@ -1,0 +1,250 @@
+//! Key–value lifelong memory module (refs. \[6\]\[52\], used by the
+//! TCAM-MANN studies \[48\]).
+//!
+//! The module stores `(key, value, age)` triples. Queries retrieve the
+//! most similar key; the memory update rule either *merges* the query into
+//! a correct matching key (moving it toward the class centroid) or *writes*
+//! the query into the oldest slot when the retrieval was wrong — which is
+//! what lets the network remember rare events after a single exposure.
+
+use crate::memory::Similarity;
+use enw_numerics::vector::normalize_l2;
+
+/// One retrieval result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Retrieval {
+    /// Index of the best-matching slot.
+    pub slot: usize,
+    /// The stored value (class label) of that slot.
+    pub value: usize,
+    /// The similarity score of the match.
+    pub score: f32,
+}
+
+/// A fixed-capacity key–value memory with age-based replacement.
+///
+/// Keys are L2-normalized on write, matching the cosine-similarity
+/// convention of the source work.
+///
+/// # Example
+///
+/// ```
+/// use enw_mann::kv_memory::KeyValueMemory;
+/// use enw_mann::memory::Similarity;
+///
+/// let mut mem = KeyValueMemory::new(8, 4, Similarity::Cosine);
+/// mem.update(&[1.0, 0.0, 0.0, 0.0], 3);
+/// let hit = mem.retrieve(&[0.9, 0.1, 0.0, 0.0]).expect("memory not empty");
+/// assert_eq!(hit.value, 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyValueMemory {
+    dim: usize,
+    similarity: Similarity,
+    keys: Vec<Vec<f32>>,
+    values: Vec<usize>,
+    ages: Vec<u64>,
+    used: usize,
+    clock: u64,
+}
+
+impl KeyValueMemory {
+    /// An empty memory with `capacity` slots of `dim`-wide keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `dim` is zero.
+    pub fn new(capacity: usize, dim: usize, similarity: Similarity) -> Self {
+        assert!(capacity > 0 && dim > 0, "degenerate memory");
+        KeyValueMemory {
+            dim,
+            similarity,
+            keys: vec![vec![0.0; dim]; capacity],
+            values: vec![0; capacity],
+            ages: vec![0; capacity],
+            used: 0,
+            clock: 0,
+        }
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Number of slots written so far (saturates at capacity).
+    pub fn len(&self) -> usize {
+        self.used
+    }
+
+    /// Returns `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.used == 0
+    }
+
+    /// Key width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The stored keys currently in use (first `len()` slots).
+    pub fn keys(&self) -> &[Vec<f32>] {
+        &self.keys[..self.used]
+    }
+
+    /// The stored values currently in use.
+    pub fn values(&self) -> &[usize] {
+        &self.values[..self.used]
+    }
+
+    /// Retrieves the best match for `query`, or `None` if the memory is
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query width mismatches.
+    pub fn retrieve(&self, query: &[f32]) -> Option<Retrieval> {
+        assert_eq!(query.len(), self.dim, "query width mismatch");
+        if self.used == 0 {
+            return None;
+        }
+        let mut q = query.to_vec();
+        normalize_l2(&mut q);
+        let mut best = Retrieval { slot: 0, value: self.values[0], score: f32::NEG_INFINITY };
+        for s in 0..self.used {
+            let score = self.similarity.score(&q, &self.keys[s]);
+            if score > best.score {
+                best = Retrieval { slot: s, value: self.values[s], score };
+            }
+        }
+        Some(best)
+    }
+
+    /// Lifelong-memory update rule for a labeled example `(query, value)`:
+    ///
+    /// * if the best match already stores `value`, merge the query into the
+    ///   key (normalized average) and reset the slot's age;
+    /// * otherwise write `(query, value)` into the oldest (or first free)
+    ///   slot.
+    ///
+    /// Returns the slot that was written or merged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query width mismatches.
+    pub fn update(&mut self, query: &[f32], value: usize) -> usize {
+        assert_eq!(query.len(), self.dim, "query width mismatch");
+        self.clock += 1;
+        let mut q = query.to_vec();
+        normalize_l2(&mut q);
+        if let Some(hit) = self.retrieve(&q) {
+            if hit.value == value {
+                // Merge: move key toward the class centroid.
+                let key = &mut self.keys[hit.slot];
+                for (k, &qi) in key.iter_mut().zip(&q) {
+                    *k += qi;
+                }
+                normalize_l2(key);
+                self.ages[hit.slot] = self.clock;
+                return hit.slot;
+            }
+        }
+        // Wrong (or no) retrieval: claim a free slot, else evict the oldest.
+        let slot = if self.used < self.capacity() {
+            let s = self.used;
+            self.used += 1;
+            s
+        } else {
+            let mut oldest = 0;
+            for s in 1..self.used {
+                if self.ages[s] < self.ages[oldest] {
+                    oldest = s;
+                }
+            }
+            oldest
+        };
+        self.keys[slot] = q;
+        self.values[slot] = value;
+        self.ages[slot] = self.clock;
+        slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(dim: usize, hot: usize) -> Vec<f32> {
+        let mut v = vec![0.0; dim];
+        v[hot] = 1.0;
+        v
+    }
+
+    #[test]
+    fn empty_memory_retrieves_nothing() {
+        let mem = KeyValueMemory::new(4, 3, Similarity::Cosine);
+        assert!(mem.retrieve(&[1.0, 0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn single_shot_store_and_retrieve() {
+        let mut mem = KeyValueMemory::new(4, 3, Similarity::Cosine);
+        mem.update(&unit(3, 1), 7);
+        let hit = mem.retrieve(&[0.1, 0.95, 0.0]).expect("non-empty");
+        assert_eq!(hit.value, 7);
+    }
+
+    #[test]
+    fn correct_retrieval_merges_instead_of_writing() {
+        let mut mem = KeyValueMemory::new(8, 2, Similarity::Cosine);
+        mem.update(&[1.0, 0.0], 1);
+        mem.update(&[0.9, 0.1], 1); // same class, similar key → merge
+        assert_eq!(mem.len(), 1);
+        // Merged key sits between the two inputs.
+        let k = &mem.keys()[0];
+        assert!(k[0] > 0.9 && k[1] > 0.0);
+    }
+
+    #[test]
+    fn wrong_retrieval_writes_new_slot() {
+        let mut mem = KeyValueMemory::new(8, 2, Similarity::Cosine);
+        mem.update(&[1.0, 0.0], 1);
+        mem.update(&[0.95, 0.05], 2); // retrieves class 1 but is class 2
+        assert_eq!(mem.len(), 2);
+    }
+
+    #[test]
+    fn eviction_replaces_oldest() {
+        let mut mem = KeyValueMemory::new(2, 4, Similarity::Cosine);
+        mem.update(&unit(4, 0), 0);
+        mem.update(&unit(4, 1), 1);
+        assert_eq!(mem.len(), 2);
+        // A third distinct class evicts slot 0 (the oldest).
+        mem.update(&unit(4, 2), 2);
+        assert_eq!(mem.len(), 2);
+        let hit = mem.retrieve(&unit(4, 2)).expect("non-empty");
+        assert_eq!(hit.value, 2);
+        // Class 0 is gone.
+        let hit0 = mem.retrieve(&unit(4, 0)).expect("non-empty");
+        assert_ne!(hit0.value, 0);
+    }
+
+    #[test]
+    fn keys_are_normalized() {
+        let mut mem = KeyValueMemory::new(2, 2, Similarity::Cosine);
+        mem.update(&[3.0, 4.0], 9);
+        let n = enw_numerics::vector::norm_l2(&mem.keys()[0]);
+        assert!((n - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn merge_resets_age_and_protects_from_eviction() {
+        let mut mem = KeyValueMemory::new(2, 4, Similarity::Cosine);
+        mem.update(&unit(4, 0), 0);
+        mem.update(&unit(4, 1), 1);
+        // Refresh class 0 via merge; class 1 becomes the oldest.
+        mem.update(&unit(4, 0), 0);
+        mem.update(&unit(4, 2), 2); // evicts class 1
+        assert_eq!(mem.retrieve(&unit(4, 0)).expect("non-empty").value, 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Activation functions and their derivatives.
+
+/// An element-wise activation function.
+///
+/// The derivative is evaluated from the *pre-activation* value `z`, which is
+/// what backpropagation caches.
+///
+/// # Example
+///
+/// ```
+/// use enw_nn::activation::Activation;
+///
+/// assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+/// assert_eq!(Activation::Relu.derivative(3.0), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Activation {
+    /// `f(z) = z` — used on output layers so that losses see raw logits.
+    Identity,
+    /// Rectified linear unit `max(0, z)`.
+    Relu,
+    /// Logistic sigmoid `1 / (1 + e^{-z})`.
+    Sigmoid,
+    /// Hyperbolic tangent — the default for analog-crossbar training
+    /// studies, whose activations must stay in the bounded DAC range.
+    #[default]
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the function to one pre-activation value.
+    #[inline]
+    pub fn apply(self, z: f32) -> f32 {
+        match self {
+            Activation::Identity => z,
+            Activation::Relu => z.max(0.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-z).exp()),
+            Activation::Tanh => z.tanh(),
+        }
+    }
+
+    /// Derivative `f'(z)` evaluated at the pre-activation value.
+    #[inline]
+    pub fn derivative(self, z: f32) -> f32 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Relu => {
+                if z > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => {
+                let s = self.apply(z);
+                s * (1.0 - s)
+            }
+            Activation::Tanh => {
+                let t = z.tanh();
+                1.0 - t * t
+            }
+        }
+    }
+
+    /// Applies the function to a whole slice in place.
+    pub fn apply_slice(self, zs: &mut [f32]) {
+        for z in zs {
+            *z = self.apply(*z);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_identity() {
+        assert_eq!(Activation::Identity.apply(2.5), 2.5);
+        assert_eq!(Activation::Identity.derivative(-3.0), 1.0);
+    }
+
+    #[test]
+    fn relu_clips_negatives() {
+        assert_eq!(Activation::Relu.apply(-1.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert_eq!(Activation::Relu.derivative(-1.0), 0.0);
+    }
+
+    #[test]
+    fn sigmoid_range_and_midpoint() {
+        let s = Activation::Sigmoid;
+        assert!((s.apply(0.0) - 0.5).abs() < 1e-6);
+        assert!(s.apply(100.0) <= 1.0 && s.apply(-100.0) >= 0.0);
+        assert!((s.derivative(0.0) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanh_odd_symmetry() {
+        let t = Activation::Tanh;
+        assert!((t.apply(1.0) + t.apply(-1.0)).abs() < 1e-6);
+        assert!((t.derivative(0.0) - 1.0).abs() < 1e-6);
+    }
+
+    /// Finite-difference check of every derivative.
+    #[test]
+    fn derivatives_match_finite_difference() {
+        let eps = 1e-3f32;
+        for act in [Activation::Identity, Activation::Sigmoid, Activation::Tanh] {
+            for z in [-2.0f32, -0.5, 0.1, 1.7] {
+                let num = (act.apply(z + eps) - act.apply(z - eps)) / (2.0 * eps);
+                assert!(
+                    (num - act.derivative(z)).abs() < 1e-2,
+                    "{act:?} at {z}: {num} vs {}",
+                    act.derivative(z)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_slice_matches_scalar() {
+        let mut v = [-1.0, 0.0, 2.0];
+        Activation::Relu.apply_slice(&mut v);
+        assert_eq!(v, [0.0, 0.0, 2.0]);
+    }
+}

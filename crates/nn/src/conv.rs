@@ -1,0 +1,560 @@
+//! Minimal 2-D convolutional networks.
+//!
+//! The paper's MANN studies build their feature embeddings with small
+//! CNNs (ref. \[48\] uses "a 4-layer convolutional NN and 2-layer fully
+//! connected network"), and CNNs are the canonical dense workload of
+//! Sec. II. This module provides a compact, dependency-free CNN: `valid`
+//! 2-D convolutions via im2col (so the heavy lifting reuses the same
+//! [`Matrix`] kernels the analog tiles accelerate), max pooling, and a
+//! dense head, trained with the same per-sample SGD as [`crate::mlp`].
+
+use crate::backend::{DigitalLinear, LinearBackend};
+use crate::data::Dataset;
+use crate::loss::softmax_cross_entropy;
+use enw_numerics::matrix::Matrix;
+use enw_numerics::rng::Rng64;
+use enw_numerics::vector::argmax;
+
+/// Shape of a feature map: channels × height × width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapShape {
+    /// Channel count.
+    pub channels: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Width in pixels.
+    pub width: usize,
+}
+
+impl MapShape {
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+
+    /// Returns `true` for a degenerate (empty) shape.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A `valid`-padding, stride-1 convolution layer with ReLU.
+///
+/// Implemented as im2col followed by a dense product, so a crossbar
+/// accelerating dense products accelerates this layer too — the paper's
+/// point that "matrix multiplication ... is the main building block of
+/// generalized matrix multiplication and convolution computations".
+#[derive(Debug, Clone)]
+struct ConvLayer {
+    in_shape: MapShape,
+    out_shape: MapShape,
+    kernel: usize,
+    /// `out_channels × (in_channels·k² + 1)` (bias column).
+    weights: Matrix,
+    cached_patches: Matrix, // n_positions × (in_channels·k² + 1)
+    cached_pre: Vec<f32>,   // out_channels × positions (pre-ReLU)
+}
+
+impl ConvLayer {
+    fn new(in_shape: MapShape, out_channels: usize, kernel: usize, rng: &mut Rng64) -> Self {
+        assert!(kernel <= in_shape.height && kernel <= in_shape.width, "kernel exceeds input");
+        let out_shape = MapShape {
+            channels: out_channels,
+            height: in_shape.height - kernel + 1,
+            width: in_shape.width - kernel + 1,
+        };
+        let fan_in = in_shape.channels * kernel * kernel;
+        let limit = (6.0 / (fan_in + out_channels) as f64).sqrt();
+        let mut weights = Matrix::random_uniform(out_channels, fan_in + 1, -limit, limit, rng);
+        for r in 0..out_channels {
+            weights.set(r, fan_in, 0.0);
+        }
+        ConvLayer {
+            in_shape,
+            out_shape,
+            kernel,
+            weights,
+            cached_patches: Matrix::zeros(1, 1),
+            cached_pre: Vec::new(),
+        }
+    }
+
+    fn positions(&self) -> usize {
+        self.out_shape.height * self.out_shape.width
+    }
+
+    /// im2col: one row per output position, columns are the receptive
+    /// field plus a trailing 1 for the bias.
+    fn im2col(&self, input: &[f32]) -> Matrix {
+        let s = self.in_shape;
+        assert_eq!(input.len(), s.len(), "input shape mismatch");
+        let k = self.kernel;
+        let cols = s.channels * k * k + 1;
+        let mut patches = Matrix::zeros(self.positions(), cols);
+        let mut row = 0;
+        for oy in 0..self.out_shape.height {
+            for ox in 0..self.out_shape.width {
+                let dst = patches.row_mut(row);
+                let mut c = 0;
+                for ch in 0..s.channels {
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            dst[c] = input[ch * s.height * s.width + (oy + ky) * s.width + (ox + kx)];
+                            c += 1;
+                        }
+                    }
+                }
+                dst[c] = 1.0;
+                row += 1;
+            }
+        }
+        patches
+    }
+
+    /// Forward with caching; output layout `channel-major` like the input.
+    fn forward(&mut self, input: &[f32]) -> Vec<f32> {
+        self.cached_patches = self.im2col(input);
+        let positions = self.positions();
+        let mut pre = vec![0.0f32; self.out_shape.channels * positions];
+        for p in 0..positions {
+            let patch = self.cached_patches.row(p);
+            for oc in 0..self.out_shape.channels {
+                let w = self.weights.row(oc);
+                let mut acc = 0.0f32;
+                for (wi, xi) in w.iter().zip(patch) {
+                    acc += wi * xi;
+                }
+                pre[oc * positions + p] = acc;
+            }
+        }
+        self.cached_pre = pre.clone();
+        for v in &mut pre {
+            *v = v.max(0.0); // ReLU
+        }
+        pre
+    }
+
+    /// Backward + SGD update; `upstream` is `dL/d(post-ReLU output)`.
+    /// Returns `dL/d(input)`.
+    fn backward_update(&mut self, upstream: &[f32], lr: f32) -> Vec<f32> {
+        let positions = self.positions();
+        assert_eq!(upstream.len(), self.out_shape.channels * positions, "gradient shape mismatch");
+        // ReLU mask.
+        let delta: Vec<f32> = upstream
+            .iter()
+            .zip(&self.cached_pre)
+            .map(|(g, &z)| if z > 0.0 { *g } else { 0.0 })
+            .collect();
+        // dL/dinput: scatter each position's (Wᵀ · delta_p) back to its
+        // receptive field.
+        let s = self.in_shape;
+        let k = self.kernel;
+        let mut dinput = vec![0.0f32; s.len()];
+        let fan_in = s.channels * k * k;
+        let mut row = 0;
+        for oy in 0..self.out_shape.height {
+            for ox in 0..self.out_shape.width {
+                for oc in 0..self.out_shape.channels {
+                    let d = delta[oc * positions + row];
+                    if d == 0.0 {
+                        continue;
+                    }
+                    let w = self.weights.row(oc);
+                    let mut c = 0;
+                    for ch in 0..s.channels {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                dinput[ch * s.height * s.width + (oy + ky) * s.width + (ox + kx)] +=
+                                    d * w[c];
+                                c += 1;
+                            }
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+        // dL/dW = Σ_p delta_p · patch_pᵀ, applied as SGD descent.
+        for oc in 0..self.out_shape.channels {
+            let mut grad = vec![0.0f32; fan_in + 1];
+            for p in 0..positions {
+                let d = delta[oc * positions + p];
+                if d == 0.0 {
+                    continue;
+                }
+                let patch = self.cached_patches.row(p);
+                for (g, x) in grad.iter_mut().zip(patch) {
+                    *g += d * x;
+                }
+            }
+            let wrow = self.weights.row_mut(oc);
+            for (w, g) in wrow.iter_mut().zip(&grad) {
+                *w -= lr * g;
+            }
+        }
+        dinput
+    }
+}
+
+/// 2×2 max pooling (stride 2, truncating odd edges) with index caching
+/// for backprop.
+#[derive(Debug, Clone)]
+struct MaxPool {
+    in_shape: MapShape,
+    out_shape: MapShape,
+    cached_argmax: Vec<usize>,
+}
+
+impl MaxPool {
+    fn new(in_shape: MapShape) -> Self {
+        let out_shape = MapShape {
+            channels: in_shape.channels,
+            height: in_shape.height / 2,
+            width: in_shape.width / 2,
+        };
+        assert!(!out_shape.is_empty(), "input too small to pool");
+        MaxPool { in_shape, out_shape, cached_argmax: Vec::new() }
+    }
+
+    fn forward(&mut self, input: &[f32]) -> Vec<f32> {
+        let s = self.in_shape;
+        let o = self.out_shape;
+        let mut out = vec![0.0f32; o.len()];
+        self.cached_argmax = vec![0; o.len()];
+        for ch in 0..o.channels {
+            for oy in 0..o.height {
+                for ox in 0..o.width {
+                    let mut best_val = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let idx =
+                                ch * s.height * s.width + (2 * oy + dy) * s.width + (2 * ox + dx);
+                            if input[idx] > best_val {
+                                best_val = input[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let oidx = ch * o.height * o.width + oy * o.width + ox;
+                    out[oidx] = best_val;
+                    self.cached_argmax[oidx] = best_idx;
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&self, upstream: &[f32]) -> Vec<f32> {
+        let mut dinput = vec![0.0f32; self.in_shape.len()];
+        for (o, &g) in upstream.iter().enumerate() {
+            dinput[self.cached_argmax[o]] += g;
+        }
+        dinput
+    }
+}
+
+/// Architecture of a [`ConvNet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvNetConfig {
+    /// Input feature-map shape.
+    pub input: MapShape,
+    /// Output channels of each conv stage (each stage = conv3×3 + ReLU,
+    /// followed by 2×2 max-pool when the map is still large enough).
+    pub conv_channels: Vec<usize>,
+    /// Width of the dense embedding layer after flattening.
+    pub embed_dim: usize,
+    /// Class count of the softmax head.
+    pub classes: usize,
+}
+
+/// A small CNN classifier: conv stages → dense embedding (tanh) → logits.
+///
+/// # Example
+///
+/// ```
+/// use enw_nn::conv::{ConvNet, ConvNetConfig, MapShape};
+/// use enw_numerics::rng::Rng64;
+///
+/// let mut rng = Rng64::new(0);
+/// let cfg = ConvNetConfig {
+///     input: MapShape { channels: 1, height: 8, width: 8 },
+///     conv_channels: vec![4],
+///     embed_dim: 16,
+///     classes: 3,
+/// };
+/// let mut net = ConvNet::new(&cfg, &mut rng);
+/// let logits = net.predict(&[0.0; 64]);
+/// assert_eq!(logits.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConvNet {
+    convs: Vec<ConvLayer>,
+    pools: Vec<Option<MaxPool>>,
+    embed: DigitalLinear,
+    head: DigitalLinear,
+    embed_pre: Vec<f32>,
+    flat: Vec<f32>,
+    embedded: Vec<f32>,
+}
+
+impl ConvNet {
+    /// Builds the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the conv stack shrinks the map to nothing or any
+    /// dimension is zero.
+    pub fn new(cfg: &ConvNetConfig, rng: &mut Rng64) -> Self {
+        assert!(cfg.classes > 0 && cfg.embed_dim > 0, "degenerate head");
+        let mut shape = cfg.input;
+        let mut convs = Vec::new();
+        let mut pools = Vec::new();
+        for &oc in &cfg.conv_channels {
+            let conv = ConvLayer::new(shape, oc, 3, rng);
+            shape = conv.out_shape;
+            convs.push(conv);
+            if shape.height >= 4 && shape.width >= 4 {
+                let pool = MaxPool::new(shape);
+                shape = pool.out_shape;
+                pools.push(Some(pool));
+            } else {
+                pools.push(None);
+            }
+        }
+        assert!(!shape.is_empty(), "conv stack consumed the whole input");
+        let embed = DigitalLinear::new(shape.len(), cfg.embed_dim, rng);
+        let head = DigitalLinear::new(cfg.embed_dim, cfg.classes, rng);
+        ConvNet {
+            convs,
+            pools,
+            embed,
+            head,
+            embed_pre: Vec::new(),
+            flat: Vec::new(),
+            embedded: Vec::new(),
+        }
+    }
+
+    /// Embedding dimensionality.
+    pub fn embed_dim(&self) -> usize {
+        self.embed.out_dim()
+    }
+
+    fn forward_features(&mut self, input: &[f32]) -> Vec<f32> {
+        let mut a = input.to_vec();
+        for (conv, pool) in self.convs.iter_mut().zip(&mut self.pools) {
+            a = conv.forward(&a);
+            if let Some(p) = pool {
+                a = p.forward(&a);
+            }
+        }
+        a
+    }
+
+    /// Penultimate (embedding) activations — the feature vector the MANN
+    /// memory stores.
+    pub fn embed(&mut self, input: &[f32]) -> Vec<f32> {
+        let flat = self.forward_features(input);
+        let mut e = self.embed.forward(&flat);
+        for v in &mut e {
+            *v = v.tanh();
+        }
+        e
+    }
+
+    /// Raw logits for one input.
+    pub fn predict(&mut self, input: &[f32]) -> Vec<f32> {
+        let e = self.embed(input);
+        self.head.forward(&e)
+    }
+
+    /// Predicted class.
+    pub fn classify(&mut self, input: &[f32]) -> usize {
+        argmax(&self.predict(input))
+    }
+
+    /// One SGD step; returns the sample loss.
+    pub fn train_step(&mut self, input: &[f32], label: usize, lr: f32) -> f32 {
+        // Forward with caching.
+        self.flat = self.forward_features(input);
+        self.embed_pre = self.embed.forward(&self.flat);
+        self.embedded = self.embed_pre.iter().map(|z| z.tanh()).collect();
+        let logits = self.head.forward(&self.embedded);
+        let (loss, dlogits) = softmax_cross_entropy(&logits, label);
+        // Head.
+        let dembedded = self.head.backward(&dlogits);
+        self.head.update(&dlogits, &self.embedded, lr);
+        // Embedding layer (tanh).
+        let dpre: Vec<f32> = dembedded
+            .iter()
+            .zip(&self.embed_pre)
+            .map(|(g, &z)| {
+                let t = z.tanh();
+                g * (1.0 - t * t)
+            })
+            .collect();
+        let mut dflat = self.embed.backward(&dpre);
+        self.embed.update(&dpre, &self.flat, lr);
+        // Conv stack in reverse.
+        for (conv, pool) in self.convs.iter_mut().zip(&mut self.pools).rev() {
+            if let Some(p) = pool {
+                dflat = p.backward(&dflat);
+            }
+            dflat = conv.backward_update(&dflat, lr);
+        }
+        loss
+    }
+
+    /// Trains on a dataset with per-sample SGD; returns per-epoch mean
+    /// loss.
+    pub fn train(&mut self, data: &Dataset, epochs: usize, lr: f32, rng: &mut Rng64) -> Vec<f64> {
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut history = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            rng.shuffle(&mut order);
+            let mut total = 0.0f64;
+            for &i in &order {
+                total += self.train_step(data.input(i), data.label(i), lr) as f64;
+            }
+            history.push(total / data.len() as f64);
+        }
+        history
+    }
+
+    /// Classification accuracy over a dataset.
+    pub fn evaluate(&mut self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct =
+            (0..data.len()).filter(|&i| self.classify(data.input(i)) == data.label(i)).count();
+        correct as f64 / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SyntheticImages;
+
+    fn cfg(classes: usize) -> ConvNetConfig {
+        ConvNetConfig {
+            input: MapShape { channels: 1, height: 8, width: 8 },
+            conv_channels: vec![6],
+            embed_dim: 24,
+            classes,
+        }
+    }
+
+    #[test]
+    fn shapes_flow_through() {
+        let mut rng = Rng64::new(1);
+        let mut net = ConvNet::new(&cfg(4), &mut rng);
+        assert_eq!(net.predict(&[0.1; 64]).len(), 4);
+        assert_eq!(net.embed(&[0.1; 64]).len(), 24);
+    }
+
+    #[test]
+    fn im2col_extracts_receptive_fields() {
+        let mut rng = Rng64::new(2);
+        let shape = MapShape { channels: 1, height: 3, width: 3 };
+        let conv = ConvLayer::new(shape, 1, 3, &mut rng);
+        let input: Vec<f32> = (0..9).map(|i| i as f32).collect();
+        let patches = conv.im2col(&input);
+        assert_eq!(patches.rows(), 1); // single 3x3 position
+        assert_eq!(&patches.row(0)[..9], &input[..]);
+        assert_eq!(patches.row(0)[9], 1.0); // bias
+    }
+
+    #[test]
+    fn pooling_keeps_maxima() {
+        let shape = MapShape { channels: 1, height: 4, width: 4 };
+        let mut pool = MaxPool::new(shape);
+        let mut input = vec![0.0f32; 16];
+        input[5] = 3.0; // window (1,1) of the top-left 2x2 block? position (1,1)
+        input[10] = 7.0;
+        let out = pool.forward(&input);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0], 3.0);
+        assert_eq!(out[3], 7.0);
+    }
+
+    #[test]
+    fn pool_backward_routes_to_argmax() {
+        let shape = MapShape { channels: 1, height: 2, width: 2 };
+        let mut pool = MaxPool::new(shape);
+        let input = [1.0f32, 5.0, 2.0, 3.0];
+        pool.forward(&input);
+        let d = pool.backward(&[1.0]);
+        assert_eq!(d, vec![0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn conv_gradient_matches_finite_difference() {
+        // Check dL/dinput of a conv layer against finite differences of
+        // L = sum(relu(conv(x))).
+        let mut rng = Rng64::new(3);
+        let shape = MapShape { channels: 1, height: 4, width: 4 };
+        let mut conv = ConvLayer::new(shape, 2, 3, &mut rng);
+        let input: Vec<f32> = (0..16).map(|i| (i as f32 / 8.0) - 1.0).collect();
+        let out = conv.forward(&input);
+        let upstream = vec![1.0f32; out.len()];
+        // lr = 0 isolates the input gradient from the weight update.
+        let dinput = conv.backward_update(&upstream, 0.0);
+        let eps = 1e-3f32;
+        for i in [0usize, 5, 10, 15] {
+            let mut xp = input.clone();
+            xp[i] += eps;
+            let mut xm = input.clone();
+            xm[i] -= eps;
+            let lp: f32 = conv.forward(&xp).iter().sum();
+            let lm: f32 = conv.forward(&xm).iter().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - dinput[i]).abs() < 0.05, "pixel {i}: {num} vs {}", dinput[i]);
+        }
+    }
+
+    #[test]
+    fn learns_a_small_image_task() {
+        let mut rng = Rng64::new(4);
+        let split = SyntheticImages::builder()
+            .classes(3)
+            .dim(64)
+            .train_per_class(40)
+            .test_per_class(15)
+            .noise(0.4)
+            .build(&mut rng);
+        let mut net = ConvNet::new(&cfg(3), &mut rng);
+        let hist = net.train(&split.train, 6, 0.03, &mut rng);
+        assert!(hist.last().expect("epochs") < &hist[0], "loss did not fall: {hist:?}");
+        let acc = net.evaluate(&split.test);
+        assert!(acc > 0.7, "conv accuracy {acc}");
+    }
+
+    #[test]
+    fn deeper_stack_constructs() {
+        let mut rng = Rng64::new(5);
+        let cfg = ConvNetConfig {
+            input: MapShape { channels: 1, height: 12, width: 12 },
+            conv_channels: vec![4, 8],
+            embed_dim: 16,
+            classes: 2,
+        };
+        let mut net = ConvNet::new(&cfg, &mut rng);
+        assert_eq!(net.predict(&vec![0.0; 144]).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel exceeds input")]
+    fn oversized_kernel_panics() {
+        let mut rng = Rng64::new(6);
+        let cfg = ConvNetConfig {
+            input: MapShape { channels: 1, height: 2, width: 2 },
+            conv_channels: vec![4],
+            embed_dim: 8,
+            classes: 2,
+        };
+        ConvNet::new(&cfg, &mut rng);
+    }
+}

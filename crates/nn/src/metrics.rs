@@ -1,0 +1,144 @@
+//! Classification metrics.
+
+/// A confusion matrix over `n` classes.
+///
+/// # Example
+///
+/// ```
+/// use enw_nn::metrics::ConfusionMatrix;
+///
+/// let mut cm = ConfusionMatrix::new(2);
+/// cm.record(0, 0);
+/// cm.record(1, 0); // a class-1 example misclassified as class 0
+/// assert_eq!(cm.accuracy(), 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    n: usize,
+    counts: Vec<u64>, // row = true class, col = predicted
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty `n × n` confusion matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one class");
+        ConfusionMatrix { n, counts: vec![0; n * n] }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.n
+    }
+
+    /// Records one `(true, predicted)` observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either label is out of range.
+    pub fn record(&mut self, true_class: usize, predicted: usize) {
+        assert!(true_class < self.n && predicted < self.n, "label out of range");
+        self.counts[true_class * self.n + predicted] += 1;
+    }
+
+    /// Count in cell `(true, predicted)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either label is out of range.
+    pub fn count(&self, true_class: usize, predicted: usize) -> u64 {
+        assert!(true_class < self.n && predicted < self.n, "label out of range");
+        self.counts[true_class * self.n + predicted]
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.n).map(|i| self.counts[i * self.n + i]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Per-class recall: `correct_c / total_c` (0 for unseen classes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn recall(&self, class: usize) -> f64 {
+        assert!(class < self.n, "label out of range");
+        let row: u64 = (0..self.n).map(|p| self.counts[class * self.n + p]).sum();
+        if row == 0 {
+            return 0.0;
+        }
+        self.counts[class * self.n + class] as f64 / row as f64
+    }
+}
+
+/// Fraction of `(predicted, truth)` pairs that agree.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn accuracy(predicted: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(predicted.len(), truth.len(), "accuracy length mismatch");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let correct = predicted.iter().zip(truth).filter(|(p, t)| p == t).count();
+    correct as f64 / predicted.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[0, 1, 2], &[0, 1, 1]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_accumulates() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(0, 0);
+        cm.record(0, 0);
+        cm.record(1, 2);
+        assert_eq!(cm.count(0, 0), 2);
+        assert_eq!(cm.count(1, 2), 1);
+        assert_eq!(cm.total(), 3);
+        assert!((cm.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_per_class() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(0, 0);
+        cm.record(0, 1);
+        cm.record(1, 1);
+        assert_eq!(cm.recall(0), 0.5);
+        assert_eq!(cm.recall(1), 1.0);
+    }
+
+    #[test]
+    fn recall_of_unseen_class_is_zero() {
+        let cm = ConfusionMatrix::new(4);
+        assert_eq!(cm.recall(3), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn record_out_of_range_panics() {
+        ConfusionMatrix::new(2).record(2, 0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Multi-layer perceptrons over any [`LinearBackend`], trained with
+//! per-sample SGD.
+//!
+//! Per-sample (batch-size-1) SGD is deliberate: it is exactly the regime a
+//! resistive-crossbar accelerator runs in, where each example triggers one
+//! forward, one backward and one parallel rank-1 update cycle per layer
+//! (paper Sec. II-A).
+
+use crate::activation::Activation;
+use crate::backend::{DigitalLinear, LinearBackend};
+use crate::data::Dataset;
+use crate::layer::DenseLayer;
+use crate::loss::softmax_cross_entropy;
+use enw_numerics::rng::Rng64;
+use enw_numerics::vector::argmax;
+
+/// Hyper-parameters for SGD training.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SgdConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Step size for every rank-1 update.
+    pub learning_rate: f32,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        SgdConfig { epochs: 10, learning_rate: 0.05 }
+    }
+}
+
+/// A feed-forward classifier built from [`DenseLayer`]s.
+///
+/// # Example
+///
+/// ```
+/// use enw_nn::mlp::Mlp;
+/// use enw_nn::activation::Activation;
+/// use enw_numerics::rng::Rng64;
+///
+/// let mut rng = Rng64::new(0);
+/// let mut mlp = Mlp::digital(&[8, 16, 3], Activation::Tanh, &mut rng);
+/// let logits = mlp.predict(&[0.0; 8]);
+/// assert_eq!(logits.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mlp<B> {
+    layers: Vec<DenseLayer<B>>,
+}
+
+impl Mlp<DigitalLinear> {
+    /// Builds a digital (floating-point) MLP with the given layer sizes.
+    ///
+    /// `dims = [in, h1, …, out]`; hidden layers use `hidden_activation`,
+    /// the output layer is identity (raw logits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two dimensions are given.
+    pub fn digital(dims: &[usize], hidden_activation: Activation, rng: &mut Rng64) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let act = if i + 2 == dims.len() { Activation::Identity } else { hidden_activation };
+                DenseLayer::new(DigitalLinear::new(w[0], w[1], rng), act)
+            })
+            .collect();
+        Mlp { layers }
+    }
+}
+
+impl<B: LinearBackend> Mlp<B> {
+    /// Builds an MLP from pre-constructed layers (used by the analog
+    /// substrate, which needs device-specific tile construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or consecutive dimensions do not chain.
+    pub fn from_layers(layers: Vec<DenseLayer<B>>) -> Self {
+        assert!(!layers.is_empty(), "need at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].out_dim(),
+                pair[1].in_dim(),
+                "layer dimensions do not chain"
+            );
+        }
+        Mlp { layers }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output (class-count) dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// The layer stack.
+    pub fn layers(&self) -> &[DenseLayer<B>] {
+        &self.layers
+    }
+
+    /// Mutable access to the layer stack.
+    pub fn layers_mut(&mut self) -> &mut [DenseLayer<B>] {
+        &mut self.layers
+    }
+
+    /// Inference forward pass returning raw logits.
+    pub fn predict(&mut self, x: &[f32]) -> Vec<f32> {
+        let mut a = x.to_vec();
+        for layer in &mut self.layers {
+            a = layer.infer(&a);
+        }
+        a
+    }
+
+    /// Predicted class label.
+    pub fn classify(&mut self, x: &[f32]) -> usize {
+        argmax(&self.predict(x))
+    }
+
+    /// One SGD step on a single `(x, label)` pair; returns the sample loss.
+    pub fn train_step(&mut self, x: &[f32], label: usize, lr: f32) -> f32 {
+        let mut a = x.to_vec();
+        for layer in &mut self.layers {
+            a = layer.forward(&a);
+        }
+        let (loss, mut grad) = softmax_cross_entropy(&a, label);
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        for layer in &mut self.layers {
+            layer.apply_update(lr);
+        }
+        loss
+    }
+
+    /// Trains with per-sample SGD; returns the mean loss of each epoch.
+    pub fn train_sgd(&mut self, data: &Dataset, cfg: &SgdConfig, rng: &mut Rng64) -> Vec<f64> {
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut history = Vec::with_capacity(cfg.epochs);
+        for _ in 0..cfg.epochs {
+            rng.shuffle(&mut order);
+            let mut total = 0.0f64;
+            for &i in &order {
+                total += self.train_step(data.input(i), data.label(i), cfg.learning_rate) as f64;
+            }
+            history.push(total / data.len() as f64);
+        }
+        history
+    }
+
+    /// Classification accuracy over a dataset.
+    pub fn evaluate(&mut self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct = (0..data.len())
+            .filter(|&i| self.classify(data.input(i)) == data.label(i))
+            .count();
+        correct as f64 / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SyntheticImages;
+
+    #[test]
+    fn dimensions_propagate() {
+        let mut rng = Rng64::new(1);
+        let mlp = Mlp::digital(&[4, 8, 3], Activation::Relu, &mut rng);
+        assert_eq!(mlp.in_dim(), 4);
+        assert_eq!(mlp.out_dim(), 3);
+        assert_eq!(mlp.layers().len(), 2);
+    }
+
+    #[test]
+    fn output_layer_is_identity() {
+        let mut rng = Rng64::new(1);
+        let mlp = Mlp::digital(&[4, 8, 3], Activation::Relu, &mut rng);
+        assert_eq!(mlp.layers()[1].activation(), Activation::Identity);
+        assert_eq!(mlp.layers()[0].activation(), Activation::Relu);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not chain")]
+    fn mismatched_layers_panic() {
+        let mut rng = Rng64::new(1);
+        let l1 = DenseLayer::new(DigitalLinear::new(4, 8, &mut rng), Activation::Tanh);
+        let l2 = DenseLayer::new(DigitalLinear::new(9, 3, &mut rng), Activation::Identity);
+        Mlp::from_layers(vec![l1, l2]);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut rng = Rng64::new(2);
+        let data = SyntheticImages::builder()
+            .classes(3)
+            .dim(12)
+            .train_per_class(40)
+            .test_per_class(10)
+            .build(&mut rng);
+        let mut mlp = Mlp::digital(&[12, 16, 3], Activation::Tanh, &mut rng);
+        let hist = mlp.train_sgd(&data.train, &SgdConfig { epochs: 8, learning_rate: 0.05 }, &mut rng);
+        assert!(hist.last().expect("epochs > 0") < &hist[0], "loss did not fall: {hist:?}");
+    }
+
+    #[test]
+    fn learns_linearly_separable_task_to_high_accuracy() {
+        let mut rng = Rng64::new(3);
+        let data = SyntheticImages::builder()
+            .classes(2)
+            .dim(10)
+            .train_per_class(80)
+            .test_per_class(40)
+            .noise(0.3)
+            .build(&mut rng);
+        let mut mlp = Mlp::digital(&[10, 16, 2], Activation::Tanh, &mut rng);
+        mlp.train_sgd(&data.train, &SgdConfig { epochs: 15, learning_rate: 0.05 }, &mut rng);
+        let acc = mlp.evaluate(&data.test);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+}

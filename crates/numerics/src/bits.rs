@@ -1,0 +1,204 @@
+//! Packed bit vectors and Hamming distance.
+//!
+//! A CAM/TCAM natively computes the Hamming distance between a query and
+//! every stored word (paper Sec. IV). [`BitVec`] is the software image of
+//! one stored word: bits packed into `u64` limbs so that distance is a few
+//! XOR + popcount operations.
+
+/// A fixed-length packed bit vector.
+///
+/// # Example
+///
+/// ```
+/// use enw_numerics::bits::BitVec;
+///
+/// let a = BitVec::from_bools(&[true, false, true]);
+/// let b = BitVec::from_bools(&[true, true, true]);
+/// assert_eq!(a.hamming(&b), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    len: usize,
+    limbs: Vec<u64>,
+}
+
+impl BitVec {
+    /// Creates an all-zero bit vector of length `len`.
+    pub fn zeros(len: usize) -> Self {
+        BitVec { len, limbs: vec![0; len.div_ceil(64)] }
+    }
+
+    /// Creates a bit vector from a slice of booleans.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut v = BitVec::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the vector has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of bounds");
+        (self.limbs[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit {i} out of bounds");
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.limbs[i / 64] |= mask;
+        } else {
+            self.limbs[i / 64] &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.limbs.iter().map(|l| l.count_ones() as usize).sum()
+    }
+
+    /// Hamming distance to another bit vector of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn hamming(&self, other: &BitVec) -> usize {
+        assert_eq!(self.len, other.len, "hamming length mismatch");
+        self.limbs
+            .iter()
+            .zip(&other.limbs)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterator over the bits as booleans.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { vec: self, pos: 0 }
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let bools: Vec<bool> = iter.into_iter().collect();
+        BitVec::from_bools(&bools)
+    }
+}
+
+/// Iterator over the bits of a [`BitVec`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    vec: &'a BitVec,
+    pos: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        if self.pos >= self.vec.len() {
+            return None;
+        }
+        let b = self.vec.get(self.pos);
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.vec.len() - self.pos;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut v = BitVec::zeros(130); // spans three limbs
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert!(!v.get(1) && !v.get(63) && !v.get(128));
+        assert_eq!(v.count_ones(), 3);
+    }
+
+    #[test]
+    fn hamming_self_is_zero() {
+        let v = BitVec::from_bools(&[true, false, true, true]);
+        assert_eq!(v.hamming(&v), 0);
+    }
+
+    #[test]
+    fn hamming_counts_differences() {
+        let a = BitVec::from_bools(&[true, false, true, false]);
+        let b = BitVec::from_bools(&[false, false, true, true]);
+        assert_eq!(a.hamming(&b), 2);
+        assert_eq!(b.hamming(&a), 2);
+    }
+
+    #[test]
+    fn hamming_across_limb_boundary() {
+        let mut a = BitVec::zeros(100);
+        let mut b = BitVec::zeros(100);
+        a.set(70, true);
+        b.set(70, true);
+        a.set(99, true);
+        assert_eq!(a.hamming(&b), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn hamming_length_mismatch_panics() {
+        BitVec::zeros(4).hamming(&BitVec::zeros(5));
+    }
+
+    #[test]
+    fn collect_and_iter_roundtrip() {
+        let bits = [true, true, false, true, false];
+        let v: BitVec = bits.iter().copied().collect();
+        let back: Vec<bool> = v.iter().collect();
+        assert_eq!(back, bits);
+    }
+
+    #[test]
+    fn clearing_a_bit() {
+        let mut v = BitVec::from_bools(&[true, true]);
+        v.set(0, false);
+        assert!(!v.get(0) && v.get(1));
+    }
+
+    #[test]
+    fn empty_vec() {
+        let v = BitVec::zeros(0);
+        assert!(v.is_empty());
+        assert_eq!(v.count_ones(), 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Dense numerical kernels shared by every simulator in the
+//! `emerging-neural-workloads` workspace.
+//!
+//! The crate deliberately implements its own small linear-algebra and
+//! random-number layer instead of binding to an external BLAS or the `rand`
+//! ecosystem: every experiment in the workspace must be bit-reproducible
+//! from a seed, and the hardware simulators charge energy/latency per
+//! arithmetic event, so the kernels must be simple, inspectable Rust.
+//!
+//! # Modules
+//!
+//! * [`rng`] — deterministic xoshiro256** generator with normal/Bernoulli
+//!   sampling and shuffling.
+//! * [`matrix`] — row-major [`matrix::Matrix`] with the handful of
+//!   dense kernels neural workloads need (matmul, matvec, transposed matvec,
+//!   rank-1 update).
+//! * [`vector`] — slice-level vector math: dot products, norms, softmax,
+//!   cosine similarity, distance metrics.
+//! * [`quant`] — symmetric fixed-point quantization with optional stochastic
+//!   rounding, as used for reduced-precision inference and TCAM encodings.
+//! * [`bits`] — packed bit vectors with fast Hamming distance (the native
+//!   metric of content-addressable memories).
+//! * [`stats`] — streaming statistics (Welford) and percentile helpers used
+//!   by the characterization harnesses.
+//!
+//! # Example
+//!
+//! ```
+//! use enw_numerics::matrix::Matrix;
+//! use enw_numerics::rng::Rng64;
+//!
+//! let mut rng = Rng64::new(42);
+//! let w = Matrix::random_uniform(4, 3, -1.0, 1.0, &mut rng);
+//! let x = [1.0, 0.5, -0.25];
+//! let y = w.matvec(&x);
+//! assert_eq!(y.len(), 4);
+//! ```
+
+pub mod bits;
+pub mod matrix;
+pub mod quant;
+pub mod rng;
+pub mod stats;
+pub mod vector;
+
+pub use matrix::Matrix;
+pub use rng::Rng64;

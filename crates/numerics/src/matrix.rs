@@ -1,0 +1,385 @@
+//! Row-major dense matrices and the kernels analog/digital NN simulation
+//! needs: matrix–vector products (forward pass), transposed products
+//! (backward pass), rank-1 outer-product updates (weight update), and full
+//! matrix multiplication.
+
+use crate::rng::Rng64;
+
+/// A dense, row-major `f32` matrix.
+///
+/// The three kernels [`matvec`](Matrix::matvec),
+/// [`matvec_t`](Matrix::matvec_t) and [`rank1_update`](Matrix::rank1_update)
+/// mirror the forward, backward and update cycles that a resistive crossbar
+/// executes in the analog domain (paper Fig. 1).
+///
+/// # Example
+///
+/// ```
+/// use enw_numerics::matrix::Matrix;
+///
+/// let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+/// assert_eq!(m.matvec_t(&[1.0, 1.0]), vec![4.0, 6.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from an explicit row-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` or either dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        assert_eq!(data.len(), rows * cols, "data length must be rows*cols");
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or the rows have unequal lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "need at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "rows must be non-empty");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have equal length");
+            data.extend_from_slice(r);
+        }
+        Matrix { rows: rows.len(), cols, data }
+    }
+
+    /// Creates a matrix with entries drawn uniformly from `[lo, hi)`.
+    pub fn random_uniform(rows: usize, cols: usize, lo: f64, hi: f64, rng: &mut Rng64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for v in &mut m.data {
+            *v = rng.range(lo, hi) as f32;
+        }
+        m
+    }
+
+    /// Creates a matrix with normal entries (Kaiming/Xavier-style inits are
+    /// built on top of this in `enw-nn`).
+    pub fn random_normal(rows: usize, cols: usize, mean: f64, std: f64, rng: &mut Rng64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for v in &mut m.data {
+            *v = rng.normal_with(mean, std) as f32;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrowed view of the row-major backing storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the row-major backing storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrowed view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Forward matrix–vector product `y = W · x` (`x` has `cols` entries,
+    /// `y` has `rows`).
+    ///
+    /// This is the crossbar forward pass: input voltages on the columns,
+    /// currents summed along each row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        let mut y = vec![0.0f32; self.rows];
+        for (r, out) in y.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0f32;
+            for (w, xi) in row.iter().zip(x) {
+                acc += w * xi;
+            }
+            *out = acc;
+        }
+        y
+    }
+
+    /// Transposed product `y = Wᵀ · d` (`d` has `rows` entries, `y` has
+    /// `cols`).
+    ///
+    /// This is the crossbar backward pass: the same array is driven from the
+    /// rows and read from the columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d.len() != rows`.
+    pub fn matvec_t(&self, d: &[f32]) -> Vec<f32> {
+        assert_eq!(d.len(), self.rows, "matvec_t dimension mismatch");
+        let mut y = vec![0.0f32; self.cols];
+        for (r, di) in d.iter().enumerate() {
+            if *di == 0.0 {
+                continue;
+            }
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (out, w) in y.iter_mut().zip(row) {
+                *out += w * di;
+            }
+        }
+        y
+    }
+
+    /// Rank-1 update `W += scale · d xᵀ` (`d` per row, `x` per column).
+    ///
+    /// This is the ideal (floating-point) version of the crossbar parallel
+    /// weight update; `enw-crossbar` replaces it with stochastic pulse
+    /// coincidences on real device models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d.len() != rows` or `x.len() != cols`.
+    pub fn rank1_update(&mut self, d: &[f32], x: &[f32], scale: f32) {
+        assert_eq!(d.len(), self.rows, "rank1 row dimension mismatch");
+        assert_eq!(x.len(), self.cols, "rank1 column dimension mismatch");
+        for (r, di) in d.iter().enumerate() {
+            if *di == 0.0 {
+                continue;
+            }
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            let s = scale * di;
+            for (w, xi) in row.iter_mut().zip(x) {
+                *w += s * xi;
+            }
+        }
+    }
+
+    /// Full matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transposed(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        t
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace<F: FnMut(f32) -> f32>(&mut self, mut f: F) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Adds `other` element-wise, scaled: `self += scale · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn axpy(&mut self, scale: f32, other: &Matrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "axpy shape mismatch"
+        );
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]])
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let m = sample();
+        assert_eq!(m.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_t_matches_transpose_matvec() {
+        let m = sample();
+        let d = [2.0, -1.0];
+        assert_eq!(m.matvec_t(&d), m.transposed().matvec(&d));
+    }
+
+    #[test]
+    fn rank1_update_matches_outer_product() {
+        let mut m = Matrix::zeros(2, 3);
+        m.rank1_update(&[1.0, 2.0], &[3.0, 4.0, 5.0], 0.5);
+        assert_eq!(m.row(0), &[1.5, 2.0, 2.5]);
+        assert_eq!(m.row(1), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let m = sample();
+        let id = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0], &[0.0, 0.0, 1.0]]);
+        assert_eq!(m.matmul(&id), m);
+    }
+
+    #[test]
+    fn matmul_shapes() {
+        let a = Matrix::zeros(2, 5);
+        let b = Matrix::zeros(5, 7);
+        assert_eq!(a.matmul(&b).rows(), 2);
+        assert_eq!(a.matmul(&b).cols(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matvec_wrong_len_panics() {
+        sample().matvec(&[1.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = sample();
+        assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn axpy_adds_scaled() {
+        let mut a = Matrix::zeros(2, 2);
+        let b = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        a.axpy(2.0, &b);
+        assert_eq!(a.row(1), &[6.0, 8.0]);
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let m = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_uniform_within_bounds() {
+        let mut rng = Rng64::new(1);
+        let m = Matrix::random_uniform(10, 10, -0.5, 0.5, &mut rng);
+        assert!(m.as_slice().iter().all(|&v| (-0.5..0.5).contains(&v)));
+    }
+
+    #[test]
+    fn max_abs_finds_extreme() {
+        let m = Matrix::from_rows(&[&[1.0, -7.0], &[3.0, 2.0]]);
+        assert_eq!(m.max_abs(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dims_panic() {
+        Matrix::zeros(0, 3);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the numerics substrate.
+
+use enw_numerics::bits::BitVec;
+use enw_numerics::matrix::Matrix;
+use enw_numerics::quant::Quantizer;
+use enw_numerics::rng::Rng64;
+use enw_numerics::vector;
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, len)
+}
+
+proptest! {
+    #[test]
+    fn matvec_t_equals_transpose_matvec(rows in 1usize..8, cols in 1usize..8, seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        let m = Matrix::random_uniform(rows, cols, -1.0, 1.0, &mut rng);
+        let d: Vec<f32> = (0..rows).map(|_| rng.range(-1.0, 1.0) as f32).collect();
+        let a = m.matvec_t(&d);
+        let b = m.transposed().matvec(&d);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn rank1_update_equals_dense_outer(rows in 1usize..6, cols in 1usize..6, seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        let mut m = Matrix::zeros(rows, cols);
+        let d: Vec<f32> = (0..rows).map(|_| rng.range(-2.0, 2.0) as f32).collect();
+        let x: Vec<f32> = (0..cols).map(|_| rng.range(-2.0, 2.0) as f32).collect();
+        m.rank1_update(&d, &x, 0.7);
+        for (r, dr) in d.iter().enumerate() {
+            for (c, xc) in x.iter().enumerate() {
+                prop_assert!((m.at(r, c) - 0.7 * dr * xc).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_is_distribution(v in finite_vec(16), beta in 0.1f32..20.0) {
+        let p = vector::softmax(&v, beta);
+        prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn distance_metric_axioms(a in finite_vec(8), b in finite_vec(8)) {
+        // Symmetry and identity for all three Minkowski metrics.
+        prop_assert!((vector::dist_l1(&a, &b) - vector::dist_l1(&b, &a)).abs() < 1e-3);
+        prop_assert!((vector::dist_l2(&a, &b) - vector::dist_l2(&b, &a)).abs() < 1e-3);
+        prop_assert!((vector::dist_linf(&a, &b) - vector::dist_linf(&b, &a)).abs() < 1e-3);
+        prop_assert_eq!(vector::dist_l1(&a, &a), 0.0);
+        // Metric ordering: Linf <= L2 <= L1 always.
+        prop_assert!(vector::dist_linf(&a, &b) <= vector::dist_l2(&a, &b) + 1e-3);
+        prop_assert!(vector::dist_l2(&a, &b) <= vector::dist_l1(&a, &b) + 1e-3);
+    }
+
+    #[test]
+    fn triangle_inequality_l2(a in finite_vec(6), b in finite_vec(6), c in finite_vec(6)) {
+        let ab = vector::dist_l2(&a, &b);
+        let bc = vector::dist_l2(&b, &c);
+        let ac = vector::dist_l2(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-2);
+    }
+
+    #[test]
+    fn cosine_bounded(a in finite_vec(8), b in finite_vec(8)) {
+        let s = vector::cosine_similarity(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn hamming_is_a_metric(xs in prop::collection::vec(any::<bool>(), 1..200),
+                           ys in prop::collection::vec(any::<bool>(), 1..200),
+                           zs in prop::collection::vec(any::<bool>(), 1..200)) {
+        let n = xs.len().min(ys.len()).min(zs.len());
+        let a = BitVec::from_bools(&xs[..n]);
+        let b = BitVec::from_bools(&ys[..n]);
+        let c = BitVec::from_bools(&zs[..n]);
+        prop_assert_eq!(a.hamming(&b), b.hamming(&a));
+        prop_assert_eq!(a.hamming(&a), 0);
+        prop_assert!(a.hamming(&c) <= a.hamming(&b) + b.hamming(&c));
+        prop_assert!(a.hamming(&b) <= n);
+    }
+
+    #[test]
+    fn quantizer_round_trip_bounded(bits in 2u32..12, v in -10.0f32..10.0) {
+        let q = Quantizer::new(bits, 10.0);
+        let err = (v - q.round_trip(v)).abs();
+        prop_assert!(err <= q.step() / 2.0 + 1e-5);
+    }
+
+    #[test]
+    fn quantizer_levels_in_range(bits in 2u32..10, v in finite_vec(32)) {
+        let q = Quantizer::fit(bits, &v);
+        let levels = q.to_levels(&v);
+        prop_assert!(levels.iter().all(|&l| l < q.level_count()));
+    }
+
+    #[test]
+    fn rng_below_uniform_support(n in 1usize..64, seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+}

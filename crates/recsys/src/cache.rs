@@ -1,0 +1,220 @@
+//! Embedding-cache simulation (paper Sec. V-B: accelerating embedding
+//! operations "could leverage techniques such as caching, prefetching,
+//! and near memory processing" \[66\]).
+//!
+//! An LRU cache of embedding rows sits in front of DRAM. Because item
+//! popularity is Zipf-distributed, a cache holding a small fraction of
+//! the catalogue captures most lookups; the experiment harness sweeps
+//! capacity and skew to map that trade-off.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// An LRU cache over `(table, row)` embedding identifiers.
+///
+/// # Example
+///
+/// ```
+/// use enw_recsys::cache::EmbeddingCache;
+///
+/// let mut cache = EmbeddingCache::new(2);
+/// cache.access(0, 7);
+/// cache.access(0, 7);
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EmbeddingCache {
+    capacity: usize,
+    /// Key → last-use tick.
+    entries: HashMap<(usize, usize), u64>,
+    /// Tick → key: the recency order (ticks are unique), giving O(log n)
+    /// eviction of the least recently used entry.
+    order: BTreeMap<u64, (usize, usize)>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Accesses served from the cache.
+    pub hits: u64,
+    /// Accesses that went to DRAM.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction (0 when empty).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl EmbeddingCache {
+    /// A cache holding up to `capacity` embedding rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "zero-capacity cache");
+        EmbeddingCache {
+            capacity,
+            entries: HashMap::new(),
+            order: BTreeMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Cache capacity in rows.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records an access to `(table, row)`; returns `true` on hit.
+    pub fn access(&mut self, table: usize, row: usize) -> bool {
+        self.clock += 1;
+        let key = (table, row);
+        if let Some(tick) = self.entries.get_mut(&key) {
+            self.order.remove(tick);
+            *tick = self.clock;
+            self.order.insert(self.clock, key);
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.entries.len() >= self.capacity {
+            // Evict the least recently used entry (smallest tick).
+            let (&lru_tick, &lru_key) =
+                self.order.iter().next().expect("cache non-empty at capacity");
+            self.order.remove(&lru_tick);
+            self.entries.remove(&lru_key);
+        }
+        self.entries.insert(key, self.clock);
+        self.order.insert(self.clock, key);
+        false
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats { hits: self.hits, misses: self.misses }
+    }
+
+    /// Resets counters (keeps contents — for warm-up/measure protocols).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+/// DRAM vs cache access energy for computing traffic savings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryEnergy {
+    /// Energy per byte from DRAM (pJ/B).
+    pub dram_byte_pj: f64,
+    /// Energy per byte from the on-chip cache (pJ/B).
+    pub cache_byte_pj: f64,
+}
+
+impl Default for MemoryEnergy {
+    fn default() -> Self {
+        MemoryEnergy { dram_byte_pj: 10.0, cache_byte_pj: 0.5 }
+    }
+}
+
+impl MemoryEnergy {
+    /// Average energy per accessed byte at a given hit rate.
+    pub fn effective_byte_pj(&self, hit_rate: f64) -> f64 {
+        hit_rate * self.cache_byte_pj + (1.0 - hit_rate) * self.dram_byte_pj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeat_access_hits() {
+        let mut c = EmbeddingCache::new(4);
+        assert!(!c.access(0, 1));
+        assert!(c.access(0, 1));
+        assert_eq!(c.stats().hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = EmbeddingCache::new(2);
+        c.access(0, 1);
+        c.access(0, 2);
+        c.access(0, 1); // refresh 1; 2 becomes LRU
+        c.access(0, 3); // evicts 2
+        assert!(c.access(0, 1), "1 should still be cached");
+        assert!(!c.access(0, 2), "2 should have been evicted");
+    }
+
+    #[test]
+    fn distinct_tables_do_not_collide() {
+        let mut c = EmbeddingCache::new(4);
+        c.access(0, 5);
+        assert!(!c.access(1, 5));
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut c = EmbeddingCache::new(3);
+        for i in 0..10 {
+            c.access(0, i);
+        }
+        assert!(c.entries.len() <= 3);
+    }
+
+    #[test]
+    fn zipf_traffic_gets_high_hit_rate_with_small_cache() {
+        use enw_numerics::rng::{Rng64, ZipfSampler};
+        let mut rng = Rng64::new(1);
+        let zipf = ZipfSampler::new(100_000, 1.0);
+        let mut c = EmbeddingCache::new(1000); // 1% of catalogue
+        for _ in 0..20_000 {
+            let row = zipf.sample(&mut rng);
+            c.access(0, row);
+        }
+        let hr = c.stats().hit_rate();
+        assert!(hr > 0.4, "hit rate {hr} too low for Zipf(1.0) with 1% cache");
+    }
+
+    #[test]
+    fn uniform_traffic_gets_low_hit_rate() {
+        use enw_numerics::rng::Rng64;
+        let mut rng = Rng64::new(2);
+        let mut c = EmbeddingCache::new(1000);
+        for _ in 0..20_000 {
+            c.access(0, rng.below(100_000));
+        }
+        let hr = c.stats().hit_rate();
+        assert!(hr < 0.1, "hit rate {hr} too high for uniform traffic");
+    }
+
+    #[test]
+    fn energy_interpolates_with_hit_rate() {
+        let e = MemoryEnergy::default();
+        assert_eq!(e.effective_byte_pj(1.0), 0.5);
+        assert_eq!(e.effective_byte_pj(0.0), 10.0);
+        assert!(e.effective_byte_pj(0.5) < 10.0);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = EmbeddingCache::new(4);
+        c.access(0, 1);
+        c.reset_stats();
+        assert_eq!(c.stats().hits + c.stats().misses, 0);
+        assert!(c.access(0, 1), "contents must survive reset");
+    }
+}

@@ -1,0 +1,376 @@
+//! The DLRM-style neural recommendation model of paper Fig. 6 / Sec. V-A.
+//!
+//! Dense (continuous) features pass through a bottom MLP stack; sparse
+//! categorical features index embedding tables through multi-hot lookups
+//! whose rows are pooled; the pooled latent vectors and the dense stack's
+//! output interact (concatenation or pairwise dot products) and feed a
+//! top/predictor MLP whose sigmoid output is the predicted
+//! click-through-rate.
+
+use crate::trace::SparseQuery;
+use enw_nn::activation::Activation;
+use enw_nn::mlp::Mlp;
+use enw_nn::DigitalLinear;
+use enw_numerics::matrix::Matrix;
+use enw_numerics::rng::Rng64;
+
+/// One embedding table: `rows × dim` learned latent vectors addressed by
+/// categorical indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddingTable {
+    weights: Matrix,
+}
+
+impl EmbeddingTable {
+    /// A randomly initialized table (as after training; values in
+    /// `[-0.5, 0.5]`, the scale typical of trained embeddings).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn random(rows: usize, dim: usize, rng: &mut Rng64) -> Self {
+        EmbeddingTable { weights: Matrix::random_uniform(rows, dim, -0.5, 0.5, rng) }
+    }
+
+    /// Number of rows (catalogue size).
+    pub fn rows(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Latent dimension.
+    pub fn dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Bytes of storage at FP32.
+    pub fn bytes(&self) -> u64 {
+        (self.rows() * self.dim() * 4) as u64
+    }
+
+    /// One embedding row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn row(&self, index: usize) -> &[f32] {
+        self.weights.row(index)
+    }
+
+    /// Multi-hot lookup with sum pooling: gathers `indices` rows and sums
+    /// them — the operation whose irregular DRAM accesses dominate
+    /// memory-bound recommendation models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or any index is out of range.
+    pub fn lookup_pool(&self, indices: &[usize]) -> Vec<f32> {
+        assert!(!indices.is_empty(), "empty multi-hot lookup");
+        let mut pooled = vec![0.0f32; self.dim()];
+        for &i in indices {
+            for (p, v) in pooled.iter_mut().zip(self.weights.row(i)) {
+                *p += v;
+            }
+        }
+        pooled
+    }
+
+    /// Reference implementation of [`EmbeddingTable::lookup_pool`] as a
+    /// dense one-hot matrix product (for equivalence testing).
+    pub fn lookup_pool_dense(&self, indices: &[usize]) -> Vec<f32> {
+        let mut onehot = vec![0.0f32; self.rows()];
+        for &i in indices {
+            onehot[i] += 1.0;
+        }
+        self.weights.matvec_t(&onehot)
+    }
+}
+
+/// How pooled embeddings and the dense stack output combine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Interaction {
+    /// Plain concatenation (Wide&Deep style).
+    Concat,
+    /// Pairwise dot products between all latent vectors (DLRM style),
+    /// concatenated with the dense output.
+    DotPairwise,
+}
+
+/// Model architecture configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecModelConfig {
+    /// Number of continuous input features.
+    pub dense_features: usize,
+    /// Bottom MLP hidden widths (the last entry must equal
+    /// `embedding_dim` so interactions are well-typed).
+    pub bottom_mlp: Vec<usize>,
+    /// `(rows, lookups_per_query)` for each embedding table; all tables
+    /// share `embedding_dim`.
+    pub tables: Vec<(usize, usize)>,
+    /// Shared latent dimension.
+    pub embedding_dim: usize,
+    /// Top (predictor) MLP hidden widths.
+    pub top_mlp: Vec<usize>,
+    /// Feature-interaction operator.
+    pub interaction: Interaction,
+}
+
+impl RecModelConfig {
+    /// A small compute-dominated configuration (big MLPs, few small
+    /// tables) — the paper's "large dense-feature DNN stacks" regime.
+    pub fn compute_bound() -> Self {
+        RecModelConfig {
+            dense_features: 256,
+            bottom_mlp: vec![512, 256, 64],
+            tables: vec![(10_000, 1); 4],
+            embedding_dim: 64,
+            top_mlp: vec![512, 256],
+            interaction: Interaction::Concat,
+        }
+    }
+
+    /// A memory-dominated configuration (many large tables, heavy
+    /// pooling, thin MLPs) — the embedding-bound regime.
+    pub fn memory_bound() -> Self {
+        RecModelConfig {
+            dense_features: 32,
+            bottom_mlp: vec![64, 32],
+            tables: vec![(1_000_000, 32); 16],
+            embedding_dim: 32,
+            top_mlp: vec![64],
+            interaction: Interaction::Concat,
+        }
+    }
+}
+
+/// A constructed recommendation model.
+///
+/// # Example
+///
+/// ```
+/// use enw_recsys::model::{RecModel, RecModelConfig};
+/// use enw_numerics::rng::Rng64;
+///
+/// let mut rng = Rng64::new(0);
+/// let mut cfg = RecModelConfig::compute_bound();
+/// cfg.tables = vec![(100, 1); 2]; // shrink for the example
+/// let mut model = RecModel::new(&cfg, &mut rng);
+/// let ctr = model.predict(&vec![0.1; 256], &[vec![3], vec![7]]);
+/// assert!((0.0..=1.0).contains(&ctr));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RecModel {
+    cfg: RecModelConfig,
+    bottom: Mlp<DigitalLinear>,
+    tables: Vec<EmbeddingTable>,
+    top: Mlp<DigitalLinear>,
+}
+
+impl RecModel {
+    /// Builds a model with random (post-training-like) parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bottom MLP does not end at `embedding_dim`, or any
+    /// dimension is zero.
+    pub fn new(cfg: &RecModelConfig, rng: &mut Rng64) -> Self {
+        assert_eq!(
+            *cfg.bottom_mlp.last().expect("bottom MLP must not be empty"),
+            cfg.embedding_dim,
+            "bottom MLP must end at embedding_dim for interaction"
+        );
+        let mut bottom_dims = vec![cfg.dense_features];
+        bottom_dims.extend_from_slice(&cfg.bottom_mlp);
+        let bottom = Mlp::digital(&bottom_dims, Activation::Relu, rng);
+        let tables: Vec<EmbeddingTable> = cfg
+            .tables
+            .iter()
+            .map(|&(rows, _)| EmbeddingTable::random(rows, cfg.embedding_dim, rng))
+            .collect();
+        let mut top_dims = vec![Self::interaction_width(cfg)];
+        top_dims.extend_from_slice(&cfg.top_mlp);
+        top_dims.push(1);
+        let top = Mlp::digital(&top_dims, Activation::Relu, rng);
+        RecModel { cfg: cfg.clone(), bottom, tables, top }
+    }
+
+    /// Width of the interaction output feeding the top MLP.
+    pub fn interaction_width(cfg: &RecModelConfig) -> usize {
+        let vectors = cfg.tables.len() + 1; // pooled tables + dense stack
+        match cfg.interaction {
+            Interaction::Concat => vectors * cfg.embedding_dim,
+            Interaction::DotPairwise => cfg.embedding_dim + vectors * (vectors - 1) / 2,
+        }
+    }
+
+    /// The configuration this model was built from.
+    pub fn config(&self) -> &RecModelConfig {
+        &self.cfg
+    }
+
+    /// The embedding tables.
+    pub fn tables(&self) -> &[EmbeddingTable] {
+        &self.tables
+    }
+
+    /// Total model size in bytes (tables dominate).
+    pub fn bytes(&self) -> u64 {
+        self.tables.iter().map(|t| t.bytes()).sum()
+    }
+
+    /// Predicted click-through rate for one query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature counts don't match the configuration.
+    pub fn predict(&mut self, dense: &[f32], sparse: &[Vec<usize>]) -> f32 {
+        assert_eq!(dense.len(), self.cfg.dense_features, "dense feature count mismatch");
+        assert_eq!(sparse.len(), self.tables.len(), "one index list per table");
+        let dense_latent = self.bottom.predict(dense);
+        let pooled: Vec<Vec<f32>> = self
+            .tables
+            .iter()
+            .zip(sparse)
+            .map(|(t, idx)| t.lookup_pool(idx))
+            .collect();
+        let interacted = self.interact(&dense_latent, &pooled);
+        let logit = self.top.predict(&interacted)[0];
+        1.0 / (1.0 + (-logit).exp())
+    }
+
+    /// Convenience: predict from a generated [`SparseQuery`].
+    pub fn predict_query(&mut self, q: &SparseQuery) -> f32 {
+        self.predict(&q.dense, &q.sparse)
+    }
+
+    /// Predicts from externally supplied pooled embedding vectors (one per
+    /// table) instead of this model's own tables — used to evaluate
+    /// quantized or otherwise compressed embedding storage against the
+    /// same MLP stacks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector count or widths mismatch the configuration.
+    pub fn predict_with_pooled(&mut self, dense: &[f32], pooled: &[Vec<f32>]) -> f32 {
+        assert_eq!(dense.len(), self.cfg.dense_features, "dense feature count mismatch");
+        assert_eq!(pooled.len(), self.tables.len(), "one pooled vector per table");
+        for p in pooled {
+            assert_eq!(p.len(), self.cfg.embedding_dim, "pooled width mismatch");
+        }
+        let dense_latent = self.bottom.predict(dense);
+        let interacted = self.interact(&dense_latent, pooled);
+        let logit = self.top.predict(&interacted)[0];
+        1.0 / (1.0 + (-logit).exp())
+    }
+
+    fn interact(&self, dense_latent: &[f32], pooled: &[Vec<f32>]) -> Vec<f32> {
+        match self.cfg.interaction {
+            Interaction::Concat => {
+                let mut out = dense_latent.to_vec();
+                for p in pooled {
+                    out.extend_from_slice(p);
+                }
+                out
+            }
+            Interaction::DotPairwise => {
+                let mut vectors: Vec<&[f32]> = vec![dense_latent];
+                vectors.extend(pooled.iter().map(|p| p.as_slice()));
+                let mut out = dense_latent.to_vec();
+                for i in 0..vectors.len() {
+                    for j in (i + 1)..vectors.len() {
+                        out.push(enw_numerics::vector::dot(vectors[i], vectors[j]));
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> RecModelConfig {
+        RecModelConfig {
+            dense_features: 8,
+            bottom_mlp: vec![16, 8],
+            tables: vec![(50, 2), (100, 3)],
+            embedding_dim: 8,
+            top_mlp: vec![16],
+            interaction: Interaction::Concat,
+        }
+    }
+
+    #[test]
+    fn prediction_is_probability() {
+        let mut rng = Rng64::new(1);
+        let mut m = RecModel::new(&tiny_cfg(), &mut rng);
+        let ctr = m.predict(&[0.5; 8], &[vec![1, 2], vec![10, 20, 30]]);
+        assert!((0.0..=1.0).contains(&ctr));
+    }
+
+    #[test]
+    fn pooled_lookup_matches_dense_reference() {
+        let mut rng = Rng64::new(2);
+        let t = EmbeddingTable::random(20, 4, &mut rng);
+        let idx = [3usize, 7, 7, 19];
+        let sparse = t.lookup_pool(&idx);
+        let dense = t.lookup_pool_dense(&idx);
+        for (a, b) in sparse.iter().zip(&dense) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn interaction_widths() {
+        let mut cfg = tiny_cfg();
+        assert_eq!(RecModel::interaction_width(&cfg), 3 * 8);
+        cfg.interaction = Interaction::DotPairwise;
+        assert_eq!(RecModel::interaction_width(&cfg), 8 + 3);
+    }
+
+    #[test]
+    fn dot_pairwise_model_runs() {
+        let mut rng = Rng64::new(3);
+        let cfg = RecModelConfig { interaction: Interaction::DotPairwise, ..tiny_cfg() };
+        let mut m = RecModel::new(&cfg, &mut rng);
+        let ctr = m.predict(&[0.1; 8], &[vec![0, 1], vec![5]]);
+        assert!((0.0..=1.0).contains(&ctr));
+    }
+
+    #[test]
+    fn memory_bound_config_is_gigabytes_scale() {
+        // Paper Sec. V-B: "hundreds of MBs to tens of GBs".
+        let cfg = RecModelConfig::memory_bound();
+        let bytes: u64 = cfg
+            .tables
+            .iter()
+            .map(|&(rows, _)| (rows * cfg.embedding_dim * 4) as u64)
+            .sum();
+        assert!(bytes > 500_000_000, "memory-bound config only {bytes} bytes");
+    }
+
+    #[test]
+    fn different_items_give_different_predictions() {
+        let mut rng = Rng64::new(4);
+        let mut m = RecModel::new(&tiny_cfg(), &mut rng);
+        let a = m.predict(&[0.5; 8], &[vec![1, 2], vec![10]]);
+        let b = m.predict(&[0.5; 8], &[vec![40, 41], vec![90]]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "bottom MLP must end")]
+    fn mismatched_bottom_mlp_panics() {
+        let mut rng = Rng64::new(5);
+        let cfg = RecModelConfig { bottom_mlp: vec![16, 12], ..tiny_cfg() };
+        RecModel::new(&cfg, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty multi-hot")]
+    fn empty_lookup_panics() {
+        let mut rng = Rng64::new(6);
+        EmbeddingTable::random(10, 4, &mut rng).lookup_pool(&[]);
+    }
+}

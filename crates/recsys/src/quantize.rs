@@ -1,0 +1,200 @@
+//! Reduced-precision embedding tables (paper Sec. V-B, ref. \[65\]:
+//! "recent work has applied reduced precision to compress embedding
+//! tables by up to 16×").
+//!
+//! Each row is quantized independently with its own scale (per-row
+//! max-abs calibration), which is what keeps accuracy usable at 4 bits:
+//! embedding rows differ wildly in magnitude between hot and tail items.
+
+use crate::model::EmbeddingTable;
+use enw_numerics::quant::Quantizer;
+use enw_numerics::rng::Rng64;
+
+/// A per-row quantized embedding table.
+///
+/// # Example
+///
+/// ```
+/// use enw_recsys::model::EmbeddingTable;
+/// use enw_recsys::quantize::QuantizedTable;
+/// use enw_numerics::rng::Rng64;
+///
+/// let mut rng = Rng64::new(0);
+/// let fp32 = EmbeddingTable::random(100, 16, &mut rng);
+/// let q8 = QuantizedTable::from_table(&fp32, 8);
+/// assert!(q8.compression_ratio() > 3.0); // 4× minus per-row scale overhead
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedTable {
+    rows: usize,
+    dim: usize,
+    bits: u32,
+    /// Packed signed codes, one `i8`-style value per element (stored
+    /// widened for simplicity; `bytes()` reports the true packed size).
+    codes: Vec<i32>,
+    /// Per-row dequantization scales.
+    quantizers: Vec<Quantizer>,
+}
+
+impl QuantizedTable {
+    /// Quantizes an FP32 table at `bits` of precision (2–8 useful).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=16`.
+    pub fn from_table(table: &EmbeddingTable, bits: u32) -> Self {
+        let rows = table.rows();
+        let dim = table.dim();
+        let mut codes = Vec::with_capacity(rows * dim);
+        let mut quantizers = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = table.row(r);
+            let q = Quantizer::fit(bits, row);
+            codes.extend(row.iter().map(|&v| q.quantize(v)));
+            quantizers.push(q);
+        }
+        QuantizedTable { rows, dim, bits, codes, quantizers }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Latent dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Bit width.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Packed storage size in bytes: `bits` per element plus one FP32
+    /// scale per row.
+    pub fn bytes(&self) -> u64 {
+        let element_bits = (self.rows * self.dim) as u64 * self.bits as u64;
+        element_bits.div_ceil(8) + (self.rows * 4) as u64
+    }
+
+    /// Compression ratio versus the FP32 original.
+    pub fn compression_ratio(&self) -> f64 {
+        let fp32 = (self.rows * self.dim * 4) as f64;
+        fp32 / self.bytes() as f64
+    }
+
+    /// Dequantizes one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn row(&self, r: usize) -> Vec<f32> {
+        assert!(r < self.rows, "row out of range");
+        let q = &self.quantizers[r];
+        self.codes[r * self.dim..(r + 1) * self.dim]
+            .iter()
+            .map(|&c| q.dequantize(c))
+            .collect()
+    }
+
+    /// Multi-hot lookup with sum pooling on dequantized rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or out of range.
+    pub fn lookup_pool(&self, indices: &[usize]) -> Vec<f32> {
+        assert!(!indices.is_empty(), "empty multi-hot lookup");
+        let mut pooled = vec![0.0f32; self.dim];
+        for &i in indices {
+            for (p, v) in pooled.iter_mut().zip(self.row(i)) {
+                *p += v;
+            }
+        }
+        pooled
+    }
+
+    /// Root-mean-square error of the quantized table against the FP32
+    /// original, normalized by the original's RMS value.
+    pub fn relative_rmse(&self, original: &EmbeddingTable) -> f64 {
+        let mut err = 0.0f64;
+        let mut ref_sq = 0.0f64;
+        for r in 0..self.rows {
+            let orig = original.row(r);
+            for (o, d) in orig.iter().zip(self.row(r)) {
+                err += ((o - d) as f64).powi(2);
+                ref_sq += (*o as f64).powi(2);
+            }
+        }
+        (err / ref_sq.max(1e-30)).sqrt()
+    }
+}
+
+/// Builds an FP32 table and a quantized copy for experiments.
+pub fn quantized_pair(rows: usize, dim: usize, bits: u32, rng: &mut Rng64) -> (EmbeddingTable, QuantizedTable) {
+    let t = EmbeddingTable::random(rows, dim, rng);
+    let q = QuantizedTable::from_table(&t, bits);
+    (t, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int2_approaches_sixteenx_compression() {
+        // The paper's "up to 16×" corresponds to the raw fp32→int2 element
+        // ratio; with the per-row scale honestly accounted the achievable
+        // ratio at dim 64 is ~12.8×, approaching 16× as dim grows.
+        let mut rng = Rng64::new(1);
+        let (_, q) = quantized_pair(10_000, 64, 2, &mut rng);
+        assert!(q.compression_ratio() > 12.0, "ratio {}", q.compression_ratio());
+        let (_, wide) = quantized_pair(1_000, 256, 2, &mut rng);
+        assert!(wide.compression_ratio() > 14.0, "wide ratio {}", wide.compression_ratio());
+    }
+
+    #[test]
+    fn int8_reaches_fourx() {
+        let mut rng = Rng64::new(2);
+        let (_, q) = quantized_pair(10_000, 64, 8, &mut rng);
+        assert!((q.compression_ratio() - 4.0).abs() < 0.3, "ratio {}", q.compression_ratio());
+    }
+
+    #[test]
+    fn error_shrinks_with_bits() {
+        let mut rng = Rng64::new(3);
+        let t = EmbeddingTable::random(500, 32, &mut rng);
+        let e4 = QuantizedTable::from_table(&t, 4).relative_rmse(&t);
+        let e8 = QuantizedTable::from_table(&t, 8).relative_rmse(&t);
+        assert!(e8 < e4 / 4.0, "e4 {e4}, e8 {e8}");
+    }
+
+    #[test]
+    fn int8_error_is_small() {
+        let mut rng = Rng64::new(4);
+        let t = EmbeddingTable::random(500, 32, &mut rng);
+        let e = QuantizedTable::from_table(&t, 8).relative_rmse(&t);
+        assert!(e < 0.01, "int8 rmse {e}");
+    }
+
+    #[test]
+    fn pooled_lookup_close_to_fp32() {
+        let mut rng = Rng64::new(5);
+        let (t, q) = quantized_pair(200, 16, 8, &mut rng);
+        let idx = [3usize, 77, 150];
+        let a = t.lookup_pool(&idx);
+        let b = q.lookup_pool(&idx);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 0.02, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn row_roundtrip_dimensions() {
+        let mut rng = Rng64::new(6);
+        let (_, q) = quantized_pair(10, 7, 4, &mut rng);
+        assert_eq!(q.row(9).len(), 7);
+        assert_eq!(q.rows(), 10);
+        assert_eq!(q.dim(), 7);
+    }
+}

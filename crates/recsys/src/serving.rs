@@ -1,0 +1,125 @@
+//! Latency-bounded serving (paper Sec. V intro + V-B): recommendation
+//! inference runs under strict tail-latency SLAs, so batch size is the
+//! lever trading throughput against latency — and the compute- vs
+//! memory-bound regimes respond to it very differently (batching
+//! amortizes MLP weights but not embedding gathers).
+
+use crate::characterize::{profile_batched, RooflineMachine};
+use crate::model::RecModelConfig;
+
+/// Modeled latency (seconds) of one batched inference: the sum of
+/// per-operator roofline times (operators execute sequentially within a
+/// query's dataflow).
+pub fn batch_latency(cfg: &RecModelConfig, batch: u64, machine: &RooflineMachine) -> f64 {
+    let p = profile_batched(cfg, batch);
+    machine.time_seconds(&p.bottom_mlp)
+        + machine.time_seconds(&p.embeddings)
+        + machine.time_seconds(&p.interaction)
+        + machine.time_seconds(&p.top_mlp)
+}
+
+/// Throughput (queries per second) at a given batch size.
+pub fn throughput(cfg: &RecModelConfig, batch: u64, machine: &RooflineMachine) -> f64 {
+    batch as f64 / batch_latency(cfg, batch, machine)
+}
+
+/// Largest batch size whose latency fits `sla_seconds` (binary search up
+/// to `max_batch`); `None` if even batch 1 misses the SLA.
+pub fn max_batch_under_sla(
+    cfg: &RecModelConfig,
+    machine: &RooflineMachine,
+    sla_seconds: f64,
+    max_batch: u64,
+) -> Option<u64> {
+    if batch_latency(cfg, 1, machine) > sla_seconds {
+        return None;
+    }
+    let (mut lo, mut hi) = (1u64, max_batch.max(1));
+    // Latency is monotone in batch, so binary search applies.
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if batch_latency(cfg, mid, machine) <= sla_seconds {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    Some(lo)
+}
+
+/// Peak throughput achievable under an SLA (QPS at the largest admissible
+/// batch), or `None` if the SLA is unreachable.
+pub fn sla_throughput(
+    cfg: &RecModelConfig,
+    machine: &RooflineMachine,
+    sla_seconds: f64,
+    max_batch: u64,
+) -> Option<f64> {
+    max_batch_under_sla(cfg, machine, sla_seconds, max_batch)
+        .map(|b| throughput(cfg, b, machine))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> RooflineMachine {
+        RooflineMachine::server_cpu()
+    }
+
+    #[test]
+    fn latency_is_monotone_in_batch() {
+        let cfg = RecModelConfig::compute_bound();
+        let m = machine();
+        let mut prev = 0.0;
+        for b in [1u64, 8, 64, 512] {
+            let l = batch_latency(&cfg, b, &m);
+            assert!(l > prev, "latency must grow with batch: {l} after {prev}");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn batching_helps_compute_bound_throughput_more() {
+        // MLP-heavy models gain from weight amortization; embedding-heavy
+        // ones barely do (per-query bytes are irreducible).
+        let m = machine();
+        let gain = |cfg: &RecModelConfig| throughput(cfg, 256, &m) / throughput(cfg, 1, &m);
+        let g_compute = gain(&RecModelConfig::compute_bound());
+        let g_memory = gain(&RecModelConfig::memory_bound());
+        assert!(
+            g_compute > 2.0 * g_memory,
+            "compute gain {g_compute}, memory gain {g_memory}"
+        );
+    }
+
+    #[test]
+    fn sla_search_finds_the_boundary() {
+        let cfg = RecModelConfig::compute_bound();
+        let m = machine();
+        let sla = 2.0 * batch_latency(&cfg, 64, &m);
+        let b = max_batch_under_sla(&cfg, &m, sla, 4096).expect("sla reachable");
+        assert!(batch_latency(&cfg, b, &m) <= sla);
+        if b < 4096 {
+            assert!(batch_latency(&cfg, b + 1, &m) > sla, "batch {b} is not maximal");
+        }
+    }
+
+    #[test]
+    fn impossible_sla_returns_none() {
+        let cfg = RecModelConfig::memory_bound();
+        let m = machine();
+        assert!(max_batch_under_sla(&cfg, &m, 1e-12, 1024).is_none());
+    }
+
+    #[test]
+    fn sla_throughput_consistent_with_parts() {
+        let cfg = RecModelConfig::compute_bound();
+        let m = machine();
+        let sla = 10.0 * batch_latency(&cfg, 1, &m);
+        let qps = sla_throughput(&cfg, &m, sla, 4096).expect("reachable");
+        assert!(qps > 0.0);
+        let b = max_batch_under_sla(&cfg, &m, sla, 4096).expect("reachable");
+        assert!((qps - throughput(&cfg, b, &m)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,206 @@
+//! Distributed-training cost model for recommendation systems (paper
+//! Sec. V-B: "state-of-the-art recommendation models are typically
+//! trained across many machines … efficient training requires carefully
+//! balancing compute, memory, and network communication", with retraining
+//! "on hourly and daily intervals").
+//!
+//! The standard parallelization (per the cited deployments) is *hybrid*:
+//! the dense MLPs are data-parallel (replicated; gradients all-reduced),
+//! while the embedding tables are model-parallel (sharded by table/row;
+//! lookups and their gradients travel over the network as all-to-all
+//! exchanges). The model charges, per mini-batch step:
+//!
+//! * compute: MLP FLOPs per worker;
+//! * memory: embedding-row traffic on the owning worker;
+//! * network: all-to-all activation/gradient exchange for the sharded
+//!   lookups, plus the all-reduce of MLP gradients.
+
+use crate::characterize::profile_batched;
+use crate::model::RecModelConfig;
+
+/// Cluster parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cluster {
+    /// Worker count.
+    pub workers: usize,
+    /// Per-worker arithmetic throughput (FLOP/s).
+    pub flops_per_worker: f64,
+    /// Per-worker memory bandwidth (bytes/s).
+    pub mem_bw_per_worker: f64,
+    /// Per-link network bandwidth (bytes/s).
+    pub net_bw_per_worker: f64,
+}
+
+impl Cluster {
+    /// A representative CPU training cluster node count.
+    pub fn cpu_cluster(workers: usize) -> Self {
+        Cluster {
+            workers,
+            flops_per_worker: 2.0e12,
+            mem_bw_per_worker: 100.0e9,
+            net_bw_per_worker: 12.5e9, // 100 Gb/s
+        }
+    }
+}
+
+/// Per-step time breakdown (seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepBreakdown {
+    /// Dense compute (forward + backward ≈ 3× forward FLOPs).
+    pub compute_s: f64,
+    /// Embedding-row reads and gradient writes on the owning workers.
+    pub memory_s: f64,
+    /// All-to-all embedding exchange + MLP gradient all-reduce.
+    pub network_s: f64,
+}
+
+impl StepBreakdown {
+    /// Wall-clock per step assuming the three phases overlap imperfectly:
+    /// the slowest dominates, the others hide behind it except for a 20 %
+    /// serialization residue (pipelined but not perfectly).
+    pub fn step_time(&self) -> f64 {
+        let max = self.compute_s.max(self.memory_s).max(self.network_s);
+        let sum = self.compute_s + self.memory_s + self.network_s;
+        max + 0.2 * (sum - max)
+    }
+
+    /// Which resource dominates the step.
+    pub fn bottleneck(&self) -> &'static str {
+        if self.compute_s >= self.memory_s && self.compute_s >= self.network_s {
+            "compute"
+        } else if self.memory_s >= self.network_s {
+            "memory"
+        } else {
+            "network"
+        }
+    }
+}
+
+/// MLP parameter bytes of a configuration (for the all-reduce volume).
+fn mlp_param_bytes(cfg: &RecModelConfig) -> u64 {
+    let mut dims = vec![cfg.dense_features];
+    dims.extend_from_slice(&cfg.bottom_mlp);
+    let mut bytes = 0u64;
+    for w in dims.windows(2) {
+        bytes += ((w[0] + 1) * w[1] * 4) as u64;
+    }
+    let mut top = vec![crate::model::RecModel::interaction_width(cfg)];
+    top.extend_from_slice(&cfg.top_mlp);
+    top.push(1);
+    for w in top.windows(2) {
+        bytes += ((w[0] + 1) * w[1] * 4) as u64;
+    }
+    bytes
+}
+
+/// Models one synchronous training step of global batch `batch` on
+/// `cluster`, with tables sharded across workers and MLPs replicated.
+pub fn step_breakdown(cfg: &RecModelConfig, batch: u64, cluster: &Cluster) -> StepBreakdown {
+    let per_worker_batch = (batch as f64 / cluster.workers as f64).ceil() as u64;
+    let p = profile_batched(cfg, per_worker_batch.max(1));
+
+    // Compute: forward + backward ≈ 3× forward FLOPs for the dense parts.
+    let dense_flops = (p.bottom_mlp.flops + p.top_mlp.flops + p.interaction.flops) as f64 * 3.0;
+    let compute_s = dense_flops / cluster.flops_per_worker;
+
+    // Memory: each sharded table serves the *global* batch's lookups for
+    // its shard; per worker that is the global embedding traffic divided
+    // by workers — read on forward, written (gradient) on backward.
+    let total_lookup_bytes: f64 = cfg
+        .tables
+        .iter()
+        .map(|&(_, l)| (l * cfg.embedding_dim * 4) as f64)
+        .sum::<f64>()
+        * batch as f64;
+    let memory_s = 2.0 * total_lookup_bytes / cluster.workers as f64 / cluster.mem_bw_per_worker;
+
+    // Network: all-to-all exchange of pooled activations + their
+    // gradients (each worker sends/receives the pooled vectors its local
+    // samples need from remote shards), plus ring all-reduce of the MLP
+    // gradients (2·(W−1)/W · param bytes).
+    let pooled_bytes_per_sample: f64 =
+        (cfg.tables.len() * cfg.embedding_dim * 4) as f64;
+    let remote_fraction = (cluster.workers - 1) as f64 / cluster.workers as f64;
+    let alltoall = 2.0 * pooled_bytes_per_sample * per_worker_batch as f64 * remote_fraction;
+    let allreduce = 2.0 * remote_fraction * mlp_param_bytes(cfg) as f64;
+    let network_s = (alltoall + allreduce) / cluster.net_bw_per_worker;
+
+    StepBreakdown { compute_s, memory_s, network_s }
+}
+
+/// Time to complete one retraining run of `samples` examples at global
+/// batch `batch` (seconds) — the quantity that must fit inside the
+/// paper's hourly/daily refresh windows.
+pub fn retraining_time(cfg: &RecModelConfig, samples: u64, batch: u64, cluster: &Cluster) -> f64 {
+    let steps = samples.div_ceil(batch);
+    step_breakdown(cfg, batch, cluster).step_time() * steps as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_workers_shrink_step_time() {
+        let cfg = RecModelConfig::memory_bound();
+        let t4 = step_breakdown(&cfg, 4096, &Cluster::cpu_cluster(4)).step_time();
+        let t16 = step_breakdown(&cfg, 4096, &Cluster::cpu_cluster(16)).step_time();
+        assert!(t16 < t4, "scaling failed: {t16} vs {t4}");
+    }
+
+    #[test]
+    fn embedding_heavy_config_is_memory_or_network_bound() {
+        let b = step_breakdown(&RecModelConfig::memory_bound(), 4096, &Cluster::cpu_cluster(8));
+        assert_ne!(b.bottleneck(), "compute", "{b:?}");
+    }
+
+    #[test]
+    fn mlp_heavy_config_is_compute_bound_on_fast_network() {
+        let mut cluster = Cluster::cpu_cluster(8);
+        cluster.net_bw_per_worker = 100.0e9; // fast fabric isolates compute
+        let b = step_breakdown(&RecModelConfig::compute_bound(), 4096, &cluster);
+        assert_eq!(b.bottleneck(), "compute", "{b:?}");
+    }
+
+    #[test]
+    fn slow_network_becomes_the_bottleneck() {
+        let mut cluster = Cluster::cpu_cluster(8);
+        cluster.net_bw_per_worker = 0.1e9;
+        let b = step_breakdown(&RecModelConfig::memory_bound(), 4096, &cluster);
+        assert_eq!(b.bottleneck(), "network", "{b:?}");
+    }
+
+    #[test]
+    fn step_time_at_least_slowest_phase() {
+        let b = step_breakdown(&RecModelConfig::memory_bound(), 4096, &Cluster::cpu_cluster(8));
+        let max = b.compute_s.max(b.memory_s).max(b.network_s);
+        assert!(b.step_time() >= max);
+        assert!(b.step_time() <= b.compute_s + b.memory_s + b.network_s);
+    }
+
+    #[test]
+    fn retraining_time_scales_with_samples() {
+        let cfg = RecModelConfig::memory_bound();
+        let cluster = Cluster::cpu_cluster(16);
+        let t1 = retraining_time(&cfg, 1_000_000, 4096, &cluster);
+        let t10 = retraining_time(&cfg, 10_000_000, 4096, &cluster);
+        assert!((t10 / t1 - 10.0).abs() < 0.1);
+        // Loose plausibility band (this is a small benchmark model, so
+        // 10M samples complete in under a second of modeled time).
+        assert!(t10 > 1e-3 && t10 < 1e6, "implausible retraining time {t10}");
+    }
+
+    #[test]
+    fn param_bytes_counts_all_layers() {
+        let cfg = RecModelConfig {
+            dense_features: 4,
+            bottom_mlp: vec![8, 4],
+            tables: vec![(10, 1); 2],
+            embedding_dim: 4,
+            top_mlp: vec![8],
+            interaction: crate::model::Interaction::Concat,
+        };
+        // bottom: (4+1)*8 + (8+1)*4 = 76 params; top: in=12 → (12+1)*8 + (8+1)*1 = 113.
+        assert_eq!(mlp_param_bytes(&cfg), (76 + 113) * 4);
+    }
+}

@@ -1,0 +1,215 @@
+//! Energy/latency accounting primitives and the technology constants of
+//! the X-MANN cost model.
+//!
+//! The paper reports X-MANN's gains as ratios over a GPU baseline
+//! (Sec. III-B). Ratios of this kind are products of *event counts* (how
+//! many MACs, conversions, bytes moved) and *per-event costs*. The event
+//! counts are exact in this simulator; the per-event costs below are
+//! representative published numbers for ~32 nm-class digital logic, HBM-era
+//! GPU memory systems and analog crossbar peripheries. DESIGN.md records
+//! this substitution.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// An (energy, latency) pair. Energy in picojoules, latency in
+/// nanoseconds.
+///
+/// Addition accumulates energy and *serial* latency; use
+/// [`Cost::parallel_max`] to combine concurrent phases.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cost {
+    /// Energy in picojoules.
+    pub energy_pj: f64,
+    /// Latency in nanoseconds.
+    pub latency_ns: f64,
+}
+
+impl Cost {
+    /// Zero cost.
+    pub fn zero() -> Self {
+        Cost::default()
+    }
+
+    /// Creates a cost from energy (pJ) and latency (ns).
+    pub fn new(energy_pj: f64, latency_ns: f64) -> Self {
+        Cost { energy_pj, latency_ns }
+    }
+
+    /// Combines two *concurrent* phases: energies add, latency is the
+    /// maximum.
+    pub fn parallel_max(self, other: Cost) -> Cost {
+        Cost { energy_pj: self.energy_pj + other.energy_pj, latency_ns: self.latency_ns.max(other.latency_ns) }
+    }
+
+    /// Scales both components (e.g. repeat an op `n` times serially).
+    pub fn repeat(self, n: u64) -> Cost {
+        Cost { energy_pj: self.energy_pj * n as f64, latency_ns: self.latency_ns * n as f64 }
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+
+    fn add(self, rhs: Cost) -> Cost {
+        Cost { energy_pj: self.energy_pj + rhs.energy_pj, latency_ns: self.latency_ns + rhs.latency_ns }
+    }
+}
+
+impl AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        iter.fold(Cost::zero(), |a, b| a + b)
+    }
+}
+
+/// Per-event costs of the X-MANN datapath components.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XmannCostParams {
+    /// Energy of one analog MAC at a crosspoint (pJ).
+    pub xbar_mac_pj: f64,
+    /// Latency of one crossbar evaluation phase (ns) — integration time,
+    /// independent of array size (the O(1) property).
+    pub xbar_op_ns: f64,
+    /// Energy per DAC conversion (pJ).
+    pub dac_pj: f64,
+    /// Energy per ADC conversion (pJ).
+    pub adc_pj: f64,
+    /// ADC conversion time (ns).
+    pub adc_ns: f64,
+    /// ADCs shared per tile (outputs are converted in
+    /// `ceil(lines/adc_per_tile)` serial rounds).
+    pub adcs_per_tile: usize,
+    /// Energy per SFU scalar operation (pJ).
+    pub sfu_op_pj: f64,
+    /// SFU scalar operations per ns (vector lanes).
+    pub sfu_ops_per_ns: f64,
+    /// Energy per byte moved on the shared intra-subarray bus (pJ).
+    pub bus_byte_pj: f64,
+    /// Bus bandwidth (bytes per ns).
+    pub bus_bytes_per_ns: f64,
+    /// Energy per scalar addition in the global reduce unit (pJ).
+    pub reduce_add_pj: f64,
+    /// Latency of one reduce stage (ns); stages are logarithmic in the
+    /// number of tiles reduced.
+    pub reduce_stage_ns: f64,
+    /// Energy per device programming pulse during soft writes (pJ).
+    pub write_pulse_pj: f64,
+    /// Latency of one parallel update phase (ns).
+    pub update_op_ns: f64,
+}
+
+impl Default for XmannCostParams {
+    fn default() -> Self {
+        XmannCostParams {
+            xbar_mac_pj: 0.01,
+            xbar_op_ns: 100.0,
+            dac_pj: 0.2,
+            adc_pj: 5.0,
+            adc_ns: 10.0,
+            adcs_per_tile: 16,
+            sfu_op_pj: 1.0,
+            sfu_ops_per_ns: 8.0,
+            bus_byte_pj: 1.0,
+            bus_bytes_per_ns: 32.0,
+            reduce_add_pj: 0.5,
+            reduce_stage_ns: 2.0,
+            write_pulse_pj: 1.0,
+            update_op_ns: 100.0,
+        }
+    }
+}
+
+/// The GPU + DRAM baseline cost model.
+///
+/// MANN differentiable-memory kernels on a GPU stream the whole memory
+/// matrix from DRAM for every soft read/write and similarity scan; the
+/// model charges DRAM traffic, FP32 arithmetic, and a fixed kernel-launch
+/// overhead per operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuCostParams {
+    /// DRAM access energy per byte (pJ/B).
+    pub dram_byte_pj: f64,
+    /// DRAM bandwidth (bytes per ns). 900 GB/s ≈ 0.9 B/ns × 10³.
+    pub dram_bytes_per_ns: f64,
+    /// Energy per FP32 operation including SM overheads (pJ).
+    pub flop_pj: f64,
+    /// Peak arithmetic throughput (FLOP per ns).
+    pub flops_per_ns: f64,
+    /// Kernel-launch overhead per memory operation (ns).
+    pub kernel_launch_ns: f64,
+}
+
+impl Default for GpuCostParams {
+    fn default() -> Self {
+        GpuCostParams {
+            dram_byte_pj: 10.0,
+            dram_bytes_per_ns: 900.0,
+            flop_pj: 0.5,
+            flops_per_ns: 10_000.0,
+            kernel_launch_ns: 5_000.0,
+        }
+    }
+}
+
+impl GpuCostParams {
+    /// Cost of one kernel touching `bytes` of DRAM and executing `flops`
+    /// FP32 operations (memory and compute overlap; launch does not).
+    pub fn kernel(&self, bytes: u64, flops: u64) -> Cost {
+        let mem = Cost::new(bytes as f64 * self.dram_byte_pj, bytes as f64 / self.dram_bytes_per_ns);
+        let compute = Cost::new(flops as f64 * self.flop_pj, flops as f64 / self.flops_per_ns);
+        mem.parallel_max(compute) + Cost::new(0.0, self.kernel_launch_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates_serially() {
+        let a = Cost::new(10.0, 5.0);
+        let b = Cost::new(1.0, 2.0);
+        assert_eq!(a + b, Cost::new(11.0, 7.0));
+    }
+
+    #[test]
+    fn parallel_max_takes_slowest() {
+        let a = Cost::new(10.0, 5.0);
+        let b = Cost::new(1.0, 20.0);
+        assert_eq!(a.parallel_max(b), Cost::new(11.0, 20.0));
+    }
+
+    #[test]
+    fn repeat_scales() {
+        assert_eq!(Cost::new(2.0, 3.0).repeat(4), Cost::new(8.0, 12.0));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Cost = (0..3).map(|_| Cost::new(1.0, 1.0)).sum();
+        assert_eq!(total, Cost::new(3.0, 3.0));
+    }
+
+    #[test]
+    fn gpu_kernel_memory_bound_when_traffic_dominates() {
+        let gpu = GpuCostParams::default();
+        // Lots of bytes, few flops: latency tracks DRAM time + launch.
+        let c = gpu.kernel(9_000_000, 10);
+        let mem_time = 9_000_000.0 / gpu.dram_bytes_per_ns;
+        assert!((c.latency_ns - (mem_time + gpu.kernel_launch_ns)).abs() < 1.0);
+    }
+
+    #[test]
+    fn gpu_kernel_energy_includes_both() {
+        let gpu = GpuCostParams::default();
+        let c = gpu.kernel(100, 100);
+        let expect = 100.0 * gpu.dram_byte_pj + 100.0 * gpu.flop_pj;
+        assert!((c.energy_pj - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,96 @@
+//! Analog-crossbar training walkthrough (paper Sec. II).
+//!
+//! ```text
+//! cargo run --release --example analog_training
+//! ```
+//!
+//! Trains the same classifier on four device populations, printing the
+//! per-epoch loss curves so the effect of device physics on optimization
+//! is visible, then shows hardware-aware (drop-connect) training riding
+//! through stuck-device defects at inference time.
+
+use enw_core::crossbar::array::DefectMode;
+use enw_core::crossbar::tiki_taka::TikiTakaConfig;
+use enw_core::crossbar::tile::TileConfig;
+use enw_core::crossbar::{devices, train};
+use enw_core::nn::activation::Activation;
+use enw_core::nn::data::{Split, SyntheticImages};
+use enw_core::nn::mlp::SgdConfig;
+use enw_core::numerics::rng::Rng64;
+use enw_core::report::{percent, Table};
+
+const DIMS: [usize; 3] = [64, 32, 10];
+
+fn task() -> Split {
+    SyntheticImages::builder()
+        .classes(10)
+        .dim(64)
+        .train_per_class(50)
+        .test_per_class(25)
+        .noise(1.2)
+        .build(&mut Rng64::new(99))
+}
+
+fn main() {
+    let split = task();
+    let cfg = SgdConfig { epochs: 5, learning_rate: 0.05 };
+
+    println!("== device technologies under plain stochastic-pulse SGD ==\n");
+    let mut table = Table::new(&["devices", "per-epoch loss", "test accuracy"]);
+    for (name, spec) in [
+        ("ideal (1000 states)", devices::ideal(1000)),
+        ("ECRAM (current-controlled)", devices::ecram()),
+        ("ECRAM (voltage-pulsed)", devices::ecram_voltage()),
+        ("FeFET (single)", devices::fefet_single()),
+        ("FTJ", devices::ftj()),
+        ("RRAM", devices::rram()),
+    ] {
+        let mut rng = Rng64::new(7);
+        let mut mlp = train::analog_mlp(&DIMS, &spec, TileConfig::ideal(), Activation::Tanh, &mut rng);
+        let out = train::train_and_evaluate(&mut mlp, &split, &cfg, &mut rng);
+        let curve: Vec<String> = out.loss_history.iter().map(|l| format!("{l:.2}")).collect();
+        table.row_owned(vec![name.to_string(), curve.join(" -> "), percent(out.test_accuracy)]);
+    }
+    println!("{}", table.render());
+
+    println!("== rescuing RRAM with the coupled-dynamics (Tiki-Taka) trainer ==\n");
+    let mut rng = Rng64::new(8);
+    let mut tt = train::tiki_taka_mlp(
+        &DIMS,
+        &devices::rram(),
+        TileConfig::ideal(),
+        TikiTakaConfig::default(),
+        Activation::Tanh,
+        &mut rng,
+    );
+    let out = train::train_and_evaluate(&mut tt, &split, &cfg, &mut rng);
+    println!("RRAM + Tiki-Taka test accuracy: {}\n", percent(out.test_accuracy));
+
+    println!("== hardware-aware training vs stuck-device defects ==\n");
+    let mut result = Table::new(&["training", "defects at inference", "test accuracy"]);
+    for (name, drop_connect) in [("standard", 0.0f32), ("drop-connect 30%", 0.3)] {
+        let mut rng = Rng64::new(9);
+        let tile_cfg = TileConfig { drop_connect, ..TileConfig::ideal() };
+        let mut mlp =
+            train::analog_mlp(&DIMS, &devices::ecram(), tile_cfg, Activation::Tanh, &mut rng);
+        let trained = train::train_and_evaluate(&mut mlp, &split, &cfg, &mut rng);
+        result.row_owned(vec![name.to_string(), "none".into(), percent(trained.test_accuracy)]);
+        // Inject stuck-at-zero devices into every tile, then re-test.
+        let mut defect_rng = Rng64::new(10);
+        for layer in mlp.layers_mut() {
+            layer
+                .backend_mut()
+                .array_mut()
+                .inject_defects(0.25, DefectMode::StuckAtZero, &mut defect_rng);
+        }
+        result.row_owned(vec![
+            name.to_string(),
+            "25% stuck-at-zero".into(),
+            percent(mlp.evaluate(&split.test)),
+        ]);
+    }
+    println!("{}", result.render());
+    println!("Drop-connect training randomly suppresses update coincidences, so the learned");
+    println!("network never leans on any single device — the hardware-aware training idea of");
+    println!("ref. [33] for riding through imperfect yield.");
+}

@@ -1,0 +1,73 @@
+//! Memory-augmented data structures (paper Sec. I/III).
+//!
+//! ```text
+//! cargo run --release --example ntm_data_structures
+//! ```
+//!
+//! The paper motivates MANNs with DNC demonstrations: storing sequences
+//! and graphs in a differentiable memory and traversing them (e.g.
+//! "navigating the London underground"). This example runs those
+//! workloads on the workspace's NTM machinery and then replays the same
+//! operations on the X-MANN architectural simulator to show what the
+//! accelerator would charge for them.
+
+use enw_core::mann::tasks::{copy, GraphMemory};
+use enw_core::numerics::rng::Rng64;
+use enw_core::xmann::arch::{Xmann, XmannConfig};
+use enw_core::xmann::cost::{GpuCostParams, XmannCostParams};
+use enw_core::xmann::GpuMann;
+
+fn main() {
+    let mut rng = Rng64::new(7);
+
+    // --- NTM copy task ---
+    println!("[1/3] NTM copy task: store a 12-item sequence, read it back...");
+    let sequence: Vec<Vec<f32>> = (0..12)
+        .map(|i| (0..8).map(|j| ((i * 8 + j) as f32 / 48.0).sin()).collect())
+        .collect();
+    let recalled = copy(&sequence, 16);
+    let max_err = sequence
+        .iter()
+        .zip(&recalled)
+        .flat_map(|(a, b)| a.iter().zip(b).map(|(x, y)| (x - y).abs()))
+        .fold(0.0f32, f32::max);
+    println!("      recalled {} items, max element error {max_err:.2e}\n", recalled.len());
+
+    // --- Graph storage and traversal ---
+    println!("[2/3] content-addressed graph: a toy tube map...");
+    let mut g = GraphMemory::new(8, 32, 24, &mut rng);
+    // Circle line 0-1-2-3-0 and a radial 1-4-5, 3-6-7.
+    for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 0), (1, 4), (4, 5), (3, 6), (6, 7)] {
+        g.add_edge(a, b);
+    }
+    println!("      stations: 8, edges stored as memory rows: {}", g.edges());
+    let mut hub = g.neighbors(1, 4);
+    hub.sort_unstable();
+    println!("      interchange 1 connects to {hub:?} (found by parallel content search)");
+    println!("      walk from 4: {:?}\n", g.walk(4, 3));
+
+    // --- What would the hardware charge? ---
+    println!("[3/3] replaying one step of graph search on X-MANN vs GPU cost models...");
+    // The memory operation behind every neighbors() call is one
+    // similarity scan over all edge rows + one soft read.
+    let (slots, dim) = (4096, 48); // a bigger production-like graph memory
+    let mut x = Xmann::new(slots, dim, XmannConfig::default(), XmannCostParams::default());
+    let mut gpu = GpuMann::new(slots, dim, GpuCostParams::default());
+    let query = vec![0.1f32; dim];
+    let xs = x.similarity(&query).cost;
+    let gs = gpu.similarity(&query).cost;
+    let w = vec![1.0 / slots as f32; slots];
+    let xr = x.soft_read(&w).cost;
+    let gr = gpu.soft_read(&w).cost;
+    println!(
+        "      X-MANN: {:.1} ns / {:.2} uJ    GPU: {:.1} us / {:.2} uJ    ({:.0}x faster, {:.0}x less energy)",
+        (xs.latency_ns + xr.latency_ns),
+        (xs.energy_pj + xr.energy_pj) / 1e6,
+        (gs.latency_ns + gr.latency_ns) / 1e3,
+        (gs.energy_pj + gr.energy_pj) / 1e6,
+        (gs.latency_ns + gr.latency_ns) / (xs.latency_ns + xr.latency_ns),
+        (gs.energy_pj + gr.energy_pj) / (xs.energy_pj + xr.energy_pj),
+    );
+    println!("\nEvery graph hop is a full-memory scan on conventional hardware — which is");
+    println!("exactly why the paper builds in-memory accelerators for these workloads.");
+}

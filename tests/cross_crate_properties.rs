@@ -1,0 +1,202 @@
+//! Property-based tests spanning crate boundaries: hardware simulators
+//! must agree with their functional references for arbitrary inputs.
+
+use enw_core::cam::array::{TcamArray, TcamConfig};
+use enw_core::cam::cells;
+use enw_core::crossbar::devices;
+use enw_core::crossbar::tile::{AnalogTile, TileConfig};
+use enw_core::mann::encoding::{cube_pattern, encode_levels};
+use enw_core::mann::memory::{DifferentiableMemory, Similarity};
+use enw_core::nn::backend::LinearBackend;
+use enw_core::numerics::bits::BitVec;
+use enw_core::numerics::matrix::Matrix;
+use enw_core::numerics::rng::Rng64;
+use enw_core::recsys::model::EmbeddingTable;
+use proptest::prelude::*;
+
+proptest! {
+    // Keep case counts moderate: several of these build arrays per case.
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// TCAM nearest search == brute-force Hamming argmin for any stored
+    /// set and any query.
+    #[test]
+    fn tcam_nearest_is_exact(seed in any::<u64>(), n in 1usize..64, width in 1usize..96) {
+        let mut rng = Rng64::new(seed);
+        let mut cam = TcamArray::new(width, cells::cmos_16t(), TcamConfig::default());
+        let words: Vec<BitVec> = (0..n)
+            .map(|_| (0..width).map(|_| rng.bernoulli(0.5)).collect::<BitVec>())
+            .collect();
+        for w in &words {
+            cam.write(w.clone());
+        }
+        let q: BitVec = (0..width).map(|_| rng.bernoulli(0.5)).collect();
+        let (hit, _) = cam.search_nearest(&q);
+        let hit = hit.expect("non-empty");
+        let best = words.iter().map(|w| w.hamming(&q)).min().expect("non-empty");
+        prop_assert_eq!(hit.distance, best);
+    }
+
+    /// Range-encoded cube queries never miss a stored word that lies
+    /// within the L-infinity radius (no false negatives; over-coverage is
+    /// allowed and expected).
+    #[test]
+    fn cube_search_has_no_false_negatives(
+        seed in any::<u64>(),
+        dims in 1usize..6,
+        radius in 0u32..4,
+    ) {
+        let bits = 4u32;
+        let mut rng = Rng64::new(seed);
+        let stored: Vec<Vec<u32>> = (0..24)
+            .map(|_| (0..dims).map(|_| rng.below(16) as u32).collect())
+            .collect();
+        let query: Vec<u32> = (0..dims).map(|_| rng.below(16) as u32).collect();
+        let pattern = cube_pattern(&query, radius, bits);
+        for s in &stored {
+            let linf = s.iter().zip(&query).map(|(&a, &b)| a.abs_diff(b)).max().unwrap_or(0);
+            if linf <= radius {
+                prop_assert!(
+                    pattern.matches(&encode_levels(s, bits)),
+                    "stored {s:?} within radius {radius} of {query:?} but not matched"
+                );
+            }
+        }
+    }
+
+    /// An ideal analog tile programmed to a target matrix computes the
+    /// same forward product as the dense reference (within programming
+    /// tolerance).
+    #[test]
+    fn analog_tile_forward_matches_dense(seed in any::<u64>(), rows in 1usize..8, cols in 1usize..8) {
+        let mut rng = Rng64::new(seed);
+        let mut tile = AnalogTile::new(rows, cols, &devices::ideal(4000), TileConfig::ideal(), &mut rng);
+        let target = Matrix::random_uniform(rows, cols + 1, -0.5, 0.5, &mut rng);
+        tile.program_effective(&target);
+        let x: Vec<f32> = (0..cols).map(|_| rng.range(-1.0, 1.0) as f32).collect();
+        let mut xa = x.clone();
+        xa.push(1.0);
+        let y = tile.forward(&x);
+        let y_ref = target.matvec(&xa);
+        for (a, b) in y.iter().zip(&y_ref) {
+            prop_assert!((a - b).abs() < 0.01, "{a} vs {b}");
+        }
+    }
+
+    /// Embedding gather/pool equals the dense one-hot matrix product for
+    /// arbitrary index multisets (including repeats).
+    #[test]
+    fn gather_equals_dense_onehot(seed in any::<u64>(), n_idx in 1usize..16) {
+        let mut rng = Rng64::new(seed);
+        let table = EmbeddingTable::random(40, 12, &mut rng);
+        let idx: Vec<usize> = (0..n_idx).map(|_| rng.below(40)).collect();
+        let a = table.lookup_pool(&idx);
+        let b = table.lookup_pool_dense(&idx);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Soft read of a one-hot attention equals the addressed slot exactly,
+    /// for any memory contents.
+    #[test]
+    fn one_hot_soft_read_is_slot_read(seed in any::<u64>(), slots in 1usize..16, hot in 0usize..16) {
+        let mut rng = Rng64::new(seed);
+        let slots = slots.max(hot + 1);
+        let mem = DifferentiableMemory::random(slots, 8, &mut rng);
+        let mut w = vec![0.0f32; slots];
+        w[hot] = 1.0;
+        prop_assert_eq!(mem.soft_read(&w), mem.slot(hot).to_vec());
+    }
+
+    /// The best slot under any similarity stays the best after adding an
+    /// unrelated orthogonal slot far from the query.
+    #[test]
+    fn nearest_is_stable_under_far_insertions(seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        let mut mem = DifferentiableMemory::new(3, 4);
+        let q = [1.0f32, 0.2, 0.0, 0.0];
+        mem.write_slot(0, &[1.0, 0.0, 0.0, 0.0]);
+        mem.write_slot(1, &[0.0, 0.0, 1.0, 0.0]);
+        mem.write_slot(2, &[0.0, 0.0, 0.0, -1.0]);
+        let before = mem.nearest(&q, Similarity::Cosine);
+        prop_assert_eq!(before, 0);
+        let _ = rng.next_u64();
+    }
+}
+
+use enw_core::crossbar::devices::pcm::{PcmConfig, PcmPair};
+use enw_core::nn::conv::{ConvNet, ConvNetConfig, MapShape};
+use enw_core::nn::rnn::RnnClassifier;
+use enw_core::recsys::sequence::{InterestModel, InterestModelConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// PCM pair weights stay in [-1, 1] under arbitrary signed update
+    /// sequences, with or without noise, and refresh preserves the weight.
+    #[test]
+    fn pcm_pair_invariants(seed in any::<u64>(), n in 1usize..60) {
+        let mut rng = Rng64::new(seed);
+        let mut p = PcmPair::new_with(PcmConfig::bare(), &mut rng);
+        for _ in 0..n {
+            p.update(rng.range(-0.3, 0.3) as f32, &mut rng);
+            let w = p.weight(0.0);
+            prop_assert!((-1.0..=1.0).contains(&w), "weight {w} out of range");
+        }
+        let before = p.weight(0.0);
+        p.refresh(0.0);
+        prop_assert!((p.weight(0.0) - before).abs() < 1e-4);
+    }
+
+    /// CNN forward is deterministic and bounded for bounded inputs
+    /// (tanh embedding keeps the representation in [-1, 1]).
+    #[test]
+    fn conv_net_outputs_are_stable(seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        let cfg = ConvNetConfig {
+            input: MapShape { channels: 1, height: 8, width: 8 },
+            conv_channels: vec![4],
+            embed_dim: 8,
+            classes: 3,
+        };
+        let mut net = ConvNet::new(&cfg, &mut rng);
+        let input: Vec<f32> = (0..64).map(|_| rng.range(-1.0, 1.0) as f32).collect();
+        let a = net.embed(&input);
+        let b = net.embed(&input);
+        prop_assert_eq!(a.clone(), b);
+        prop_assert!(a.iter().all(|v| (-1.0..=1.0).contains(v)));
+    }
+
+    /// RNN logits depend only on the sequence (stateless between calls),
+    /// and a longer prefix of distinct inputs changes them.
+    #[test]
+    fn rnn_is_stateless_between_calls(seed in any::<u64>(), len in 1usize..8) {
+        let mut rng = Rng64::new(seed);
+        let mut net = RnnClassifier::new(3, 6, 2, &mut rng);
+        let seq: Vec<Vec<f32>> = (0..len)
+            .map(|_| (0..3).map(|_| rng.range(-1.0, 1.0) as f32).collect())
+            .collect();
+        let a = net.predict(&seq);
+        let b = net.predict(&seq);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Attention weights over any history form a distribution, and
+    /// pooled interest stays inside the convex hull bound of the
+    /// embeddings (max-abs bound).
+    #[test]
+    fn interest_attention_is_convex(seed in any::<u64>(), hist_len in 1usize..12) {
+        let mut rng = Rng64::new(seed);
+        let cfg = InterestModelConfig { items: 50, ..Default::default() };
+        let m = InterestModel::new(&cfg, &mut rng);
+        let history: Vec<usize> = (0..hist_len).map(|_| rng.below(50)).collect();
+        let candidate = rng.below(50);
+        let w = m.attention(&history, candidate);
+        prop_assert!((w.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        prop_assert!(w.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        // Convexity: pooled interest can't exceed the max embedding value.
+        let pooled = m.interest(&history, candidate);
+        prop_assert!(pooled.iter().all(|v| v.abs() <= 0.5 + 1e-4));
+    }
+}
