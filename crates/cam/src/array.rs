@@ -165,6 +165,32 @@ impl TcamArray {
         Cost::new(energy, latency)
     }
 
+    /// Books one search against the array's cumulative cost and returns
+    /// that search's cost. Split out from the search entry points so
+    /// `TcamBank` can run the pure match computation on worker threads
+    /// and do the accounting serially afterwards.
+    pub(crate) fn record_search(&mut self) -> Cost {
+        let cost = self.search_cost();
+        self.total += cost;
+        cost
+    }
+
+    /// Pure ternary match (no cost accounting): indices of stored words
+    /// matching `pattern`. See [`search_ternary`](TcamArray::search_ternary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern width mismatches.
+    pub fn peek_ternary(&self, pattern: &TernaryWord) -> Vec<usize> {
+        assert_eq!(pattern.len(), self.width, "pattern width mismatch");
+        self.words
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| pattern.matches(w))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
     /// Exact ternary match of `pattern` against every stored word — one
     /// parallel search.
     ///
@@ -172,17 +198,25 @@ impl TcamArray {
     ///
     /// Panics if the pattern width mismatches.
     pub fn search_ternary(&mut self, pattern: &TernaryWord) -> (Vec<usize>, Cost) {
-        assert_eq!(pattern.len(), self.width, "pattern width mismatch");
-        let hits = self
-            .words
+        let hits = self.peek_ternary(pattern);
+        let cost = self.record_search();
+        (hits, cost)
+    }
+
+    /// Pure nearest-match computation (no cost accounting): the
+    /// minimum-Hamming-distance stored word, ties to the lowest index.
+    /// See [`search_nearest`](TcamArray::search_nearest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query width mismatches.
+    pub fn peek_nearest(&self, query: &BitVec) -> Option<NearestHit> {
+        assert_eq!(query.len(), self.width, "query width mismatch");
+        self.words
             .iter()
             .enumerate()
-            .filter(|(_, w)| pattern.matches(w))
-            .map(|(i, _)| i)
-            .collect();
-        let cost = self.search_cost();
-        self.total += cost;
-        (hits, cost)
+            .map(|(i, w)| NearestHit { index: i, distance: w.hamming(query) })
+            .min_by_key(|h| (h.distance, h.index))
     }
 
     /// Nearest-match search by match-line discharge-rate sensing: returns
@@ -193,15 +227,8 @@ impl TcamArray {
     ///
     /// Panics if the query width mismatches.
     pub fn search_nearest(&mut self, query: &BitVec) -> (Option<NearestHit>, Cost) {
-        assert_eq!(query.len(), self.width, "query width mismatch");
-        let cost = self.search_cost();
-        self.total += cost;
-        let best = self
-            .words
-            .iter()
-            .enumerate()
-            .map(|(i, w)| NearestHit { index: i, distance: w.hamming(query) })
-            .min_by_key(|h| (h.distance, h.index));
+        let best = self.peek_nearest(query);
+        let cost = self.record_search();
         (best, cost)
     }
 }

@@ -9,6 +9,15 @@ use enw_mann::encoding::TernaryWord;
 use enw_numerics::bits::BitVec;
 use enw_xmann::cost::Cost;
 
+/// Arrays handled per parallel chunk during a bank search. One array per
+/// chunk maximizes balance; the per-chunk overhead is tiny relative to a
+/// whole-array Hamming scan.
+const PAR_ARRAY_CHUNK: usize = 1;
+
+/// Minimum total stored bits (`len * width`) before a bank search fans
+/// out to worker threads. Below this a serial sweep wins.
+const PAR_MIN_SEARCH_BITS: usize = 1 << 15;
+
 /// A bank of equally sized TCAM arrays behaving as one large memory.
 ///
 /// Searches broadcast to every array concurrently (latency = one array
@@ -100,14 +109,38 @@ impl TcamBank {
         (bank_idx * self.rows_per_array + local, cost)
     }
 
+    /// True when this search is large enough to fan out to worker
+    /// threads (simulation-host parallelism; the modeled hardware always
+    /// searches arrays concurrently).
+    fn parallel_search(&self) -> bool {
+        enw_parallel::should_parallelize(self.len() * self.width(), PAR_MIN_SEARCH_BITS)
+    }
+
+    /// Per-array pure nearest hits, in array order. The match computation
+    /// runs on worker threads for large banks; results come back in chunk
+    /// order, so the merge below is identical to the serial sweep.
+    fn nearest_per_array(&self, query: &BitVec) -> Vec<Option<NearestHit>> {
+        if self.parallel_search() {
+            enw_parallel::map_chunks(self.arrays.len(), PAR_ARRAY_CHUNK, |r| {
+                r.map(|b| self.arrays[b].peek_nearest(query)).collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        } else {
+            self.arrays.iter().map(|a| a.peek_nearest(query)).collect()
+        }
+    }
+
     /// Nearest-Hamming search across every array in parallel; ties break
     /// toward the lowest global index (the global priority encoder).
     pub fn search_nearest(&mut self, query: &BitVec) -> (Option<NearestHit>, Cost) {
+        let hits = self.nearest_per_array(query);
         let mut best: Option<NearestHit> = None;
         let mut energy = 0.0;
         let mut latency: f64 = 0.0;
-        for (b, arr) in self.arrays.iter_mut().enumerate() {
-            let (hit, cost) = arr.search_nearest(query);
+        for (b, (arr, hit)) in self.arrays.iter_mut().zip(hits).enumerate() {
+            let cost = arr.record_search();
             energy += cost.energy_pj;
             latency = latency.max(cost.latency_ns); // concurrent arrays
             if let Some(h) = hit {
@@ -128,11 +161,21 @@ impl TcamBank {
 
     /// Ternary match across all arrays; returns global indices.
     pub fn search_ternary(&mut self, pattern: &TernaryWord) -> (Vec<usize>, Cost) {
+        let per_array: Vec<Vec<usize>> = if self.parallel_search() {
+            enw_parallel::map_chunks(self.arrays.len(), PAR_ARRAY_CHUNK, |r| {
+                r.map(|b| self.arrays[b].peek_ternary(pattern)).collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        } else {
+            self.arrays.iter().map(|a| a.peek_ternary(pattern)).collect()
+        };
         let mut hits = Vec::new();
         let mut energy = 0.0;
         let mut latency: f64 = 0.0;
-        for (b, arr) in self.arrays.iter_mut().enumerate() {
-            let (local, cost) = arr.search_ternary(pattern);
+        for (b, (arr, local)) in self.arrays.iter_mut().zip(per_array).enumerate() {
+            let cost = arr.record_search();
             energy += cost.energy_pj;
             latency = latency.max(cost.latency_ns);
             hits.extend(local.into_iter().map(|i| b * self.rows_per_array + i));
@@ -217,6 +260,38 @@ mod tests {
         let (_, cl) = large.search_nearest(&q);
         assert_eq!(cs.latency_ns, cl.latency_ns);
         assert!(cl.energy_pj > 10.0 * cs.energy_pj);
+    }
+
+    #[test]
+    fn parallel_bank_search_matches_serial_exactly() {
+        // 600 words x 64 bits comfortably clears PAR_MIN_SEARCH_BITS, so
+        // the multi-threaded runs exercise the map_chunks path; results
+        // and booked costs must not depend on the thread count.
+        let mut rng = Rng64::new(5);
+        let mut bank = TcamBank::new(64, 32, cells::cmos_16t(), TcamConfig::default());
+        for _ in 0..600 {
+            bank.write(word(64, &mut rng));
+        }
+        let queries: Vec<BitVec> = (0..6).map(|_| word(64, &mut rng)).collect();
+        let pattern = {
+            use enw_mann::encoding::cube_pattern;
+            cube_pattern(&[7, 3, 11, 1, 9, 6, 2, 14, 0, 5, 8, 13, 4, 10, 15, 12], 2, 4)
+        };
+        let mut outcomes = Vec::new();
+        for threads in [1usize, 3, 8] {
+            let mut b = bank.clone();
+            let result = enw_parallel::with_threads(threads, || {
+                let nearest: Vec<_> = queries.iter().map(|q| b.search_nearest(q)).collect();
+                let ternary = b.search_ternary(&pattern);
+                (nearest, ternary, b.total_cost())
+            });
+            outcomes.push(result);
+        }
+        for other in &outcomes[1..] {
+            assert_eq!(outcomes[0].0, other.0, "nearest hits/costs differ across thread counts");
+            assert_eq!(outcomes[0].1, other.1, "ternary hits/cost differ across thread counts");
+            assert_eq!(outcomes[0].2, other.2, "total cost differs across thread counts");
+        }
     }
 
     #[test]

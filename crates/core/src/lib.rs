@@ -10,8 +10,10 @@
 //! | Sec. III–IV | memory-augmented NNs (one/few-shot) | X-MANN crossbars, TCAMs | [`mann`], [`xmann`], [`cam`] |
 //! | Sec. V | neural recommendation | memory-system co-design | [`recsys`] |
 //!
-//! Shared numerics live in [`numerics`]. The [`registry`] module indexes
-//! every reproduced table/figure (E1–E14) and the `enw-bench` binary that
+//! Shared numerics live in [`numerics`]; the [`parallel`] runtime fans
+//! simulation hot paths out across threads with bit-identical results
+//! (see DESIGN.md, "Execution model"). The [`registry`] module indexes
+//! every reproduced table/figure (E1–E15) and the `enw-bench` binary that
 //! regenerates it; [`report`] renders the result tables.
 //!
 //! # Quickstart
@@ -29,6 +31,7 @@ pub use enw_crossbar as crossbar;
 pub use enw_mann as mann;
 pub use enw_nn as nn;
 pub use enw_numerics as numerics;
+pub use enw_parallel as parallel;
 pub use enw_recsys as recsys;
 pub use enw_xmann as xmann;
 

@@ -105,6 +105,12 @@ pub fn registry() -> Vec<Experiment> {
             claim: "Zipf-skewed lookups give small caches high hit rates; the tail still forces DRAM",
             binary: "exp14_embedding_cache",
         },
+        Experiment {
+            id: "E15",
+            paper_anchor: "Methodology (simulation throughput)",
+            claim: "Cache-blocked and multi-threaded simulation kernels beat the naive baselines >=2x with bit-identical outputs",
+            binary: "exp15_parallel_scaling",
+        },
     ]
 }
 
@@ -113,9 +119,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn fourteen_experiments_in_order() {
+    fn fifteen_experiments_in_order() {
         let r = registry();
-        assert_eq!(r.len(), 14);
+        assert_eq!(r.len(), 15);
         for (i, e) in r.iter().enumerate() {
             assert_eq!(e.id, format!("E{}", i + 1));
         }

@@ -11,6 +11,14 @@ use crate::device::{DeviceSpec, PulseDir, PulsedDevice};
 use enw_numerics::matrix::Matrix;
 use enw_numerics::rng::Rng64;
 
+/// Fixed chunk sizes for the parallel read kernels; boundaries depend
+/// only on the array shape, so results are bit-identical at any
+/// `ENW_THREADS` (each output line is one independent reduction).
+const PAR_LINE_CHUNK: usize = 32;
+
+/// Minimum crosspoint count before the parallel reads pay for spawning.
+const PAR_MIN_CROSSPOINTS: usize = 1 << 14;
+
 /// How a defective device fails (paper Sec. II-B2: imperfect yield).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DefectMode {
@@ -167,6 +175,81 @@ impl AnalogArray {
         y
     }
 
+    /// Parallel [`matvec`](AnalogArray::matvec): rows are split into
+    /// fixed 32-row chunks across the `enw_parallel` pool; each output
+    /// current is the same ascending-column sum (with the same per-
+    /// crosspoint IR-drop attenuation) as the serial read, so results
+    /// are bit-identical at any thread count. Falls back to the serial
+    /// loop for small arrays or a single worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn par_matvec(&self, x: &[f32], ir_drop: f32) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        if !enw_parallel::should_parallelize(self.rows * self.cols, PAR_MIN_CROSSPOINTS) {
+            return self.matvec(x, ir_drop);
+        }
+        let mut y = vec![0.0f32; self.rows];
+        enw_parallel::for_each_chunk_mut(&mut y, PAR_LINE_CHUNK, |start, window| {
+            for (out, r) in window.iter_mut().zip(start..) {
+                let row = &self.weights[r * self.cols..(r + 1) * self.cols];
+                let mut acc = 0.0f32;
+                if ir_drop == 0.0 {
+                    for (w, xi) in row.iter().zip(x) {
+                        acc += w * xi;
+                    }
+                } else {
+                    let rfrac = r as f32 / self.rows as f32;
+                    for (c, (w, xi)) in row.iter().zip(x).enumerate() {
+                        let atten = 1.0 - ir_drop * 0.5 * (rfrac + c as f32 / self.cols as f32);
+                        acc += w * xi * atten;
+                    }
+                }
+                *out = acc;
+            }
+        });
+        y
+    }
+
+    /// Parallel [`matvec_t`](AnalogArray::matvec_t): output columns are
+    /// split into fixed 32-column chunks; every worker walks the rows in
+    /// ascending order with the same zero-`d` skip and IR-drop model, so
+    /// results are bit-identical to the serial read at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d.len() != rows`.
+    pub fn par_matvec_t(&self, d: &[f32], ir_drop: f32) -> Vec<f32> {
+        assert_eq!(d.len(), self.rows, "matvec_t dimension mismatch");
+        if !enw_parallel::should_parallelize(self.rows * self.cols, PAR_MIN_CROSSPOINTS) {
+            return self.matvec_t(d, ir_drop);
+        }
+        let cols = self.cols;
+        let mut y = vec![0.0f32; cols];
+        enw_parallel::for_each_chunk_mut(&mut y, PAR_LINE_CHUNK, |c0, window| {
+            for (r, di) in d.iter().enumerate() {
+                if *di == 0.0 {
+                    continue;
+                }
+                let row = &self.weights[r * cols + c0..r * cols + c0 + window.len()];
+                if ir_drop == 0.0 {
+                    for (out, w) in window.iter_mut().zip(row) {
+                        *out += w * di;
+                    }
+                } else {
+                    let rfrac = r as f32 / self.rows as f32;
+                    for (c, (out, w)) in window.iter_mut().zip(row).enumerate() {
+                        let atten =
+                            1.0 - ir_drop * 0.5 * (rfrac + (c0 + c) as f32 / cols as f32);
+                        *out += w * di * atten;
+                    }
+                }
+            }
+        });
+        y
+    }
+
     /// Applies one programming pulse to device `(r, c)`.
     ///
     /// # Panics
@@ -178,6 +261,42 @@ impl AnalogArray {
         let i = r * self.cols + c;
         self.weights[i] = self.devices[i].pulse(self.weights[i], dir, rng);
         self.pulse_count += 1;
+    }
+
+    /// Runs a caller-supplied pulse routine over every row, in parallel
+    /// across fixed `row_chunk`-sized row blocks, and returns the total
+    /// number of pulses fired (also added to the array's pulse counter).
+    ///
+    /// Each invocation of `f` gets a [`RowPulser`] giving exclusive
+    /// mutable access to that row's weights — rows are disjoint, so any
+    /// schedule of rows across workers produces the same final state as
+    /// the serial loop, provided `f` itself is deterministic per row
+    /// (e.g. drives its randomness from a per-row forked RNG, as
+    /// `AnalogTile::update_stochastic` does).
+    pub fn par_pulse_by_row<F>(&mut self, row_chunk: usize, f: F) -> u64
+    where
+        F: Fn(usize, &mut RowPulser<'_>) -> u64 + Sync,
+    {
+        let cols = self.cols;
+        let devices = &self.devices;
+        let counts = enw_parallel::for_each_chunk_mut(
+            &mut self.weights,
+            row_chunk.max(1) * cols,
+            |start, window| {
+                let r0 = start / cols;
+                let mut total = 0u64;
+                for (k, wrow) in window.chunks_mut(cols).enumerate() {
+                    let r = r0 + k;
+                    let mut pulser =
+                        RowPulser { weights: wrow, devices: &devices[r * cols..(r + 1) * cols] };
+                    total += f(r, &mut pulser);
+                }
+                total
+            },
+        );
+        let total: u64 = counts.iter().sum();
+        self.pulse_count += total;
+        total
     }
 
     /// Exact snapshot of the stored weights.
@@ -267,6 +386,35 @@ impl AnalogArray {
                 self.weights[i] = w;
             }
         }
+    }
+}
+
+/// Exclusive view of one crossbar row handed out by
+/// [`AnalogArray::par_pulse_by_row`]: lets update code pulse devices in
+/// that row without aliasing any other row.
+pub struct RowPulser<'a> {
+    weights: &'a mut [f32],
+    devices: &'a [PulsedDevice],
+}
+
+impl RowPulser<'_> {
+    /// The row's current weight at column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    pub fn weight(&self, c: usize) -> f32 {
+        self.weights[c]
+    }
+
+    /// Applies one programming pulse to the device at column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    #[inline]
+    pub fn pulse(&mut self, c: usize, dir: PulseDir, rng: &mut Rng64) {
+        self.weights[c] = self.devices[c].pulse(self.weights[c], dir, rng);
     }
 }
 
@@ -369,6 +517,32 @@ mod tests {
                     a.weight(r, c),
                     target.at(r, c)
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn par_reads_bitwise_match_serial_reads() {
+        let mut rng = Rng64::new(11);
+        let mut a = AnalogArray::new(150, 130, &devices::ideal(1000), &mut rng);
+        let target = Matrix::random_uniform(150, 130, -0.9, 0.9, &mut rng);
+        for r in 0..150 {
+            for c in 0..130 {
+                a.set_weight(r, c, target.at(r, c));
+            }
+        }
+        let x: Vec<f32> = (0..130).map(|_| rng.range(-1.0, 1.0) as f32).collect();
+        let mut d: Vec<f32> = (0..150).map(|_| rng.range(-1.0, 1.0) as f32).collect();
+        d[3] = 0.0; // exercise the zero-skip path
+        for ir in [0.0f32, 0.15] {
+            let y = a.matvec(&x, ir);
+            let yt = a.matvec_t(&d, ir);
+            for threads in [1usize, 3, 8] {
+                let (py, pyt) = enw_parallel::with_threads(threads, || {
+                    (a.par_matvec(&x, ir), a.par_matvec_t(&d, ir))
+                });
+                assert!(y.iter().zip(&py).all(|(s, p)| s.to_bits() == p.to_bits()));
+                assert!(yt.iter().zip(&pyt).all(|(s, p)| s.to_bits() == p.to_bits()));
             }
         }
     }

@@ -20,6 +20,10 @@ use enw_nn::backend::LinearBackend;
 use enw_numerics::matrix::Matrix;
 use enw_numerics::rng::Rng64;
 
+/// Fixed row-chunk size for the parallel stochastic update; boundaries
+/// depend only on the array shape, never the worker count.
+const PAR_UPDATE_ROW_CHUNK: usize = 16;
+
 /// How the rank-1 update is realized on the array.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UpdateScheme {
@@ -225,35 +229,53 @@ impl AnalogTile {
         let amp = (lr / (bl as f32 * self.dw_avg)).sqrt();
         let p_row: Vec<f32> = delta.iter().map(|d| (amp * d.abs()).min(1.0)).collect();
         let p_col: Vec<f32> = xa.iter().map(|x| (amp * x.abs()).min(1.0)).collect();
-        let mut fired_rows: Vec<usize> = Vec::with_capacity(delta.len());
-        let mut fired_cols: Vec<usize> = Vec::with_capacity(xa.len());
-        for _ in 0..bl {
-            fired_rows.clear();
-            fired_cols.clear();
+        // Phase 1 (serial): draw the row/column pulse trains for every
+        // bit-line step with the tile RNG, exactly as the hardware fires
+        // them — rows then columns per step.
+        let rows = delta.len();
+        let bl = bl as usize;
+        let mut row_fired = vec![false; bl * rows];
+        let mut col_fired: Vec<Vec<usize>> = Vec::with_capacity(bl);
+        for s in 0..bl {
             for (i, &p) in p_row.iter().enumerate() {
-                if p > 0.0 && self.rng.bernoulli(p as f64) {
-                    fired_rows.push(i);
-                }
+                row_fired[s * rows + i] = p > 0.0 && self.rng.bernoulli(p as f64);
             }
+            let mut fc = Vec::new();
             for (j, &p) in p_col.iter().enumerate() {
                 if p > 0.0 && self.rng.bernoulli(p as f64) {
-                    fired_cols.push(j);
+                    fc.push(j);
                 }
             }
-            for &i in &fired_rows {
-                for &j in &fired_cols {
-                    if self.cfg.drop_connect > 0.0
-                        && self.rng.bernoulli(self.cfg.drop_connect as f64)
-                    {
+            col_fired.push(fc);
+        }
+        // Phase 2 (parallel over rows): every coincidence on row i only
+        // touches devices in row i, so rows are independent given their
+        // own RNG stream. Forking one stream per row from the tile RNG
+        // (serially, in row order) makes the result identical for any
+        // worker count — and identical to running the loop serially.
+        let row_rngs: Vec<Rng64> = (0..rows).map(|_| self.rng.fork()).collect();
+        let drop_connect = self.cfg.drop_connect;
+        let pulses = self.array.par_pulse_by_row(PAR_UPDATE_ROW_CHUNK, |r, pulser| {
+            let mut rng = row_rngs[r].clone();
+            let di = delta[r];
+            let mut fired = 0u64;
+            for s in 0..bl {
+                if !row_fired[s * rows + r] {
+                    continue;
+                }
+                for &j in &col_fired[s] {
+                    if drop_connect > 0.0 && rng.bernoulli(drop_connect as f64) {
                         continue;
                     }
                     // Δw should be −lr·d·x: step up when d·x < 0.
-                    let dir = if delta[i] * xa[j] < 0.0 { PulseDir::Up } else { PulseDir::Down };
-                    self.array.pulse(i, j, dir, &mut self.rng);
-                    self.stats.pulses += 1;
+                    let dir = if di * xa[j] < 0.0 { PulseDir::Up } else { PulseDir::Down };
+                    pulser.pulse(j, dir, &mut rng);
+                    fired += 1;
                 }
             }
-        }
+            fired
+        });
+        self.stats.pulses += pulses;
     }
 
     fn update_mean_field(&mut self, delta: &[f32], xa: &[f32], lr: f32) {
@@ -300,7 +322,9 @@ impl LinearBackend for AnalogTile {
     fn forward(&mut self, x: &[f32]) -> Vec<f32> {
         let mut xa = self.augmented(x);
         self.cfg.noise.apply_input(&mut xa);
-        let raw = self.array.matvec(&xa, self.cfg.noise.ir_drop);
+        // Bit-identical to the serial read; parallel only above the
+        // array-size threshold (see AnalogArray::par_matvec).
+        let raw = self.array.par_matvec(&xa, self.cfg.noise.ir_drop);
         let refp = self.reference_matvec(&xa);
         let mut y = self.effective(raw, refp);
         self.cfg.noise.apply_output(&mut y, &mut self.rng);
@@ -310,7 +334,7 @@ impl LinearBackend for AnalogTile {
 
     fn backward(&mut self, delta: &[f32]) -> Vec<f32> {
         assert_eq!(delta.len(), self.array.rows(), "gradient dimension mismatch");
-        let raw = self.array.matvec_t(delta, self.cfg.noise.ir_drop);
+        let raw = self.array.par_matvec_t(delta, self.cfg.noise.ir_drop);
         let refp = self.reference_matvec_t(delta);
         let mut y = self.effective(raw, refp);
         self.cfg.noise.apply_output(&mut y, &mut self.rng);
@@ -463,6 +487,37 @@ mod tests {
         t.program_effective(&target);
         let y = t.forward(&[0.0]);
         assert!((y[0] - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn stochastic_update_is_thread_count_invariant() {
+        // Noisy devices + drop-connect exercise every RNG consumer in the
+        // update; per-row forked streams must make the final weights and
+        // pulse counts bitwise independent of the worker count.
+        let make = || {
+            let mut rng = Rng64::new(21);
+            let cfg = TileConfig { drop_connect: 0.3, ..TileConfig::ideal() };
+            AnalogTile::new(40, 24, &devices::rram(), cfg, &mut rng)
+        };
+        let d: Vec<f32> = (0..40).map(|i| ((i % 5) as f32 - 2.0) / 8.0).collect();
+        let x: Vec<f32> = (0..24).map(|i| ((i % 7) as f32 - 3.0) / 8.0).collect();
+        let run = |threads: usize| {
+            enw_parallel::with_threads(threads, || {
+                let mut t = make();
+                for _ in 0..5 {
+                    t.update(&d, &x, 0.02);
+                }
+                (t.weights(), t.stats().pulses)
+            })
+        };
+        let (w1, p1) = run(1);
+        assert!(p1 > 0, "update should fire pulses");
+        for threads in [3usize, 8] {
+            let (w, p) = run(threads);
+            assert_eq!(p, p1, "pulse count changed at {threads} threads");
+            let bits = |m: &Matrix| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&w), bits(&w1), "weights changed at {threads} threads");
+        }
     }
 
     #[test]

@@ -1,4 +1,8 @@
 //! Property-based tests for the numerics substrate.
+//!
+//! Compiled only with `--features proptest` so the default tier-1 run
+//! stays lean; enable it in CI sweeps via `scripts/verify.sh --full`.
+#![cfg(feature = "proptest")]
 
 use enw_numerics::bits::BitVec;
 use enw_numerics::matrix::Matrix;

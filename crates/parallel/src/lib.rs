@@ -1,0 +1,279 @@
+//! Dependency-free parallel runtime with deterministic chunked reduction.
+//!
+//! Every hot loop in the workspace — crossbar MVM rows, TCAM arrays in a
+//! bank, embedding tables, few-shot episodes — is data-parallel over an
+//! index range. This module runs such loops on a scoped worker pool
+//! (`std::thread::scope`, no unsafe, no external crates) while keeping a
+//! guarantee the numeric code depends on:
+//!
+//! **Determinism.** Work is split at *fixed chunk boundaries* derived
+//! only from the problem size and a caller-chosen chunk length — never
+//! from the thread count. Each chunk is computed exactly as the serial
+//! code would compute it, and per-chunk results are handed back in chunk
+//! order. A caller that folds them left-to-right therefore performs the
+//! same floating-point operations in the same order as the serial loop,
+//! so results are bit-identical for 1, 3, or 64 threads.
+//!
+//! The worker count comes from, in priority order:
+//! 1. a thread-local override installed by [`with_threads`] (used by
+//!    tests and the scaling experiment),
+//! 2. the `ENW_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! With one worker every entry point degenerates to the plain serial
+//! loop on the calling thread — no pool, no overhead.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::thread;
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel entry points will use.
+///
+/// Resolution order: [`with_threads`] override, then `ENW_THREADS`
+/// (values that fail to parse, or `0`, are ignored), then the machine's
+/// available parallelism. Always at least 1.
+pub fn max_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(|o| o.get()) {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("ENW_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f` with the worker count pinned to `n` on this thread.
+///
+/// Nested calls stack; the previous override is restored on exit (also
+/// on panic, since the guard restores on drop). This is how the
+/// equivalence tests and `exp15_parallel_scaling` sweep thread counts.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _guard = Restore(THREAD_OVERRIDE.with(|o| o.replace(Some(n))));
+    f()
+}
+
+/// Splits `0..n` at fixed `chunk`-sized boundaries.
+fn chunk_ranges(n: usize, chunk: usize) -> Vec<Range<usize>> {
+    let chunk = chunk.max(1);
+    (0..n.div_ceil(chunk)).map(|c| c * chunk..((c + 1) * chunk).min(n)).collect()
+}
+
+/// Applies `f` to each fixed-boundary chunk of `0..n`, in parallel, and
+/// returns the per-chunk results **in chunk order**.
+///
+/// Chunk boundaries depend only on `n` and `chunk`, so the result vector
+/// is identical for any worker count; fold it left-to-right for a
+/// bit-deterministic reduction.
+pub fn map_chunks<R, F>(n: usize, chunk: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let ranges = chunk_ranges(n, chunk);
+    let workers = max_threads().min(ranges.len());
+    if workers <= 1 {
+        return ranges.into_iter().map(f).collect();
+    }
+    let nchunks = ranges.len();
+    let ranges = &ranges;
+    let f = &f;
+    let mut results: Vec<Option<R>> = (0..nchunks).map(|_| None).collect();
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                s.spawn(move || {
+                    // Round-robin chunk claim: static, no work stealing.
+                    let mut out = Vec::new();
+                    let mut c = w;
+                    while c < nchunks {
+                        out.push((c, f(ranges[c].clone())));
+                        c += workers;
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            for (c, r) in h.join().expect("parallel worker panicked") {
+                results[c] = Some(r);
+            }
+        }
+    });
+    results.into_iter().map(|r| r.expect("chunk not computed")).collect()
+}
+
+/// Like [`map_chunks`], but hands each worker a disjoint `&mut` window
+/// of `data` (split at fixed `chunk` boundaries) plus the window's start
+/// offset. Per-chunk results come back in chunk order.
+pub fn for_each_chunk_mut<T, R, F>(data: &mut [T], chunk: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    let chunk = chunk.max(1);
+    let nchunks = data.len().div_ceil(chunk);
+    let workers = max_threads().min(nchunks);
+    if workers <= 1 {
+        return data
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(c, window)| f(c * chunk, window))
+            .collect();
+    }
+    // Deal the disjoint windows round-robin onto per-worker queues.
+    let mut queues: Vec<Vec<(usize, usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+    for (c, window) in data.chunks_mut(chunk).enumerate() {
+        queues[c % workers].push((c, c * chunk, window));
+    }
+    let f = &f;
+    let mut results: Vec<Option<R>> = (0..nchunks).map(|_| None).collect();
+    thread::scope(|s| {
+        let handles: Vec<_> = queues
+            .into_iter()
+            .map(|q| {
+                s.spawn(move || {
+                    q.into_iter().map(|(c, start, window)| (c, f(start, window))).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (c, r) in h.join().expect("parallel worker panicked") {
+                results[c] = Some(r);
+            }
+        }
+    });
+    results.into_iter().map(|r| r.expect("chunk not computed")).collect()
+}
+
+/// True when a parallel entry point should bother spawning: more than
+/// one worker is available *and* the problem clears the caller's
+/// serial-dispatch threshold.
+pub fn should_parallelize(work_items: usize, threshold: usize) -> bool {
+    work_items >= threshold && max_threads() > 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_boundaries_are_fixed() {
+        assert_eq!(chunk_ranges(10, 4), vec![0..4, 4..8, 8..10]);
+        assert_eq!(chunk_ranges(4, 4), vec![0..4]);
+        assert_eq!(chunk_ranges(0, 4), Vec::<Range<usize>>::new());
+        assert_eq!(chunk_ranges(3, 0), vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn map_chunks_results_in_chunk_order_for_any_thread_count() {
+        let serial: Vec<Range<usize>> = with_threads(1, || map_chunks(23, 5, |r| r));
+        for t in [2, 3, 8] {
+            let par = with_threads(t, || map_chunks(23, 5, |r| r));
+            assert_eq!(par, serial, "thread count {t} changed chunk order");
+        }
+    }
+
+    #[test]
+    fn map_chunks_reduction_is_bit_identical() {
+        let xs: Vec<f32> = (0..997).map(|i| (i as f32 * 0.37).sin()).collect();
+        let sum_chunks = |chunks: Vec<f32>| chunks.into_iter().fold(0.0f32, |a, b| a + b);
+        let partial = |r: Range<usize>| xs[r].iter().fold(0.0f32, |a, &b| a + b);
+        let serial = sum_chunks(with_threads(1, || map_chunks(xs.len(), 64, partial)));
+        for t in [2, 3, 7] {
+            let par = sum_chunks(with_threads(t, || map_chunks(xs.len(), 64, partial)));
+            assert_eq!(par.to_bits(), serial.to_bits());
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_mut_covers_every_element_once() {
+        let mut data = vec![0u32; 31];
+        for t in [1, 3, 8] {
+            data.iter_mut().for_each(|v| *v = 0);
+            let starts = with_threads(t, || {
+                for_each_chunk_mut(&mut data, 7, |start, window| {
+                    for (i, v) in window.iter_mut().enumerate() {
+                        *v += (start + i) as u32;
+                    }
+                    start
+                })
+            });
+            assert_eq!(starts, vec![0, 7, 14, 21, 28]);
+            for (i, &v) in data.iter().enumerate() {
+                assert_eq!(v, i as u32, "element {i} touched wrong number of times");
+            }
+        }
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let inner = with_threads(3, || {
+            let nested = with_threads(5, max_threads);
+            assert_eq!(nested, 5);
+            max_threads()
+        });
+        assert_eq!(inner, 3);
+        // Override cleared after the scope exits (ambient value may be
+        // env-dependent, so check the override cell directly).
+        assert_eq!(THREAD_OVERRIDE.with(|o| o.get()), None);
+    }
+
+    #[test]
+    fn env_var_sets_worker_count() {
+        // Process-global: this is the only test that touches ENW_THREADS.
+        std::env::set_var("ENW_THREADS", "1");
+        assert_eq!(max_threads(), 1);
+        std::env::set_var("ENW_THREADS", "6");
+        assert_eq!(max_threads(), 6);
+        // Garbage and zero fall back to the machine default.
+        std::env::set_var("ENW_THREADS", "zero");
+        assert!(max_threads() >= 1);
+        std::env::set_var("ENW_THREADS", "0");
+        assert!(max_threads() >= 1);
+        // The thread-local override outranks the environment.
+        std::env::set_var("ENW_THREADS", "4");
+        assert_eq!(with_threads(2, max_threads), 2);
+        std::env::remove_var("ENW_THREADS");
+    }
+
+    #[test]
+    fn should_parallelize_respects_threshold_and_override() {
+        with_threads(8, || {
+            assert!(should_parallelize(1000, 100));
+            assert!(!should_parallelize(10, 100));
+        });
+        with_threads(1, || {
+            assert!(!should_parallelize(1000, 100));
+        });
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                map_chunks(16, 1, |r| {
+                    if r.start == 9 {
+                        panic!("boom");
+                    }
+                    r.start
+                })
+            })
+        });
+        assert!(caught.is_err());
+    }
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Offline verification gate for the workspace. No network access needed:
+# proptest/criterion resolve to the vendored shims in vendor/.
+#
+#   scripts/verify.sh          build + tests + clippy (tier-1)
+#   scripts/verify.sh --full   additionally runs the property-test suites
+#                              (--features proptest) and compiles the
+#                              criterion benches (--features criterion-benches)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+if [[ "${1:-}" == "--full" ]]; then
+    echo "== cargo test -q --features proptest (property suites) =="
+    cargo test -q --features proptest
+    echo "== cargo check --benches --features criterion-benches =="
+    cargo check -p enw-bench --benches --features criterion-benches
+fi
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

@@ -1,0 +1,118 @@
+//! Serial-vs-parallel bit-exactness across crate boundaries: every
+//! parallel entry point must return outputs bitwise identical to its
+//! serial counterpart at any worker count (the determinism contract of
+//! `enw_core::parallel` — fixed chunk boundaries, ascending-index
+//! accumulation inside every chunk).
+//!
+//! Per-crate unit tests cover each kernel in isolation; this suite checks
+//! the composed, cross-crate paths the experiment binaries exercise.
+
+use enw_core::cam::array::TcamConfig;
+use enw_core::cam::bank::TcamBank;
+use enw_core::cam::cells;
+use enw_core::numerics::bits::BitVec;
+use enw_core::numerics::matrix::Matrix;
+use enw_core::numerics::rng::Rng64;
+use enw_core::parallel;
+use enw_core::recsys::model::EmbeddingTable;
+
+/// Worker counts exercised by every test: serial fallback, an uneven
+/// split, and more workers than most chunk counts.
+const THREAD_COUNTS: [usize; 3] = [1, 3, 8];
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn par_matvec_matches_serial_bitwise() {
+    let mut rng = Rng64::new(100);
+    // 200 rows exceeds the row-chunk size, so multi-worker runs really
+    // split the matrix; 90 columns leaves an uneven tail.
+    let m = Matrix::random_uniform(200, 90, -1.0, 1.0, &mut rng);
+    let x: Vec<f32> = (0..90).map(|_| rng.range(-1.0, 1.0) as f32).collect();
+    let serial = m.matvec(&x);
+    for threads in THREAD_COUNTS {
+        let par = parallel::with_threads(threads, || m.par_matvec(&x));
+        assert_eq!(bits(&serial), bits(&par), "threads = {threads}");
+    }
+}
+
+#[test]
+fn par_matmul_matches_serial_bitwise() {
+    let mut rng = Rng64::new(101);
+    let a = Matrix::random_uniform(150, 130, -1.0, 1.0, &mut rng);
+    let b = Matrix::random_uniform(130, 110, -1.0, 1.0, &mut rng);
+    let serial = a.matmul(&b);
+    for threads in THREAD_COUNTS {
+        let par = parallel::with_threads(threads, || a.par_matmul(&b));
+        assert_eq!(bits(serial.as_slice()), bits(par.as_slice()), "threads = {threads}");
+    }
+}
+
+#[test]
+fn parallel_tcam_bank_search_matches_serial_bitwise() {
+    let mut rng = Rng64::new(102);
+    // 40 arrays x 24 words x 64 bits clears the bank's parallel-dispatch
+    // threshold, so multi-worker runs take the fan-out path.
+    let mut bank = TcamBank::new(64, 24, cells::fefet_2t(), TcamConfig::default());
+    for _ in 0..960 {
+        let w: BitVec = (0..64).map(|_| rng.bernoulli(0.5)).collect();
+        bank.write(w);
+    }
+    let queries: Vec<BitVec> =
+        (0..8).map(|_| (0..64).map(|_| rng.bernoulli(0.5)).collect()).collect();
+    let reference: Vec<_> = {
+        let mut b = bank.clone();
+        parallel::with_threads(1, || queries.iter().map(|q| b.search_nearest(q)).collect())
+    };
+    for threads in THREAD_COUNTS {
+        let mut b = bank.clone();
+        let got: Vec<_> = parallel::with_threads(threads, || {
+            queries.iter().map(|q| b.search_nearest(q)).collect()
+        });
+        assert_eq!(reference, got, "threads = {threads}");
+    }
+}
+
+#[test]
+fn parallel_embedding_gather_matches_serial_bitwise() {
+    let mut rng = Rng64::new(103);
+    let tables: Vec<EmbeddingTable> =
+        (0..6).map(|_| EmbeddingTable::random(512, 48, &mut rng)).collect();
+    let index_lists: Vec<Vec<usize>> =
+        (0..6).map(|_| (0..100).map(|_| rng.below(512)).collect()).collect();
+    let serial: Vec<Vec<f32>> =
+        tables.iter().zip(&index_lists).map(|(t, idx)| t.lookup_pool(idx)).collect();
+    for threads in THREAD_COUNTS {
+        // Fan the per-table gathers out exactly as RecModel::predict does.
+        let par: Vec<Vec<f32>> = parallel::with_threads(threads, || {
+            parallel::map_chunks(tables.len(), 1, |r| {
+                r.map(|t| tables[t].lookup_pool(&index_lists[t])).collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        });
+        for (s, p) in serial.iter().zip(&par) {
+            assert_eq!(bits(s), bits(p), "threads = {threads}");
+        }
+    }
+}
+
+#[test]
+fn enw_threads_env_var_forces_serial_execution() {
+    // ENW_THREADS=1 must pin the worker count (and with_threads must
+    // override it in scoped sections). Env mutation is process-global, so
+    // this file must hold no other test that reads ENW_THREADS.
+    std::env::set_var("ENW_THREADS", "1");
+    assert_eq!(parallel::max_threads(), 1);
+    let mut rng = Rng64::new(104);
+    let a = Matrix::random_uniform(140, 120, -1.0, 1.0, &mut rng);
+    let b = Matrix::random_uniform(120, 100, -1.0, 1.0, &mut rng);
+    let pinned = a.par_matmul(&b); // serial under ENW_THREADS=1
+    let scoped = parallel::with_threads(4, || a.par_matmul(&b));
+    assert_eq!(bits(pinned.as_slice()), bits(scoped.as_slice()));
+    assert_eq!(parallel::max_threads(), 1, "with_threads must restore the env-pinned count");
+    std::env::remove_var("ENW_THREADS");
+}

@@ -1,0 +1,173 @@
+//! Offline shim of the `criterion` API surface this workspace uses.
+//!
+//! The build must succeed with zero network access, so the real
+//! `criterion` crate cannot be resolved from a registry. This shim keeps
+//! the `benches/*.rs` targets compiling and runnable: each benchmark is
+//! timed with a simple warmup + fixed-budget measurement loop and the
+//! median-of-batches nanoseconds per iteration is printed. There is no
+//! statistical analysis, HTML report, or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Passed to the closure given to `iter`; runs and times the body.
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `body`: short warmup, then batches until the time budget is
+    /// spent; records the fastest batch (least-noise estimate).
+    pub fn iter<R>(&mut self, mut body: impl FnMut() -> R) {
+        // Warmup and batch-size calibration.
+        let calib = Instant::now();
+        let mut calib_iters = 0u64;
+        while calib.elapsed() < Duration::from_millis(50) {
+            black_box(body());
+            calib_iters += 1;
+        }
+        let batch = calib_iters.max(1);
+        let mut best = f64::INFINITY;
+        let measure = Instant::now();
+        while measure.elapsed() < Duration::from_millis(300) {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(body());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / batch as f64;
+            if ns < best {
+                best = ns;
+            }
+        }
+        self.ns_per_iter = best;
+    }
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { ns_per_iter: f64::NAN };
+    f(&mut b);
+    if b.ns_per_iter < 1_000.0 {
+        println!("{label:<48} {:10.1} ns/iter", b.ns_per_iter);
+    } else if b.ns_per_iter < 1_000_000.0 {
+        println!("{label:<48} {:10.2} us/iter", b.ns_per_iter / 1e3);
+    } else {
+        println!("{label:<48} {:10.2} ms/iter", b.ns_per_iter / 1e6);
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver; created by `criterion_main!`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _criterion: self }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+}
+
+/// Declares a named group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("fp32", 4).label, "fp32/4");
+        assert_eq!(BenchmarkId::from_parameter(256).label, "256");
+    }
+
+    #[test]
+    fn bencher_records_positive_time() {
+        let mut b = Bencher { ns_per_iter: f64::NAN };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(b.ns_per_iter.is_finite() && b.ns_per_iter >= 0.0);
+    }
+}
