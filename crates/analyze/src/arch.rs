@@ -1,0 +1,106 @@
+//! Architectural rules over crate manifests.
+//!
+//! | id       | severity | what it enforces |
+//! |----------|----------|------------------|
+//! | ENW-A001 | deny     | internal dependency edges must follow the declared layering |
+//! | ENW-A003 | deny     | `proptest`/`criterion` in `[dependencies]` must be `optional` (feature-gated vendored shims) |
+//!
+//! The layering table below is the single source of truth for who may
+//! depend on whom. A crate that is not listed is itself a deny finding:
+//! adding a crate to the workspace requires declaring its place in the
+//! architecture here.
+
+use crate::report::{Finding, Severity};
+
+/// Allowed internal (`enw-*`) dependencies per crate directory, bottom of
+/// the stack first. `dev-dependencies` are exempt (tests may reach
+/// anywhere below them in the build graph anyway).
+pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
+    ("parallel", &[]),
+    ("numerics", &["parallel"]),
+    ("nn", &["numerics", "parallel"]),
+    ("crossbar", &["numerics", "nn", "parallel"]),
+    ("mann", &["numerics", "nn", "parallel"]),
+    ("xmann", &["numerics", "mann", "parallel"]),
+    ("cam", &["numerics", "mann", "xmann", "parallel"]),
+    ("recsys", &["numerics", "nn", "parallel"]),
+    ("core", &["numerics", "nn", "crossbar", "mann", "xmann", "cam", "recsys", "parallel"]),
+    ("bench", &["core"]),
+    ("analyze", &[]),
+];
+
+/// Vendored shims that must stay behind an explicit feature when they are
+/// a build (not dev) dependency.
+const GATED_SHIMS: &[&str] = &["proptest", "criterion"];
+
+/// Lints one crate manifest. `crate_dir` is the directory name under
+/// `crates/`, `rel_path` the manifest path used in findings.
+pub fn check_manifest(crate_dir: &str, rel_path: &str, contents: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let allowed = ALLOWED_DEPS.iter().find(|(c, _)| *c == crate_dir).map(|(_, deps)| *deps);
+    let mut section = String::new();
+    for (lineno, raw) in contents.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno as u32 + 1;
+        if line.starts_with('[') {
+            section = line.trim_matches(|c| c == '[' || c == ']').to_string();
+            continue;
+        }
+        if section != "dependencies" || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // `name = …`, `name.workspace = true`, or `name = { … }`.
+        let Some(dep) = line.split(['=', '.', ' ']).next().map(str::trim) else {
+            continue;
+        };
+        if dep.is_empty() {
+            continue;
+        }
+        if GATED_SHIMS.contains(&dep) && !line.contains("optional = true") {
+            out.push(Finding {
+                rule: "ENW-A003",
+                severity: Severity::Deny,
+                path: rel_path.to_string(),
+                line: lineno,
+                message: format!(
+                    "vendored shim `{dep}` must be `optional = true` behind a feature so \
+                     tier-1 builds never compile it"
+                ),
+                snippet: line.to_string(),
+            });
+        }
+        if let Some(internal) = dep.strip_prefix("enw-") {
+            match allowed {
+                None => {
+                    out.push(Finding {
+                        rule: "ENW-A001",
+                        severity: Severity::Deny,
+                        path: rel_path.to_string(),
+                        line: lineno,
+                        message: format!(
+                            "crate `{crate_dir}` has no entry in the layering table \
+                             (crates/analyze/src/arch.rs); declare its allowed dependencies"
+                        ),
+                        snippet: line.to_string(),
+                    });
+                }
+                Some(deps) if !deps.contains(&internal) => {
+                    out.push(Finding {
+                        rule: "ENW-A001",
+                        severity: Severity::Deny,
+                        path: rel_path.to_string(),
+                        line: lineno,
+                        message: format!(
+                            "`{crate_dir}` may not depend on `enw-{internal}` \
+                             (allowed: {})",
+                            if deps.is_empty() { "none".to_string() } else { deps.join(", ") }
+                        ),
+                        snippet: line.to_string(),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,140 @@
+//! `lint.toml` allowlist parsing and waiver application.
+//!
+//! The file is a sequence of `[[allow]]` entries, each waiving findings of
+//! one rule at one path whose source line contains a marker substring:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "ENW-P002"
+//! path = "crates/parallel/src/lib.rs"
+//! contains = "chunk not computed"
+//! justification = "Round-robin claim assigns every chunk exactly once."
+//! ```
+//!
+//! Every entry must carry a non-empty justification — the point of the
+//! allowlist is that waivers are written down, reviewed, and greppable.
+//! Only the minimal TOML subset above is supported (string values, `#`
+//! comments); the parser is std-only by design.
+
+use crate::report::{Analysis, Finding, Waived};
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id the waiver applies to (e.g. `ENW-P002`).
+    pub rule: String,
+    /// Workspace-relative path the waiver applies to.
+    pub path: String,
+    /// Substring the offending source line must contain.
+    pub contains: String,
+    /// Human-written reason the site is acceptable.
+    pub justification: String,
+}
+
+impl AllowEntry {
+    /// True when this entry waives the given finding.
+    pub fn matches(&self, f: &Finding) -> bool {
+        self.rule == f.rule && self.path == f.path && f.snippet.contains(&self.contains)
+    }
+}
+
+/// Parses `lint.toml` contents; returns entries or a diagnostic string.
+pub fn parse_allowlist(contents: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut current: Option<[Option<String>; 4]> = None;
+    let finish =
+        |slot: Option<[Option<String>; 4]>, entries: &mut Vec<AllowEntry>| -> Result<(), String> {
+            let Some(fields) = slot else {
+                return Ok(());
+            };
+            let [rule, path, contains, justification] = fields;
+            let entry = AllowEntry {
+                rule: rule.ok_or("allow entry missing `rule`")?,
+                path: path.ok_or("allow entry missing `path`")?,
+                contains: contains.ok_or("allow entry missing `contains`")?,
+                justification: justification.ok_or("allow entry missing `justification`")?,
+            };
+            if entry.justification.trim().len() < 10 {
+                return Err(format!(
+                    "allow entry for {} at {} needs a real justification (got {:?})",
+                    entry.rule, entry.path, entry.justification
+                ));
+            }
+            entries.push(entry);
+            Ok(())
+        };
+    for (lineno, raw) in contents.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            finish(current.take(), &mut entries)?;
+            current = Some([None, None, None, None]);
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("lint.toml:{}: expected `key = \"value\"`", lineno + 1));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        if !(value.starts_with('"') && value.ends_with('"') && value.len() >= 2) {
+            return Err(format!("lint.toml:{}: value for `{key}` must be a string", lineno + 1));
+        }
+        let value = value.trim_matches('"').to_string();
+        let Some(fields) = current.as_mut() else {
+            return Err(format!("lint.toml:{}: `{key}` outside an [[allow]] entry", lineno + 1));
+        };
+        let idx = match key {
+            "rule" => 0,
+            "path" => 1,
+            "contains" => 2,
+            "justification" => 3,
+            other => {
+                return Err(format!("lint.toml:{}: unknown key `{other}`", lineno + 1));
+            }
+        };
+        if let Some(slot) = fields.get_mut(idx) {
+            if slot.is_some() {
+                return Err(format!("lint.toml:{}: duplicate key `{key}`", lineno + 1));
+            }
+            *slot = Some(value);
+        }
+    }
+    finish(current.take(), &mut entries)?;
+    Ok(entries)
+}
+
+/// Splits raw findings into surviving findings and waived ones, and flags
+/// allowlist entries that no longer match anything (ENW-C001, warn) so the
+/// file cannot accumulate stale waivers silently.
+pub fn apply_allowlist(raw: Vec<Finding>, allow: &[AllowEntry], analysis: &mut Analysis) {
+    let mut used = vec![false; allow.len()];
+    for f in raw {
+        let hit = allow.iter().enumerate().find(|(_, a)| a.matches(&f));
+        match hit {
+            Some((i, a)) => {
+                if let Some(u) = used.get_mut(i) {
+                    *u = true;
+                }
+                analysis.waived.push(Waived { finding: f, justification: a.justification.clone() });
+            }
+            None => analysis.findings.push(f),
+        }
+    }
+    for (a, was_used) in allow.iter().zip(&used) {
+        if !*was_used {
+            analysis.findings.push(Finding {
+                rule: "ENW-C001",
+                severity: crate::report::Severity::Warn,
+                path: "lint.toml".to_string(),
+                line: 0,
+                message: format!(
+                    "stale allowlist entry: {} at {} (contains {:?}) matches nothing; remove it",
+                    a.rule, a.path, a.contains
+                ),
+                snippet: String::new(),
+            });
+        }
+    }
+}

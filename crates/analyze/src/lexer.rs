@@ -1,0 +1,414 @@
+//! A small hand-written token scanner for Rust source.
+//!
+//! The analyzer does not need a full parser: every rule it enforces is
+//! expressible over a comment- and string-aware token stream plus a map of
+//! which token ranges sit inside test-only code (`#[cfg(test)]` modules and
+//! `#[test]` functions). Doc comments and doc-test examples are comments at
+//! this level, so `/// foo.unwrap()` never trips a lint.
+
+/// Token kinds. Punctuation is emitted one character at a time; the rules
+/// only ever match short fixed sequences, so multi-character operators do
+/// not need to be glued back together.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer literal (digits/underscores only, after prefix handling).
+    Int,
+    /// Any other numeric literal (floats, hex, suffixed forms).
+    Num,
+    /// String literal (normal, raw, or byte); `text` holds the body.
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Lifetime such as `'a`.
+    Lifetime,
+    /// Single punctuation character; `text` holds it.
+    Punct,
+}
+
+/// One token with its 1-indexed source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Identifier/literal text, or the punctuation character.
+    pub text: String,
+    /// 1-indexed line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this token is the given identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `src`, skipping comments (line, nested block) and tracking
+/// line numbers. String/char bodies are preserved so rules can inspect
+/// literal contents (e.g. `BENCH_*` report names).
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = chars.len();
+    let bump = |c: char, line: &mut u32| {
+        if c == '\n' {
+            *line += 1;
+        }
+    };
+    while i < n {
+        let c = chars[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump(c, &mut line);
+            i += 1;
+            continue;
+        }
+        // Line comments (incl. doc comments).
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Nested block comments.
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    bump(chars[i], &mut line);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw strings r"..." / r#"..."# and byte-string prefixes.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            if let Some((tok, next)) = scan_prefixed_literal(&chars, i, line) {
+                for ch in chars[i..next].iter() {
+                    bump(*ch, &mut line);
+                }
+                toks.push(tok);
+                i = next;
+                continue;
+            }
+        }
+        // Normal strings.
+        if c == '"' {
+            let start_line = line;
+            let (body, next) = scan_string(&chars, i + 1, &mut line);
+            toks.push(Token { kind: TokKind::Str, text: body, line: start_line });
+            i = next;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let start_line = line;
+            let (tok, next) = scan_quote(&chars, i, start_line);
+            for ch in chars[i..next].iter() {
+                bump(*ch, &mut line);
+            }
+            toks.push(tok);
+            i = next;
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            let start_line = line;
+            i += 1;
+            while i < n && (is_ident_continue(chars[i])) {
+                i += 1;
+            }
+            // Fractional part, but not a `..` range.
+            if i + 1 < n && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < n && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+            }
+            let text: String = chars[start..i].iter().collect();
+            let kind = if text.chars().all(|d| d.is_ascii_digit() || d == '_') {
+                TokKind::Int
+            } else {
+                TokKind::Num
+            };
+            toks.push(Token { kind, text, line: start_line });
+            continue;
+        }
+        // Identifiers / keywords.
+        if is_ident_start(c) {
+            let start = i;
+            let start_line = line;
+            i += 1;
+            while i < n && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Ident,
+                text: chars[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Everything else: one punctuation character.
+        toks.push(Token { kind: TokKind::Punct, text: c.to_string(), line });
+        i += 1;
+    }
+    toks
+}
+
+/// Scans `r"…"`, `r#"…"#`, `br"…"`, `b"…"`, or `b'…'` starting at `i`
+/// (which points at the `r`/`b`). Returns the token and the index one
+/// past the literal, or `None` if this is a plain identifier.
+fn scan_prefixed_literal(chars: &[char], i: usize, line: u32) -> Option<(Token, usize)> {
+    let n = chars.len();
+    let mut j = i;
+    let mut raw = false;
+    if chars[j] == 'b' {
+        j += 1;
+        if j < n && chars[j] == 'r' {
+            raw = true;
+            j += 1;
+        }
+    } else if chars[j] == 'r' {
+        raw = true;
+        j += 1;
+    }
+    if j >= n {
+        return None;
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while j < n && chars[j] == '#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j >= n || chars[j] != '"' {
+            return None; // `r#foo` raw identifier or plain ident
+        }
+        j += 1;
+        let start = j;
+        // Find `"` followed by `hashes` hash marks.
+        while j < n {
+            if chars[j] == '"' {
+                let mut k = j + 1;
+                let mut seen = 0usize;
+                while k < n && seen < hashes && chars[k] == '#' {
+                    seen += 1;
+                    k += 1;
+                }
+                if seen == hashes {
+                    let body: String = chars[start..j].iter().collect();
+                    return Some((Token { kind: TokKind::Str, text: body, line }, k));
+                }
+            }
+            j += 1;
+        }
+        let body: String = chars[start..].iter().collect();
+        Some((Token { kind: TokKind::Str, text: body, line }, n))
+    } else if chars[j] == '"' {
+        // b"…": scan with escapes.
+        j += 1;
+        let start = j;
+        while j < n {
+            if chars[j] == '\\' {
+                j += 2;
+                continue;
+            }
+            if chars[j] == '"' {
+                let body: String = chars[start..j].iter().collect();
+                return Some((Token { kind: TokKind::Str, text: body, line }, j + 1));
+            }
+            j += 1;
+        }
+        Some((Token { kind: TokKind::Str, text: chars[start..].iter().collect(), line }, n))
+    } else if chars[i] == 'b' && chars[j] == '\'' {
+        // b'…' byte literal.
+        let (tok, next) = scan_quote(chars, j, line);
+        Some((tok, next))
+    } else {
+        None
+    }
+}
+
+/// Scans a normal string body starting just after the opening quote.
+fn scan_string(chars: &[char], mut i: usize, line: &mut u32) -> (String, usize) {
+    let n = chars.len();
+    let start = i;
+    while i < n {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => {
+                let body: String = chars[start..i].iter().collect();
+                for c in body.chars() {
+                    if c == '\n' {
+                        *line += 1;
+                    }
+                }
+                return (body, i + 1);
+            }
+            _ => i += 1,
+        }
+    }
+    let body: String = chars[start..].iter().collect();
+    (body, n)
+}
+
+/// Scans from a `'`: either a char literal (`'a'`, `'\n'`, `'0'`) or a
+/// lifetime (`'a`, `'static`). Returns the token and the next index.
+fn scan_quote(chars: &[char], i: usize, line: u32) -> (Token, usize) {
+    let n = chars.len();
+    let mut j = i + 1;
+    if j >= n {
+        return (Token { kind: TokKind::Punct, text: "'".into(), line }, j);
+    }
+    if chars[j] == '\\' {
+        // Escaped char literal: skip escape, find closing quote.
+        j += 2;
+        while j < n && chars[j] != '\'' {
+            j += 1;
+        }
+        return (Token { kind: TokKind::Char, text: String::new(), line }, (j + 1).min(n));
+    }
+    if is_ident_continue(chars[j]) {
+        let start = j;
+        j += 1;
+        while j < n && is_ident_continue(chars[j]) {
+            j += 1;
+        }
+        if j < n && chars[j] == '\'' {
+            let body: String = chars[start..j].iter().collect();
+            return (Token { kind: TokKind::Char, text: body, line }, j + 1);
+        }
+        let body: String = chars[start..j].iter().collect();
+        return (Token { kind: TokKind::Lifetime, text: body, line }, j);
+    }
+    // `' '` and other single-char literals.
+    if j + 1 < n && chars[j + 1] == '\'' {
+        return (Token { kind: TokKind::Char, text: chars[j].to_string(), line }, j + 2);
+    }
+    (Token { kind: TokKind::Punct, text: "'".into(), line }, j)
+}
+
+/// Token-index ranges (half-open) that sit inside test-only code: bodies of
+/// `#[cfg(test)]` items and `#[test]` functions.
+pub fn test_regions(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0usize;
+    let n = toks.len();
+    while i < n {
+        if !(toks[i].is_punct('#') && i + 1 < n && toks[i + 1].is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute's tokens (balanced square brackets).
+        let attr_start = i + 2;
+        let mut depth = 1usize;
+        let mut j = attr_start;
+        while j < n && depth > 0 {
+            if toks[j].is_punct('[') {
+                depth += 1;
+            } else if toks[j].is_punct(']') {
+                depth -= 1;
+            }
+            j += 1;
+        }
+        let attr = &toks[attr_start..j.saturating_sub(1)];
+        if !is_test_attr(attr) {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes (e.g. `#[should_panic]`), then find
+        // the item's body brace; a `;` first means no body (e.g. a
+        // `#[cfg(test)] use …;` — nothing to mark).
+        let mut k = j;
+        loop {
+            if k >= n {
+                break;
+            }
+            if toks[k].is_punct('#') && k + 1 < n && toks[k + 1].is_punct('[') {
+                let mut d = 1usize;
+                k += 2;
+                while k < n && d > 0 {
+                    if toks[k].is_punct('[') {
+                        d += 1;
+                    } else if toks[k].is_punct(']') {
+                        d -= 1;
+                    }
+                    k += 1;
+                }
+                continue;
+            }
+            if toks[k].is_punct(';') {
+                k = n; // no body
+                break;
+            }
+            if toks[k].is_punct('{') {
+                break;
+            }
+            k += 1;
+        }
+        if k >= n {
+            i = j;
+            continue;
+        }
+        // Mark the balanced brace block as a test region.
+        let body_start = k;
+        let mut d = 1usize;
+        k += 1;
+        while k < n && d > 0 {
+            if toks[k].is_punct('{') {
+                d += 1;
+            } else if toks[k].is_punct('}') {
+                d -= 1;
+            }
+            k += 1;
+        }
+        regions.push((body_start, k));
+        i = k;
+    }
+    regions
+}
+
+/// True for `#[test]` and `#[cfg(test)]`-style attributes. `cfg(not(test))`
+/// guards *non*-test code and must not match.
+fn is_test_attr(attr: &[Token]) -> bool {
+    if attr.len() == 1 && attr.first().map(|t| t.is_ident("test")) == Some(true) {
+        return true;
+    }
+    if attr.first().map(|t| t.is_ident("cfg")) == Some(true) {
+        let has_test = attr.iter().any(|t| t.is_ident("test"));
+        let has_not = attr.iter().any(|t| t.is_ident("not"));
+        return has_test && !has_not;
+    }
+    false
+}
+
+/// True when token index `idx` falls inside any of `regions`.
+pub fn in_regions(regions: &[(usize, usize)], idx: usize) -> bool {
+    regions.iter().any(|&(a, b)| idx >= a && idx < b)
+}

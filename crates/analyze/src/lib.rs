@@ -1,0 +1,126 @@
+//! `enw-analyze`: std-only static analysis enforcing the workspace's
+//! determinism, panic-freedom, and architectural invariants.
+//!
+//! PR 1's parallel runtime guarantees bit-identical outputs at any thread
+//! count; this crate is the mechanical gate that keeps that property from
+//! rotting: no hash-order iteration in kernel crates, no ambient time or
+//! entropy outside the bench harness, no raw thread spawns outside
+//! `enw-parallel`, no panicking combinators in library code, and a
+//! dependency graph that matches the declared layering. See the module
+//! docs of [`rules`] and [`arch`] for the full rule catalogue, and
+//! `lint.toml` at the workspace root for the justified-waiver allowlist.
+//!
+//! Run the gate with `cargo run -p enw-analyze`; it prints human-readable
+//! diagnostics, writes `analyze-report.json`, and exits non-zero on any
+//! deny-level finding.
+
+pub mod arch;
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use report::{Analysis, Finding, Severity};
+pub use rules::scan_source;
+
+/// Directories never scanned: build output and the vendored shims (the
+/// shims exist to satisfy external APIs and are exempt by construction).
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", ".github"];
+
+/// Runs the full analysis over a workspace root: every `.rs` file under
+/// `crates/`, `tests/`, and `examples/`, plus every `crates/*/Cargo.toml`,
+/// filtered through the `lint.toml` allowlist if present.
+pub fn analyze_workspace(root: &Path) -> Result<Analysis, String> {
+    let allow = match fs::read_to_string(root.join("lint.toml")) {
+        Ok(contents) => config::parse_allowlist(&contents)?,
+        Err(_) => Vec::new(),
+    };
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut analysis = Analysis::default();
+
+    let mut files: Vec<PathBuf> = Vec::new();
+    for top in ["crates", "tests", "examples"] {
+        collect_rs_files(&root.join(top), &mut files);
+    }
+    files.sort();
+    for path in &files {
+        let rel = rel_path(root, path);
+        let src = fs::read_to_string(path)
+            .map_err(|e| format!("failed to read {}: {e}", path.display()))?;
+        raw.extend(rules::scan_source(&rel, &src));
+        analysis.files_scanned += 1;
+    }
+
+    let mut manifests: Vec<PathBuf> = Vec::new();
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            let m = entry.path().join("Cargo.toml");
+            if m.is_file() {
+                manifests.push(m);
+            }
+        }
+    }
+    manifests.sort();
+    for path in &manifests {
+        let rel = rel_path(root, path);
+        let crate_dir = path
+            .parent()
+            .and_then(|p| p.file_name())
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let contents = fs::read_to_string(path)
+            .map_err(|e| format!("failed to read {}: {e}", path.display()))?;
+        raw.extend(arch::check_manifest(&crate_dir, &rel, &contents));
+        analysis.manifests_checked += 1;
+    }
+
+    config::apply_allowlist(raw, &allow, &mut analysis);
+    analysis.findings.sort_by(|a, b| {
+        let sev = |f: &Finding| matches!(f.severity, Severity::Warn) as u8;
+        (sev(a), a.path.clone(), a.line, a.rule).cmp(&(sev(b), b.path.clone(), b.line, b.rule))
+    });
+    Ok(analysis)
+}
+
+/// Ascends from `start` to the first directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(contents) = fs::read_to_string(&manifest) {
+            if contents.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/")
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_rs_files(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}

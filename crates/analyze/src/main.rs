@@ -1,0 +1,89 @@
+//! CLI for the workspace lint gate.
+//!
+//! ```text
+//! cargo run -p enw-analyze                # lint the workspace, write analyze-report.json
+//! cargo run -p enw-analyze -- --root X    # lint a different tree
+//! cargo run -p enw-analyze -- --warnings  # also list warn-level findings
+//! cargo run -p enw-analyze -- --no-report
+//! ```
+//!
+//! Exit codes: 0 clean (warns allowed), 1 deny findings, 2 usage/config
+//! error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+    let mut write_report = true;
+    let mut show_warnings = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--json" => json = args.next().map(PathBuf::from),
+            "--no-report" => write_report = false,
+            "--warnings" => show_warnings = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: enw-analyze [--root DIR] [--json FILE] [--no-report] [--warnings]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("enw-analyze: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let root = match root.or_else(|| enw_analyze::find_workspace_root(&cwd)) {
+        Some(r) => r,
+        None => {
+            eprintln!("enw-analyze: no workspace root found above {}", cwd.display());
+            return ExitCode::from(2);
+        }
+    };
+    let analysis = match enw_analyze::analyze_workspace(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("enw-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for f in &analysis.findings {
+        if f.severity == enw_analyze::Severity::Warn && !show_warnings {
+            continue;
+        }
+        println!("{f}");
+        if !f.snippet.is_empty() {
+            println!("    {}", f.snippet);
+        }
+    }
+    let denies = analysis.deny_count();
+    let warns = analysis.warn_count();
+    println!(
+        "enw-analyze: {} files, {} manifests; {} deny, {} warn, {} waived",
+        analysis.files_scanned,
+        analysis.manifests_checked,
+        denies,
+        warns,
+        analysis.waived.len()
+    );
+    if warns > 0 && !show_warnings {
+        println!("enw-analyze: rerun with --warnings (or read the JSON report) for warn details");
+    }
+    if write_report {
+        let path = json.unwrap_or_else(|| root.join("analyze-report.json"));
+        if let Err(e) = std::fs::write(&path, analysis.to_json()) {
+            eprintln!("enw-analyze: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if denies > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,155 @@
+//! Finding types, human-readable rendering, and the machine-readable
+//! `analyze-report.json` emitter. Hand-rolled JSON keeps the crate
+//! dependency-free.
+
+use std::fmt;
+
+/// How a finding affects the exit status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the gate (non-zero exit).
+    Deny,
+    /// Reported, but does not fail the gate.
+    Warn,
+}
+
+impl Severity {
+    /// Lower-case label used in output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+/// One diagnostic produced by a rule.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Stable rule identifier (e.g. `ENW-P001`).
+    pub rule: &'static str,
+    /// Deny or warn.
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-indexed line.
+    pub line: u32,
+    /// What the rule objects to.
+    pub message: String,
+    /// Trimmed source line (used for allowlist matching and context).
+    pub snippet: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {}:{} — {}",
+            self.severity.label(),
+            self.rule,
+            self.path,
+            self.line,
+            self.message
+        )
+    }
+}
+
+/// A finding waived by a `lint.toml` entry, with its justification.
+#[derive(Debug, Clone)]
+pub struct Waived {
+    /// The suppressed finding.
+    pub finding: Finding,
+    /// The allowlist entry's justification string.
+    pub justification: String,
+}
+
+/// Full result of one analysis run.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Findings that survived the allowlist, deny first.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by `lint.toml`.
+    pub waived: Vec<Waived>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of crate manifests checked.
+    pub manifests_checked: usize,
+}
+
+impl Analysis {
+    /// Number of deny-severity findings (the gate's exit criterion).
+    pub fn deny_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.severity == Severity::Deny).count()
+    }
+
+    /// Number of warn-severity findings.
+    pub fn warn_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.severity == Severity::Warn).count()
+    }
+
+    /// Renders the machine-readable JSON report.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": 1,\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            push_finding_json(&mut out, f, None);
+        }
+        out.push_str("\n  ],\n  \"waived\": [");
+        for (i, w) in self.waived.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            push_finding_json(&mut out, &w.finding, Some(&w.justification));
+        }
+        out.push_str("\n  ],\n  \"summary\": {");
+        out.push_str(&format!(
+            "\"files_scanned\": {}, \"manifests_checked\": {}, \"deny\": {}, \"warn\": {}, \"waived\": {}",
+            self.files_scanned,
+            self.manifests_checked,
+            self.deny_count(),
+            self.warn_count(),
+            self.waived.len()
+        ));
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+fn push_finding_json(out: &mut String, f: &Finding, justification: Option<&str>) {
+    out.push_str(&format!(
+        "{{\"rule\": {}, \"severity\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}",
+        json_str(f.rule),
+        json_str(f.severity.label()),
+        json_str(&f.path),
+        f.line,
+        json_str(&f.message),
+        json_str(&f.snippet)
+    ));
+    if let Some(j) = justification {
+        out.push_str(&format!(", \"justification\": {}", json_str(j)));
+    }
+    out.push('}');
+}
+
+/// Escapes a string for JSON output.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,248 @@
+//! Source-level lint rules over the token stream.
+//!
+//! Rule catalogue (stable ids; severities are built in):
+//!
+//! | id       | severity | what it enforces |
+//! |----------|----------|------------------|
+//! | ENW-D001 | deny     | no `HashMap`/`HashSet` in kernel crates (iteration order would feed numeric results) |
+//! | ENW-D002 | deny     | no `Instant`/`SystemTime` outside `bench`/`parallel` (ambient time in kernels breaks reproducibility) |
+//! | ENW-D003 | deny     | no ambient entropy (`thread_rng`, `OsRng`, `RandomState`, …) outside `bench`/`parallel` |
+//! | ENW-D004 | deny     | no `thread::spawn` outside `enw-parallel` (all parallelism goes through the deterministic runtime) |
+//! | ENW-P001 | deny     | no `.unwrap()` in non-test library code |
+//! | ENW-P002 | deny     | no `.expect(…)` in non-test library code |
+//! | ENW-P003 | deny     | no `panic!`/`todo!`/`unimplemented!`/`unreachable!` in non-test library code |
+//! | ENW-P004 | warn     | no indexing by integer literal (`xs[0]`) in non-test library code |
+//! | ENW-A002 | deny     | only `crates/bench` may name `BENCH_*` report artifacts |
+//!
+//! Test code (bodies of `#[cfg(test)]` items and `#[test]` fns), doc
+//! comments, binaries under `src/bin/`, bench targets, and integration
+//! tests are exempt from the panic-freedom rules; determinism rules apply
+//! per crate regardless of target kind.
+
+use crate::lexer::{self, TokKind, Token};
+use crate::report::{Finding, Severity};
+
+/// Crates whose numeric/kernel paths must stay free of hash collections
+/// (ENW-D001). `nn` and `core` may use maps for bookkeeping/reports.
+pub const KERNEL_CRATES: &[&str] = &["numerics", "crossbar", "cam", "xmann", "mann", "recsys"];
+
+/// Crates allowed to read wall-clock time or ambient entropy
+/// (ENW-D002/D003): the bench harness times things by design, and the
+/// parallel runtime sizes its pool from the host.
+pub const AMBIENT_ALLOWED: &[&str] = &["bench", "parallel"];
+
+/// The only crate allowed to spawn threads (ENW-D004).
+pub const SPAWN_ALLOWED: &[&str] = &["parallel"];
+
+/// Identifiers that mean ambient entropy when they appear at all.
+const ENTROPY_IDENTS: &[&str] =
+    &["thread_rng", "from_entropy", "OsRng", "getrandom", "RandomState"];
+
+/// What kind of compilation target a file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code: all rules apply.
+    Lib,
+    /// Binary target (`src/bin/…`, `src/main.rs`): panic rules off.
+    Bin,
+    /// Test or bench target: panic rules off.
+    Test,
+    /// Example: panic rules off.
+    Example,
+}
+
+/// Classifies a workspace-relative path into its owning crate (the
+/// directory name under `crates/`) and target kind. Workspace-level
+/// `tests/` and `examples/` are targets of the bench crate.
+pub fn classify(rel_path: &str) -> (Option<String>, FileKind) {
+    let p = rel_path.replace('\\', "/");
+    if let Some(rest) = p.strip_prefix("crates/") {
+        let crate_name = rest.split('/').next().unwrap_or("").to_string();
+        let kind = if rest.contains("/src/bin/") || rest.ends_with("src/main.rs") {
+            FileKind::Bin
+        } else if rest.contains("/tests/") || rest.contains("/benches/") {
+            FileKind::Test
+        } else if rest.contains("/examples/") {
+            FileKind::Example
+        } else {
+            FileKind::Lib
+        };
+        (Some(crate_name), kind)
+    } else if p.starts_with("tests/") {
+        (Some("bench".to_string()), FileKind::Test)
+    } else if p.starts_with("examples/") {
+        (Some("bench".to_string()), FileKind::Example)
+    } else {
+        (None, FileKind::Lib)
+    }
+}
+
+/// Lints one source file; `rel_path` drives crate/target classification.
+pub fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let (crate_name, kind) = classify(rel_path);
+    let crate_name = crate_name.unwrap_or_default();
+    let toks = lexer::tokenize(src);
+    let regions = lexer::test_regions(&toks);
+    let lines: Vec<&str> = src.lines().collect();
+    let snippet = |line: u32| -> String {
+        lines.get(line as usize - 1).map(|l| l.trim().to_string()).unwrap_or_default()
+    };
+    let mut out = Vec::new();
+    let mut push = |rule: &'static str, severity: Severity, line: u32, message: String| {
+        out.push(Finding {
+            rule,
+            severity,
+            path: rel_path.to_string(),
+            line,
+            message,
+            snippet: snippet(line),
+        });
+    };
+
+    let kernel = KERNEL_CRATES.contains(&crate_name.as_str());
+    let ambient_ok = AMBIENT_ALLOWED.contains(&crate_name.as_str());
+    let spawn_ok = SPAWN_ALLOWED.contains(&crate_name.as_str());
+    let panic_rules = kind == FileKind::Lib;
+
+    for (i, t) in toks.iter().enumerate() {
+        if lexer::in_regions(&regions, i) {
+            continue;
+        }
+        match t.kind {
+            TokKind::Ident => {
+                let name = t.text.as_str();
+                if kernel && (name == "HashMap" || name == "HashSet") {
+                    push(
+                        "ENW-D001",
+                        Severity::Deny,
+                        t.line,
+                        format!(
+                            "`{name}` in kernel crate `{crate_name}`: hash iteration order \
+                             may feed numeric results; use BTreeMap/BTreeSet or a sorted Vec"
+                        ),
+                    );
+                }
+                if !ambient_ok && (name == "Instant" || name == "SystemTime") {
+                    push(
+                        "ENW-D002",
+                        Severity::Deny,
+                        t.line,
+                        format!(
+                            "ambient wall-clock (`{name}`) outside bench/parallel breaks \
+                             bit-reproducibility; plumb timings through the bench harness"
+                        ),
+                    );
+                }
+                if !ambient_ok && ENTROPY_IDENTS.contains(&name) {
+                    push(
+                        "ENW-D003",
+                        Severity::Deny,
+                        t.line,
+                        format!(
+                            "ambient entropy (`{name}`) outside bench/parallel; all \
+                             randomness must come from a seeded `Rng64`"
+                        ),
+                    );
+                }
+                if !spawn_ok
+                    && name == "thread"
+                    && matches_seq(&toks, i + 1, &[":", ":"])
+                    && toks.get(i + 3).map(|t| t.is_ident("spawn")) == Some(true)
+                {
+                    push(
+                        "ENW-D004",
+                        Severity::Deny,
+                        t.line,
+                        "raw `thread::spawn` outside `enw-parallel`; use the deterministic \
+                         runtime (`enw_parallel::map_chunks` and friends)"
+                            .to_string(),
+                    );
+                }
+                if panic_rules
+                    && (name == "panic"
+                        || name == "todo"
+                        || name == "unimplemented"
+                        || name == "unreachable")
+                    && toks.get(i + 1).map(|t| t.is_punct('!')) == Some(true)
+                {
+                    push(
+                        "ENW-P003",
+                        Severity::Deny,
+                        t.line,
+                        format!(
+                            "`{name}!` in library code; return a Result, use a documented \
+                             `assert!` with an invariant message, or waive in lint.toml"
+                        ),
+                    );
+                }
+                if panic_rules
+                    && (name == "unwrap" || name == "expect")
+                    && i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).map(|t| t.is_punct('(')) == Some(true)
+                {
+                    let rule = if name == "unwrap" { "ENW-P001" } else { "ENW-P002" };
+                    push(
+                        rule,
+                        Severity::Deny,
+                        t.line,
+                        format!(
+                            "`.{name}(…)` in library code; restructure (match / map_or / \
+                             total_cmp), return a Result, or waive in lint.toml with a \
+                             justification"
+                        ),
+                    );
+                }
+            }
+            // `analyze` is exempt from ENW-A002: the rule implementation and
+            // its diagnostics must be able to name the artifact prefix.
+            TokKind::Str
+                if crate_name != "bench"
+                    && crate_name != "analyze"
+                    && t.text.contains("BENCH_") =>
+            {
+                push(
+                    "ENW-A002",
+                    Severity::Deny,
+                    t.line,
+                    "`BENCH_*` report artifacts may only be produced by `crates/bench`".to_string(),
+                );
+            }
+            TokKind::Punct
+                if panic_rules
+                    && t.is_punct('[')
+                    && i > 0
+                    && toks.get(i + 1).map(|t| t.kind == TokKind::Int) == Some(true)
+                    && toks.get(i + 2).map(|t| t.is_punct(']')) == Some(true)
+                    && is_indexable(&toks[i - 1]) =>
+            {
+                push(
+                    "ENW-P004",
+                    Severity::Warn,
+                    t.line,
+                    "indexing by integer literal can panic; prefer `.first()`, \
+                     `.get(n)`, or destructuring"
+                        .to_string(),
+                );
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// True when the previous token can be the base of an index expression.
+fn is_indexable(t: &Token) -> bool {
+    match t.kind {
+        TokKind::Ident => !matches!(t.text.as_str(), "mut" | "return" | "in" | "as" | "dyn"),
+        TokKind::Punct => t.is_punct(')') || t.is_punct(']'),
+        _ => false,
+    }
+}
+
+/// True when tokens starting at `i` are exactly the given punct sequence.
+fn matches_seq(toks: &[Token], i: usize, puncts: &[&str]) -> bool {
+    puncts.iter().enumerate().all(|(k, p)| {
+        toks.get(i + k).map(|t| t.kind == TokKind::Punct && t.text == *p) == Some(true)
+    })
+}

@@ -1,0 +1,246 @@
+//! Golden-fixture tests: one small source snippet per rule, asserting the
+//! exact rule id and line, plus clean negatives proving the rules do not
+//! fire on comments, doc examples, test modules, or allowed crates.
+
+use enw_analyze::arch::check_manifest;
+use enw_analyze::config::{apply_allowlist, parse_allowlist};
+use enw_analyze::report::{Analysis, Severity};
+use enw_analyze::scan_source;
+
+/// Rule/line pairs from a scan, for compact assertions.
+fn hits(path: &str, src: &str) -> Vec<(String, u32)> {
+    scan_source(path, src).into_iter().map(|f| (f.rule.to_string(), f.line)).collect()
+}
+
+#[test]
+fn d001_hashmap_in_kernel_crate() {
+    let src = "use std::collections::HashMap;\n\nfn f() {\n    let m: HashMap<u32, u32> = HashMap::new();\n}\n";
+    let got = hits("crates/numerics/src/foo.rs", src);
+    assert_eq!(
+        got,
+        vec![("ENW-D001".to_string(), 1), ("ENW-D001".to_string(), 4), ("ENW-D001".to_string(), 4)]
+    );
+}
+
+#[test]
+fn d001_hashset_in_recsys() {
+    let got = hits("crates/recsys/src/foo.rs", "use std::collections::HashSet;\n");
+    assert_eq!(got, vec![("ENW-D001".to_string(), 1)]);
+}
+
+#[test]
+fn d001_silent_in_non_kernel_crate() {
+    assert!(hits("crates/core/src/foo.rs", "use std::collections::HashMap;\n").is_empty());
+    assert!(hits("crates/nn/src/foo.rs", "use std::collections::HashMap;\n").is_empty());
+}
+
+#[test]
+fn d001_silent_in_kernel_test_module() {
+    let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+    assert!(hits("crates/numerics/src/foo.rs", src).is_empty());
+}
+
+#[test]
+fn d002_instant_outside_bench() {
+    let src = "use std::time::Instant;\nfn f() { let _t = Instant::now(); }\n";
+    let got = hits("crates/crossbar/src/foo.rs", src);
+    assert_eq!(got, vec![("ENW-D002".to_string(), 1), ("ENW-D002".to_string(), 2)]);
+}
+
+#[test]
+fn d002_system_time_is_also_denied() {
+    let got = hits("crates/core/src/foo.rs", "fn f() -> std::time::SystemTime { todo() }\n");
+    assert_eq!(got, vec![("ENW-D002".to_string(), 1)]);
+}
+
+#[test]
+fn d002_silent_in_bench_and_parallel() {
+    let src = "use std::time::Instant;\n";
+    assert!(hits("crates/bench/src/foo.rs", src).is_empty());
+    assert!(hits("crates/parallel/src/foo.rs", src).is_empty());
+}
+
+#[test]
+fn d003_ambient_entropy() {
+    let src = "fn f() { let mut r = thread_rng(); }\n";
+    assert_eq!(hits("crates/mann/src/foo.rs", src), vec![("ENW-D003".to_string(), 1)]);
+    let src = "use std::collections::hash_map::RandomState;\n";
+    assert_eq!(hits("crates/core/src/foo.rs", src), vec![("ENW-D003".to_string(), 1)]);
+}
+
+#[test]
+fn d004_thread_spawn_outside_parallel() {
+    let src = "fn f() {\n    std::thread::spawn(|| {});\n}\n";
+    assert_eq!(hits("crates/recsys/src/foo.rs", src), vec![("ENW-D004".to_string(), 2)]);
+    assert!(hits("crates/parallel/src/foo.rs", src).is_empty());
+}
+
+#[test]
+fn p001_unwrap_in_lib_code() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    assert_eq!(hits("crates/cam/src/foo.rs", src), vec![("ENW-P001".to_string(), 2)]);
+}
+
+#[test]
+fn p001_unwrap_or_is_fine() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap_or(0).max(x.unwrap_or_default())\n}\n";
+    assert!(hits("crates/cam/src/foo.rs", src).is_empty());
+}
+
+#[test]
+fn p002_expect_in_lib_code() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n    x.expect(\"present\")\n}\n";
+    assert_eq!(hits("crates/xmann/src/foo.rs", src), vec![("ENW-P002".to_string(), 2)]);
+}
+
+#[test]
+fn p003_panic_macros() {
+    let src = "fn f(n: u32) {\n    panic!(\"boom\");\n    todo!();\n    unimplemented!();\n    unreachable!();\n}\n";
+    let got = hits("crates/nn/src/foo.rs", src);
+    assert_eq!(
+        got,
+        vec![
+            ("ENW-P003".to_string(), 2),
+            ("ENW-P003".to_string(), 3),
+            ("ENW-P003".to_string(), 4),
+            ("ENW-P003".to_string(), 5),
+        ]
+    );
+}
+
+#[test]
+fn p003_assert_is_not_flagged() {
+    let src = "fn f(n: usize) {\n    assert!(n > 0, \"n must be positive\");\n    assert_eq!(n % 2, 0);\n}\n";
+    assert!(hits("crates/nn/src/foo.rs", src).is_empty());
+}
+
+#[test]
+fn p004_literal_indexing_is_warn_severity() {
+    let src = "fn f(xs: &[u32]) -> u32 {\n    xs[0]\n}\n";
+    let findings = scan_source("crates/numerics/src/foo.rs", src);
+    assert_eq!(findings.len(), 1);
+    let f = findings.first().expect("one finding");
+    assert_eq!(f.rule, "ENW-P004");
+    assert_eq!(f.line, 2);
+    assert_eq!(f.severity, Severity::Warn);
+}
+
+#[test]
+fn p004_variable_indexing_and_array_types_are_fine() {
+    let src = "fn f(xs: &[u32], i: usize) -> u32 {\n    let a: [u32; 4] = [0, 1, 2, 3];\n    xs[i] + a[i]\n}\n";
+    assert!(hits("crates/numerics/src/foo.rs", src).is_empty());
+}
+
+#[test]
+fn panic_rules_skip_tests_bins_and_examples() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert!(hits("crates/cam/tests/foo.rs", src).is_empty());
+    assert!(hits("crates/cam/benches/foo.rs", src).is_empty());
+    assert!(hits("crates/bench/src/bin/exp99.rs", src).is_empty());
+    assert!(hits("examples/demo.rs", src).is_empty());
+    assert!(hits("tests/integration.rs", src).is_empty());
+    // …but determinism rules still apply outside test targets of kernel
+    // crates' lib code.
+    assert!(!hits("crates/cam/src/foo.rs", src).is_empty());
+}
+
+#[test]
+fn test_function_bodies_are_exempt() {
+    let src = "fn lib_fn(x: Option<u32>) -> u32 {\n    x.unwrap_or(1)\n}\n\n#[test]\nfn check() {\n    let v: Option<u32> = None;\n    v.unwrap();\n}\n";
+    assert!(hits("crates/mann/src/foo.rs", src).is_empty());
+}
+
+#[test]
+fn cfg_not_test_is_not_exempt() {
+    let src = "#[cfg(not(test))]\nfn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    assert_eq!(hits("crates/mann/src/foo.rs", src), vec![("ENW-P001".to_string(), 3)]);
+}
+
+#[test]
+fn doc_comments_and_strings_do_not_trip_rules() {
+    let src = "/// Call `xs.first()` — never `xs.unwrap()` — like this:\n///\n/// ```\n/// let v = HashMap::new();\n/// std::thread::spawn(|| {});\n/// ```\nfn f() {\n    let _msg = \"don't panic!(now) or .unwrap() anything\";\n    // panic!(\"in a comment\")\n    /* nested /* block */ with .expect(\"x\") */\n}\n";
+    assert!(hits("crates/numerics/src/foo.rs", src).is_empty());
+}
+
+#[test]
+fn raw_strings_and_lifetimes_lex_cleanly() {
+    let src = "fn f<'a>(s: &'a str) -> &'a str {\n    let _raw = r#\"panic!(\"quoted\")\"#;\n    let _c = 'x';\n    let _esc = '\\n';\n    s\n}\n";
+    assert!(hits("crates/numerics/src/foo.rs", src).is_empty());
+}
+
+#[test]
+fn a002_bench_artifact_prefix_outside_bench() {
+    let src = "fn f() {\n    let path = \"BENCH_foo.json\";\n}\n";
+    assert_eq!(hits("crates/recsys/src/foo.rs", src), vec![("ENW-A002".to_string(), 2)]);
+    assert!(hits("crates/bench/src/bin/exp15.rs", src).is_empty());
+}
+
+#[test]
+fn a001_illegal_dependency_direction() {
+    let manifest = "[package]\nname = \"enw-numerics\"\n\n[dependencies]\nenw-parallel.workspace = true\nenw-recsys.workspace = true\n";
+    let got = check_manifest("numerics", "crates/numerics/Cargo.toml", manifest);
+    assert_eq!(got.len(), 1);
+    let f = got.first().expect("one finding");
+    assert_eq!((f.rule, f.line), ("ENW-A001", 6));
+    assert!(f.message.contains("enw-recsys"));
+}
+
+#[test]
+fn a001_unknown_crate_must_declare_layering() {
+    let manifest = "[dependencies]\nenw-core.workspace = true\n";
+    let got = check_manifest("shiny-new", "crates/shiny-new/Cargo.toml", manifest);
+    assert_eq!(got.len(), 1);
+    assert_eq!(got.first().map(|f| f.rule), Some("ENW-A001"));
+}
+
+#[test]
+fn a003_unguarded_shim_dependency() {
+    let bad = "[dependencies]\ncriterion = { workspace = true }\n";
+    let got = check_manifest("bench", "crates/bench/Cargo.toml", bad);
+    assert_eq!(got.first().map(|f| (f.rule, f.line)), Some(("ENW-A003", 2)));
+    let good = "[dependencies]\ncriterion = { workspace = true, optional = true }\n\n[dev-dependencies]\nproptest.workspace = true\n";
+    assert!(check_manifest("bench", "crates/bench/Cargo.toml", good).is_empty());
+}
+
+#[test]
+fn allowlist_waives_matching_findings_and_flags_stale_entries() {
+    let toml = "[[allow]]\nrule = \"ENW-P001\"\npath = \"crates/cam/src/foo.rs\"\ncontains = \"x.unwrap()\"\njustification = \"fixture: invariant documented elsewhere\"\n\n[[allow]]\nrule = \"ENW-P001\"\npath = \"crates/cam/src/gone.rs\"\ncontains = \"never matches\"\njustification = \"fixture: stale entry should be reported\"\n";
+    let allow = parse_allowlist(toml).expect("valid allowlist");
+    let raw = scan_source("crates/cam/src/foo.rs", "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n");
+    let mut analysis = Analysis::default();
+    apply_allowlist(raw, &allow, &mut analysis);
+    assert_eq!(analysis.waived.len(), 1);
+    assert_eq!(analysis.deny_count(), 0);
+    // The stale second entry surfaces as a warn so lint.toml cannot rot.
+    assert_eq!(analysis.findings.iter().map(|f| f.rule).collect::<Vec<_>>(), vec!["ENW-C001"]);
+}
+
+#[test]
+fn allowlist_requires_a_real_justification() {
+    let toml = "[[allow]]\nrule = \"ENW-P001\"\npath = \"x.rs\"\ncontains = \"y\"\njustification = \"ok\"\n";
+    assert!(parse_allowlist(toml).is_err());
+    let toml = "[[allow]]\nrule = \"ENW-P001\"\npath = \"x.rs\"\ncontains = \"y\"\n";
+    assert!(parse_allowlist(toml).is_err(), "missing justification must be rejected");
+}
+
+#[test]
+fn json_report_is_well_formed_enough_to_round_trip_keys() {
+    let raw = scan_source("crates/cam/src/foo.rs", "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n");
+    let mut analysis = Analysis::default();
+    apply_allowlist(raw, &[], &mut analysis);
+    analysis.files_scanned = 1;
+    let json = analysis.to_json();
+    for key in
+        ["\"schema\"", "\"findings\"", "\"waived\"", "\"summary\"", "\"ENW-P001\"", "\"deny\""]
+    {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    // Quotes in snippets must be escaped: the source line
+    // `x.expect("msg")` must appear with `\"msg\"` in the JSON.
+    let raw =
+        scan_source("crates/cam/src/foo.rs", "fn f(x: Option<u32>) -> u32 { x.expect(\"msg\") }\n");
+    let mut analysis = Analysis::default();
+    apply_allowlist(raw, &[], &mut analysis);
+    let json = analysis.to_json();
+    assert!(json.contains("x.expect(\\\"msg\\\")"), "escaping broken: {json}");
+}

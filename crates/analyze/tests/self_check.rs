@@ -1,0 +1,46 @@
+//! Workspace self-check: the tree at HEAD must be lint-clean, i.e.
+//! `cargo run -p enw-analyze` exits 0. Running the same library entry
+//! point the binary uses keeps this inside plain `cargo test` (no nested
+//! cargo invocation needed).
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_deny_findings_at_head() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let analysis = enw_analyze::analyze_workspace(&root).expect("analysis runs");
+    let denies: Vec<String> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.severity == enw_analyze::Severity::Deny)
+        .map(|f| format!("{f}"))
+        .collect();
+    assert!(
+        denies.is_empty(),
+        "deny-level lint findings at HEAD (fix them or waive in lint.toml):\n{}",
+        denies.join("\n")
+    );
+    assert!(
+        analysis.files_scanned > 50,
+        "scanned only {} files — walker broken?",
+        analysis.files_scanned
+    );
+    assert!(
+        analysis.manifests_checked >= 11,
+        "checked only {} manifests",
+        analysis.manifests_checked
+    );
+}
+
+#[test]
+fn workspace_waivers_are_all_live() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let analysis = enw_analyze::analyze_workspace(&root).expect("analysis runs");
+    let stale: Vec<String> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.rule == "ENW-C001")
+        .map(|f| f.message.clone())
+        .collect();
+    assert!(stale.is_empty(), "stale lint.toml entries:\n{}", stale.join("\n"));
+}

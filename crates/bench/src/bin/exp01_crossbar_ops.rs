@@ -39,11 +39,7 @@ fn main() {
         let mut xa = x.clone();
         xa.push(1.0);
         let y_ref = target.matvec(&xa);
-        let max_err = y
-            .iter()
-            .zip(&y_ref)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max);
+        let max_err = y.iter().zip(&y_ref).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
 
         // One backward, then repeated identical updates to measure the
         // realized mean step against the intended -lr*d*x.
@@ -70,8 +66,7 @@ fn main() {
         let rel_err = (err_num / err_den.max(1e-30)).sqrt();
 
         let s = tile.stats();
-        let pulses_per_device =
-            s.pulses as f64 / (n as f64 * (n + 1) as f64) / s.update_ops as f64;
+        let pulses_per_device = s.pulses as f64 / (n as f64 * (n + 1) as f64) / s.update_ops as f64;
         table.row_owned(vec![
             format!("{n} x {n}"),
             format!("{}", s.forward_ops),       // 1: single parallel op

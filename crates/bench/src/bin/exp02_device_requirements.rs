@@ -21,8 +21,8 @@ use enw_core::crossbar::train::{analog_mlp, train_and_evaluate};
 use enw_core::nn::activation::Activation;
 use enw_core::nn::data::{Split, SyntheticImages};
 use enw_core::nn::mlp::{Mlp, SgdConfig};
-use enw_core::report::{percent, Table};
 use enw_core::numerics::rng::Rng64;
+use enw_core::report::{percent, Table};
 
 const DIMS: [usize; 3] = [64, 32, 10];
 

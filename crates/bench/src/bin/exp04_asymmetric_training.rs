@@ -70,19 +70,25 @@ fn main() {
     let mut table = Table::new(&["configuration", "devices", "test accuracy"]);
 
     let mut rng = Rng64::new(21);
-    let mut ideal = analog_mlp(&DIMS, &devices::ideal(1000), TileConfig::ideal(), Activation::Tanh, &mut rng);
+    let mut ideal =
+        analog_mlp(&DIMS, &devices::ideal(1000), TileConfig::ideal(), Activation::Tanh, &mut rng);
     let acc_ideal = train_and_evaluate(&mut ideal, &split, &cfg(), &mut rng).test_accuracy;
     table.row_owned(vec!["plain SGD".into(), "ideal symmetric".into(), percent(acc_ideal)]);
 
     let mut rng = Rng64::new(22);
-    let mut plain = analog_mlp(&DIMS, &devices::rram(), TileConfig::ideal(), Activation::Tanh, &mut rng);
+    let mut plain =
+        analog_mlp(&DIMS, &devices::rram(), TileConfig::ideal(), Activation::Tanh, &mut rng);
     let acc_plain = train_and_evaluate(&mut plain, &split, &cfg(), &mut rng).test_accuracy;
     table.row_owned(vec!["plain SGD".into(), "RRAM (asymmetric)".into(), percent(acc_plain)]);
 
     let mut rng = Rng64::new(23);
     let mut zs = zero_shifted_mlp(&mut rng);
     let acc_zs = train_and_evaluate(&mut zs, &split, &cfg(), &mut rng).test_accuracy;
-    table.row_owned(vec!["SGD + zero-shifting".into(), "RRAM (asymmetric)".into(), percent(acc_zs)]);
+    table.row_owned(vec![
+        "SGD + zero-shifting".into(),
+        "RRAM (asymmetric)".into(),
+        percent(acc_zs),
+    ]);
 
     let mut rng = Rng64::new(24);
     let mut tt = tiki_taka_mlp(

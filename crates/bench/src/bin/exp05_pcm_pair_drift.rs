@@ -44,7 +44,8 @@ fn main() {
     println!("worst tracking error over 400 signed updates: {worst:.3} (weight range ±1)\n");
 
     // Part 2: drift with and without the projection liner.
-    let mut drift = Table::new(&["read time (a.u.)", "bare PCM retention", "projected PCM retention"]);
+    let mut drift =
+        Table::new(&["read time (a.u.)", "bare PCM retention", "projected PCM retention"]);
     let mut bare = PcmPair::new(PcmConfig { write_noise: 0.0, ..PcmConfig::bare() });
     let mut lined = PcmPair::new(PcmConfig { write_noise: 0.0, ..PcmConfig::projected() });
     bare.update(0.4, &mut rng);

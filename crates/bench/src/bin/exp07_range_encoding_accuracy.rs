@@ -48,10 +48,9 @@ fn main() {
         percent(cosine.accuracy),
         format!("{:.1}", cosine.searches_per_query),
     ]);
-    for &(metric, name) in &[
-        (Similarity::NegL2, "L2 nearest"),
-        (Similarity::NegLinf, "Linf nearest"),
-    ] {
+    for &(metric, name) in
+        &[(Similarity::NegL2, "L2 nearest"), (Similarity::NegLinf, "Linf nearest")]
+    {
         let out = eval(SearchMethod::Quantized { bits: 4, metric }, 1000);
         table.row_owned(vec![
             name.into(),

@@ -26,7 +26,8 @@ fn main() {
         "latency reduction",
     ]);
     for &entries in &[512usize, 4096, 65_536] {
-        let cmp = compare_search(entries, 64, cells::cmos_16t(), TcamConfig::default(), &gpu, &mut rng);
+        let cmp =
+            compare_search(entries, 64, cells::cmos_16t(), TcamConfig::default(), &gpu, &mut rng);
         table.row_owned(vec![
             format!("{entries}"),
             "64".into(),
@@ -43,7 +44,8 @@ fn main() {
     // Match-line segmentation ablation at the paper's configuration.
     let mut seg = Table::new(&["ML segments", "TCAM energy", "TCAM latency"]);
     for &segments in &[1usize, 2, 4, 8] {
-        let cmp = compare_search(512, 64, cells::cmos_16t(), TcamConfig { segments }, &gpu, &mut rng);
+        let cmp =
+            compare_search(512, 64, cells::cmos_16t(), TcamConfig { segments }, &gpu, &mut rng);
         seg.row_owned(vec![
             format!("{segments}"),
             energy(cmp.tcam.energy_pj),

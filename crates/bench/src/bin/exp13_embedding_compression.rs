@@ -46,30 +46,21 @@ fn main() {
         let quantized: Vec<QuantizedTable> =
             model.tables().iter().map(|t| QuantizedTable::from_table(t, bits)).collect();
         let bytes: u64 = quantized.iter().map(|q| q.bytes()).sum();
-        let rmse: f64 = quantized
-            .iter()
-            .zip(model.tables())
-            .map(|(q, t)| q.relative_rmse(t))
-            .sum::<f64>()
-            / quantized.len() as f64;
+        let rmse: f64 =
+            quantized.iter().zip(model.tables()).map(|(q, t)| q.relative_rmse(t)).sum::<f64>()
+                / quantized.len() as f64;
         // End-to-end CTR drift: same MLPs, quantized gathers.
         let originals: Vec<_> = model.tables().to_vec();
         let mut drift = OnlineStats::new();
         for q in &queries {
             let ctr_fp: f32 = {
-                let pooled: Vec<Vec<f32>> = originals
-                    .iter()
-                    .zip(&q.sparse)
-                    .map(|(t, idx)| t.lookup_pool(idx))
-                    .collect();
+                let pooled: Vec<Vec<f32>> =
+                    originals.iter().zip(&q.sparse).map(|(t, idx)| t.lookup_pool(idx)).collect();
                 model.predict_with_pooled(&q.dense, &pooled)
             };
             let ctr_q: f32 = {
-                let pooled: Vec<Vec<f32>> = quantized
-                    .iter()
-                    .zip(&q.sparse)
-                    .map(|(t, idx)| t.lookup_pool(idx))
-                    .collect();
+                let pooled: Vec<Vec<f32>> =
+                    quantized.iter().zip(&q.sparse).map(|(t, idx)| t.lookup_pool(idx)).collect();
                 model.predict_with_pooled(&q.dense, &pooled)
             };
             drift.push((ctr_fp - ctr_q).abs() as f64);

@@ -136,9 +136,7 @@ fn bench_matmul() -> KernelResult {
         "matmul_1024x1024",
         || matmul_naive(&a, &b),
         |_| a.par_matmul(&b),
-        |x, y| {
-            x.as_slice().iter().zip(y.as_slice()).all(|(u, v)| u.to_bits() == v.to_bits())
-        },
+        |x, y| x.as_slice().iter().zip(y.as_slice()).all(|(u, v)| u.to_bits() == v.to_bits()),
     )
 }
 
@@ -156,9 +154,9 @@ fn bench_gather() -> KernelResult {
     let eq = |x: &Vec<Vec<Vec<f32>>>, y: &Vec<Vec<Vec<f32>>>| {
         x.len() == y.len()
             && x.iter().zip(y).all(|(qa, qb)| {
-                qa.iter().zip(qb).all(|(va, vb)| {
-                    va.iter().zip(vb).all(|(u, v)| u.to_bits() == v.to_bits())
-                })
+                qa.iter()
+                    .zip(qb)
+                    .all(|(va, vb)| va.iter().zip(vb).all(|(u, v)| u.to_bits() == v.to_bits()))
             })
     };
     bench_paired(

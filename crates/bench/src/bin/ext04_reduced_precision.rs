@@ -32,7 +32,8 @@ fn main() {
     let fp = mlp.evaluate(&split.test);
     println!("FP32 baseline: {}\n", percent(fp));
 
-    let mut table = Table::new(&["precision (w/a)", "post-training", "after QAT fine-tune", "vs FP32 (QAT)"]);
+    let mut table =
+        Table::new(&["precision (w/a)", "post-training", "after QAT fine-tune", "vs FP32 (QAT)"]);
     for &bits in &[8u32, 4, 2] {
         // Low-bit grids want the clip near the weight bulk, not the tail.
         let wp = if bits <= 2 { 0.75 } else { 0.999 };

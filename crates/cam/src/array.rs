@@ -125,10 +125,7 @@ impl TcamArray {
         assert_eq!(word.len(), self.width, "word width mismatch");
         self.words.push(word);
         self.writes += 1;
-        let cost = Cost::new(
-            self.width as f64 * self.tech.write_bit_pj,
-            self.tech.write_word_ns,
-        );
+        let cost = Cost::new(self.width as f64 * self.tech.write_bit_pj, self.tech.write_word_ns);
         self.total += cost;
         (self.words.len() - 1, cost)
     }
@@ -143,10 +140,7 @@ impl TcamArray {
         assert_eq!(word.len(), self.width, "word width mismatch");
         self.words[index] = word;
         self.writes += 1;
-        let cost = Cost::new(
-            self.width as f64 * self.tech.write_bit_pj,
-            self.tech.write_word_ns,
-        );
+        let cost = Cost::new(self.width as f64 * self.tech.write_bit_pj, self.tech.write_word_ns);
         self.total += cost;
         cost
     }
@@ -183,12 +177,7 @@ impl TcamArray {
     /// Panics if the pattern width mismatches.
     pub fn peek_ternary(&self, pattern: &TernaryWord) -> Vec<usize> {
         assert_eq!(pattern.len(), self.width, "pattern width mismatch");
-        self.words
-            .iter()
-            .enumerate()
-            .filter(|(_, w)| pattern.matches(w))
-            .map(|(i, _)| i)
-            .collect()
+        self.words.iter().enumerate().filter(|(_, w)| pattern.matches(w)).map(|(i, _)| i).collect()
     }
 
     /// Exact ternary match of `pattern` against every stored word — one

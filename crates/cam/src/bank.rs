@@ -99,7 +99,7 @@ impl TcamBank {
     ///
     /// Panics if the word width mismatches.
     pub fn write(&mut self, word: BitVec) -> (usize, Cost) {
-        if self.arrays.last().expect("at least one array").len() >= self.rows_per_array {
+        if self.arrays.last().is_none_or(|a| a.len() >= self.rows_per_array) {
             let tech = *self.arrays[0].tech();
             self.arrays.push(TcamArray::new(self.width(), tech, self.cfg));
         }
@@ -144,7 +144,8 @@ impl TcamBank {
             energy += cost.energy_pj;
             latency = latency.max(cost.latency_ns); // concurrent arrays
             if let Some(h) = hit {
-                let global = NearestHit { index: b * self.rows_per_array + h.index, distance: h.distance };
+                let global =
+                    NearestHit { index: b * self.rows_per_array + h.index, distance: h.distance };
                 best = match best {
                     None => Some(global),
                     Some(cur) if (global.distance, global.index) < (cur.distance, cur.index) => {

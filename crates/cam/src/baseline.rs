@@ -105,8 +105,22 @@ mod tests {
     #[test]
     fn fefet_adds_its_cell_level_factors() {
         let mut rng = Rng64::new(2);
-        let cmos = compare_search(512, 64, cells::cmos_16t(), TcamConfig::default(), &GpuCostParams::default(), &mut rng);
-        let fefet = compare_search(512, 64, cells::fefet_2t(), TcamConfig::default(), &GpuCostParams::default(), &mut rng);
+        let cmos = compare_search(
+            512,
+            64,
+            cells::cmos_16t(),
+            TcamConfig::default(),
+            &GpuCostParams::default(),
+            &mut rng,
+        );
+        let fefet = compare_search(
+            512,
+            64,
+            cells::fefet_2t(),
+            TcamConfig::default(),
+            &GpuCostParams::default(),
+            &mut rng,
+        );
         let extra_e = fefet.energy_reduction() / cmos.energy_reduction();
         let extra_l = fefet.latency_reduction() / cmos.latency_reduction();
         assert!((extra_e - 2.4).abs() < 0.1, "extra energy factor {extra_e}");
@@ -117,8 +131,22 @@ mod tests {
     fn latency_reduction_grows_with_entries() {
         // The TCAM search is O(1) in rows; the GPU streams more bytes.
         let mut rng = Rng64::new(3);
-        let small = compare_search(512, 64, cells::cmos_16t(), TcamConfig::default(), &GpuCostParams::default(), &mut rng);
-        let large = compare_search(65_536, 64, cells::cmos_16t(), TcamConfig::default(), &GpuCostParams::default(), &mut rng);
+        let small = compare_search(
+            512,
+            64,
+            cells::cmos_16t(),
+            TcamConfig::default(),
+            &GpuCostParams::default(),
+            &mut rng,
+        );
+        let large = compare_search(
+            65_536,
+            64,
+            cells::cmos_16t(),
+            TcamConfig::default(),
+            &GpuCostParams::default(),
+            &mut rng,
+        );
         assert!(large.latency_reduction() > small.latency_reduction());
     }
 }

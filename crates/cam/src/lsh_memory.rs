@@ -134,9 +134,9 @@ impl TcamKeyValueMemory {
             self.ages.push(self.clock);
             (slot, cost)
         } else {
-            let oldest = (0..self.values.len())
-                .min_by_key(|&s| self.ages[s])
-                .expect("non-empty at capacity");
+            // `unwrap_or(0)`: at capacity the range is non-empty, and slot 0
+            // is a correct (if arbitrary) victim in the impossible branch.
+            let oldest = (0..self.values.len()).min_by_key(|&s| self.ages[s]).unwrap_or(0);
             cost += self.cam.rewrite(oldest, sig);
             self.values[oldest] = value;
             self.ages[oldest] = self.clock;

@@ -240,8 +240,7 @@ impl AnalogArray {
                 } else {
                     let rfrac = r as f32 / self.rows as f32;
                     for (c, (out, w)) in window.iter_mut().zip(row).enumerate() {
-                        let atten =
-                            1.0 - ir_drop * 0.5 * (rfrac + (c0 + c) as f32 / cols as f32);
+                        let atten = 1.0 - ir_drop * 0.5 * (rfrac + (c0 + c) as f32 / cols as f32);
                         *out += w * di * atten;
                     }
                 }

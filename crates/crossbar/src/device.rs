@@ -134,8 +134,8 @@ impl PulsedDevice {
     /// `0`; with unequal steps and no state dependence there is no interior
     /// symmetry point and the relevant bound is returned.
     pub fn symmetry_point(&self) -> f32 {
-        let denom = self.dw_up * self.gamma_up / self.w_max
-            - self.dw_down * self.gamma_down / self.w_min;
+        let denom =
+            self.dw_up * self.gamma_up / self.w_max - self.dw_down * self.gamma_down / self.w_min;
         if denom.abs() < 1e-12 {
             // No state dependence: fixed point is wherever steps balance.
             return match self.dw_up.partial_cmp(&self.dw_down) {

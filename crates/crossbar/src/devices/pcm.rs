@@ -38,7 +38,13 @@ pub struct PcmConfig {
 impl PcmConfig {
     /// A bare (unlined) analog PCM cell.
     pub fn bare() -> Self {
-        PcmConfig { dg: 0.01, write_noise: 0.3, drift_nu: 0.05, drift_nu_sigma: 0.2, refresh_threshold: 0.9 }
+        PcmConfig {
+            dg: 0.01,
+            write_noise: 0.3,
+            drift_nu: 0.05,
+            drift_nu_sigma: 0.2,
+            refresh_threshold: 0.9,
+        }
     }
 
     /// A projected-PCM cell: the metallic liner leaves programming
@@ -89,7 +95,15 @@ impl PcmPair {
     /// A fresh pair with both conductances at zero, programmed at `t = 0`,
     /// using the *mean* drift exponent exactly.
     pub fn new(cfg: PcmConfig) -> Self {
-        PcmPair { cfg, nu: cfg.drift_nu, g_plus: 0.0, g_minus: 0.0, t_prog_plus: 0.0, t_prog_minus: 0.0, refresh_count: 0 }
+        PcmPair {
+            cfg,
+            nu: cfg.drift_nu,
+            g_plus: 0.0,
+            g_minus: 0.0,
+            t_prog_plus: 0.0,
+            t_prog_minus: 0.0,
+            refresh_count: 0,
+        }
     }
 
     /// A fresh pair with its drift exponent drawn from the

@@ -211,9 +211,7 @@ mod tests {
         let y_drifted = layer.matvec(&x, 1e8);
         layer.compensate_drift(1e8);
         let y_fixed = layer.matvec(&x, 1e8);
-        let err = |y: &[f32]| -> f32 {
-            y.iter().zip(&y0).map(|(a, b)| (a - b).abs()).sum()
-        };
+        let err = |y: &[f32]| -> f32 { y.iter().zip(&y0).map(|(a, b)| (a - b).abs()).sum() };
         assert!(
             err(&y_fixed) < 0.5 * err(&y_drifted),
             "compensation did not help: {} vs {}",

@@ -29,13 +29,25 @@ pub struct AnalogNoise {
 impl AnalogNoise {
     /// A noiseless, quantization-free tile (floating-point equivalent).
     pub fn ideal() -> Self {
-        AnalogNoise { dac_bits: None, adc_bits: None, read_noise: 0.0, output_bound: f32::INFINITY, ir_drop: 0.0 }
+        AnalogNoise {
+            dac_bits: None,
+            adc_bits: None,
+            read_noise: 0.0,
+            output_bound: f32::INFINITY,
+            ir_drop: 0.0,
+        }
     }
 
     /// The RPU baseline periphery: 7-bit DAC, 9-bit ADC bounded at ±12,
     /// σ = 0.06 read noise.
     pub fn standard() -> Self {
-        AnalogNoise { dac_bits: Some(7), adc_bits: Some(9), read_noise: 0.06, output_bound: 12.0, ir_drop: 0.0 }
+        AnalogNoise {
+            dac_bits: Some(7),
+            adc_bits: Some(9),
+            read_noise: 0.06,
+            output_bound: 12.0,
+            ir_drop: 0.0,
+        }
     }
 
     /// Quantizes the input vector through the DAC model (in place).

@@ -121,7 +121,15 @@ impl AnalogTile {
     ) -> Self {
         let array = AnalogArray::new(out_dim, in_dim + 1, spec, rng);
         let dw_avg = 0.5 * (spec.base.dw_up + spec.base.dw_down);
-        AnalogTile { array, reference: None, cfg, in_dim, dw_avg, rng: rng.fork(), stats: TileStats::default() }
+        AnalogTile {
+            array,
+            reference: None,
+            cfg,
+            in_dim,
+            dw_avg,
+            rng: rng.fork(),
+            stats: TileStats::default(),
+        }
     }
 
     /// Write-verify programs the tile's *effective* weights to `target`
@@ -423,10 +431,7 @@ mod tests {
         }
         let w = t.weights().at(0, 0);
         let expect = -(lr * n as f32);
-        assert!(
-            (w - expect).abs() < 0.2 * expect.abs(),
-            "w {w} vs expected {expect}"
-        );
+        assert!((w - expect).abs() < 0.2 * expect.abs(), "w {w} vs expected {expect}");
     }
 
     #[test]

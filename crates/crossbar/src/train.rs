@@ -119,7 +119,13 @@ mod tests {
     #[test]
     fn analog_mlp_shapes() {
         let mut rng = Rng64::new(1);
-        let mlp = analog_mlp(&[16, 12, 3], &devices::ideal(2000), TileConfig::ideal(), Activation::Tanh, &mut rng);
+        let mlp = analog_mlp(
+            &[16, 12, 3],
+            &devices::ideal(2000),
+            TileConfig::ideal(),
+            Activation::Tanh,
+            &mut rng,
+        );
         assert_eq!(mlp.in_dim(), 16);
         assert_eq!(mlp.out_dim(), 3);
     }

@@ -300,7 +300,12 @@ mod tests {
     fn conv_embedding_rejects_non_square_domain() {
         let mut rng = Rng64::new(9);
         let domain = FewShotDomain::generate(6, 30, &mut rng);
-        let cfg = EmbeddingConfig { background_classes: 3, samples_per_class: 2, epochs: 1, ..quick_cfg() };
+        let cfg = EmbeddingConfig {
+            background_classes: 3,
+            samples_per_class: 2,
+            epochs: 1,
+            ..quick_cfg()
+        };
         ConvEmbeddingNet::train(&domain, &cfg, &mut rng);
     }
 

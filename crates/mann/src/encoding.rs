@@ -85,9 +85,7 @@ impl TernaryWord {
     /// Panics if the stored word has a different length.
     pub fn mismatches(&self, stored: &BitVec) -> usize {
         assert_eq!(stored.len(), self.len(), "word length mismatch");
-        (0..self.len())
-            .filter(|&i| self.care.get(i) && self.bits.get(i) != stored.get(i))
-            .count()
+        (0..self.len()).filter(|&i| self.care.get(i) && self.bits.get(i) != stored.get(i)).count()
     }
 }
 

@@ -179,9 +179,8 @@ pub fn evaluate_par<E: Embedder + Clone + Send + Sync>(
         } else {
             drawn.iter().map(|e| run_episode(net, e)).collect()
         };
-    let (correct, total, searches) = tallies
-        .into_iter()
-        .fold((0usize, 0usize, 0u64), |a, t| (a.0 + t.0, a.1 + t.1, a.2 + t.2));
+    let (correct, total, searches) =
+        tallies.into_iter().fold((0usize, 0usize, 0u64), |a, t| (a.0 + t.0, a.1 + t.1, a.2 + t.2));
     FewShotOutcome {
         accuracy: correct as f64 / total as f64,
         searches_per_query: searches as f64 / total as f64,
@@ -231,24 +230,31 @@ pub fn classify_knn(
     assert!(k > 0, "k must be positive");
     let mut scored: Vec<(f32, usize)> =
         support.iter().map(|(s, label)| (metric.score(query, s), *label)).collect();
-    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0));
     let k = k.min(scored.len());
-    let mut votes = std::collections::HashMap::new();
+    // Ordered map: vote iteration must not depend on hash order
+    // (enw-analyze rule ENW-D001).
+    let mut votes = std::collections::BTreeMap::new();
     for &(_, label) in &scored[..k] {
         *votes.entry(label).or_insert(0usize) += 1;
     }
-    let max_votes = *votes.values().max().expect("k >= 1");
-    // Tie-break: the highest-ranked neighbour among tied labels wins.
+    let max_votes = votes.values().copied().max().unwrap_or(0);
+    // Tie-break: the highest-ranked neighbour among tied labels wins;
+    // `find` cannot miss because `k >= 1` after clamping.
     let winner = scored[..k]
         .iter()
-        .find(|(_, l)| votes[l] == max_votes)
-        .expect("winner exists")
-        .1;
+        .find(|(_, l)| votes.get(l).copied() == Some(max_votes))
+        .map_or(0, |&(_, l)| l);
     (winner, k as u64)
 }
 
 /// Classifies one embedded query against embedded supports; returns the
 /// predicted label and the number of parallel searches used.
+///
+/// # Panics
+///
+/// Panics if `support` is empty, or if `method` is [`SearchMethod::Lsh`]
+/// and no prepared encoder is supplied.
 pub fn classify(
     query: &[f32],
     support: &[(Vec<f32>, usize)],
@@ -469,8 +475,7 @@ mod tests {
             SearchMethod::RangeEncoded { bits: 4 },
             SearchMethod::Lsh { planes: 32 },
         ] {
-            let serial =
-                evaluate(&mut net, &domain, SAMPLER, 15, method, 10, &mut Rng64::new(11));
+            let serial = evaluate(&mut net, &domain, SAMPLER, 15, method, 10, &mut Rng64::new(11));
             for threads in [1usize, 3, 8] {
                 let par = enw_parallel::with_threads(threads, || {
                     evaluate_par(&mut net, &domain, SAMPLER, 15, method, 10, &mut Rng64::new(11))
@@ -483,7 +488,8 @@ mod tests {
     #[test]
     fn classify_single_support_is_trivial() {
         let support = vec![(vec![1.0f32, 0.0], 3usize)];
-        let (pred, _) = classify(&[0.5, 0.5], &support, SearchMethod::Exact(Similarity::Cosine), None);
+        let (pred, _) =
+            classify(&[0.5, 0.5], &support, SearchMethod::Exact(Similarity::Cosine), None);
         assert_eq!(pred, 3);
     }
 
@@ -495,13 +501,10 @@ mod tests {
 
     #[test]
     fn knn_k1_matches_nearest() {
-        let support = vec![
-            (vec![1.0f32, 0.0], 0usize),
-            (vec![0.0, 1.0], 1),
-            (vec![0.9, 0.1], 0),
-        ];
+        let support = vec![(vec![1.0f32, 0.0], 0usize), (vec![0.0, 1.0], 1), (vec![0.9, 0.1], 0)];
         let (p_knn, searches) = classify_knn(&[0.8, 0.2], &support, Similarity::Cosine, 1);
-        let (p_nn, _) = classify(&[0.8, 0.2], &support, SearchMethod::Exact(Similarity::Cosine), None);
+        let (p_nn, _) =
+            classify(&[0.8, 0.2], &support, SearchMethod::Exact(Similarity::Cosine), None);
         assert_eq!(p_knn, p_nn);
         assert_eq!(searches, 1);
     }

@@ -83,8 +83,7 @@ impl Head {
         let wc = memory.content_address(&params.key, self.similarity, params.beta);
         // 2. Interpolation with previous focus.
         let g = params.gate.clamp(0.0, 1.0);
-        let wg: Vec<f32> =
-            wc.iter().zip(&self.focus).map(|(c, p)| g * c + (1.0 - g) * p).collect();
+        let wg: Vec<f32> = wc.iter().zip(&self.focus).map(|(c, p)| g * c + (1.0 - g) * p).collect();
         // 3. Circular convolutional shift.
         let n = wg.len();
         let half = params.shift.len() / 2;

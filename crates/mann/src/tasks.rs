@@ -172,7 +172,7 @@ impl GraphMemory {
         let mut scores: Vec<(f32, usize)> = (0..self.edges)
             .map(|slot| (Similarity::Dot.score(&query, self.memory.slot(slot)), slot))
             .collect();
-        scores.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+        scores.sort_by(|a, b| b.0.total_cmp(&a.0));
         let mut out = Vec::new();
         for &(score, slot) in &scores {
             if out.len() >= k || score < 0.5 {

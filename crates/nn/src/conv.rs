@@ -99,7 +99,8 @@ impl ConvLayer {
                 for ch in 0..s.channels {
                     for ky in 0..k {
                         for kx in 0..k {
-                            dst[c] = input[ch * s.height * s.width + (oy + ky) * s.width + (ox + kx)];
+                            dst[c] =
+                                input[ch * s.height * s.width + (oy + ky) * s.width + (ox + kx)];
                             c += 1;
                         }
                     }
@@ -164,7 +165,8 @@ impl ConvLayer {
                     for ch in 0..s.channels {
                         for ky in 0..k {
                             for kx in 0..k {
-                                dinput[ch * s.height * s.width + (oy + ky) * s.width + (ox + kx)] +=
+                                dinput
+                                    [ch * s.height * s.width + (oy + ky) * s.width + (ox + kx)] +=
                                     d * w[c];
                                 c += 1;
                             }

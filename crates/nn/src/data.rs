@@ -28,10 +28,7 @@ impl Dataset {
     /// `>= num_classes`.
     pub fn new(inputs: Matrix, labels: Vec<usize>, num_classes: usize) -> Self {
         assert_eq!(inputs.rows(), labels.len(), "one label per input row");
-        assert!(
-            labels.iter().all(|&l| l < num_classes),
-            "labels must be < num_classes"
-        );
+        assert!(labels.iter().all(|&l| l < num_classes), "labels must be < num_classes");
         Dataset { inputs, labels, num_classes }
     }
 
@@ -168,8 +165,7 @@ impl SyntheticImages {
     pub fn build(self, rng: &mut Rng64) -> Split {
         assert!(self.classes > 0 && self.dim > 0, "classes and dim must be positive");
         assert!(self.train_per_class > 0, "need at least one training sample per class");
-        let prototypes: Vec<Vec<f32>> =
-            (0..self.classes).map(|_| self.prototype(rng)).collect();
+        let prototypes: Vec<Vec<f32>> = (0..self.classes).map(|_| self.prototype(rng)).collect();
         let train = self.sample_set(&prototypes, self.train_per_class, rng);
         let test = self.sample_set(&prototypes, self.test_per_class, rng);
         Split { train, test }
@@ -208,7 +204,11 @@ impl SyntheticImages {
         }
         if n == 0 {
             // Degenerate but legal: an empty test partition.
-            return Dataset { inputs: Matrix::zeros(1, self.dim), labels: vec![], num_classes: self.classes };
+            return Dataset {
+                inputs: Matrix::zeros(1, self.dim),
+                labels: vec![],
+                num_classes: self.classes,
+            };
         }
         Dataset::new(inputs, labels, self.classes)
     }
@@ -239,7 +239,12 @@ mod tests {
     #[test]
     fn pixels_are_normalized() {
         let mut rng = Rng64::new(2);
-        let s = SyntheticImages::builder().classes(3).dim(30).train_per_class(5).test_per_class(2).build(&mut rng);
+        let s = SyntheticImages::builder()
+            .classes(3)
+            .dim(30)
+            .train_per_class(5)
+            .test_per_class(2)
+            .build(&mut rng);
         for i in 0..s.train.len() {
             assert!(s.train.input(i).iter().all(|&p| (0.0..=1.0).contains(&p)));
         }
@@ -247,8 +252,18 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = SyntheticImages::builder().classes(3).dim(10).train_per_class(4).test_per_class(2).build(&mut Rng64::new(7));
-        let b = SyntheticImages::builder().classes(3).dim(10).train_per_class(4).test_per_class(2).build(&mut Rng64::new(7));
+        let a = SyntheticImages::builder()
+            .classes(3)
+            .dim(10)
+            .train_per_class(4)
+            .test_per_class(2)
+            .build(&mut Rng64::new(7));
+        let b = SyntheticImages::builder()
+            .classes(3)
+            .dim(10)
+            .train_per_class(4)
+            .test_per_class(2)
+            .build(&mut Rng64::new(7));
         assert_eq!(a.train, b.train);
         assert_eq!(a.test, b.test);
     }
@@ -293,7 +308,12 @@ mod tests {
     #[test]
     fn empty_test_partition_is_legal() {
         let mut rng = Rng64::new(4);
-        let s = SyntheticImages::builder().classes(2).dim(4).train_per_class(2).test_per_class(0).build(&mut rng);
+        let s = SyntheticImages::builder()
+            .classes(2)
+            .dim(4)
+            .train_per_class(2)
+            .test_per_class(0)
+            .build(&mut rng);
         assert!(s.test.is_empty());
     }
 }

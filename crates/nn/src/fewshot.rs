@@ -76,7 +76,8 @@ impl FewShotDomain {
                     .map(|_| Stroke {
                         center: rng.range(0.0, dim as f64),
                         width: rng.range(1.0, dim as f64 / 6.0),
-                        amplitude: rng.range(0.5, 1.5) * if rng.bernoulli(0.5) { 1.0 } else { -1.0 },
+                        amplitude: rng.range(0.5, 1.5)
+                            * if rng.bernoulli(0.5) { 1.0 } else { -1.0 },
                     })
                     .collect()
             })
@@ -110,10 +111,7 @@ impl FewShotDomain {
                 *px += amp * (-0.5 * d * d).exp();
             }
         }
-        pixels
-            .into_iter()
-            .map(|p| (p + self.pixel_noise * rng.normal()) as f32)
-            .collect()
+        pixels.into_iter().map(|p| (p + self.pixel_noise * rng.normal()) as f32).collect()
     }
 }
 
@@ -211,10 +209,7 @@ mod tests {
             inter += dist_l2(&a, &other) as f64;
             n += 1;
         }
-        assert!(
-            inter / n as f64 > 1.5 * intra / n as f64,
-            "inter {inter} vs intra {intra}"
-        );
+        assert!(inter / n as f64 > 1.5 * intra / n as f64, "inter {inter} vs intra {intra}");
     }
 
     #[test]

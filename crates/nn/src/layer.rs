@@ -102,10 +102,7 @@ impl<B: LinearBackend> DenseLayer<B> {
     ///
     /// Panics if called before [`backward`](DenseLayer::backward).
     pub fn apply_update(&mut self, lr: f32) {
-        assert!(
-            !self.cached_delta.is_empty(),
-            "apply_update called before backward"
-        );
+        assert!(!self.cached_delta.is_empty(), "apply_update called before backward");
         self.backend.update(&self.cached_delta, &self.cached_input, lr);
     }
 }

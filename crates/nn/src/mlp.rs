@@ -63,7 +63,8 @@ impl Mlp<DigitalLinear> {
             .windows(2)
             .enumerate()
             .map(|(i, w)| {
-                let act = if i + 2 == dims.len() { Activation::Identity } else { hidden_activation };
+                let act =
+                    if i + 2 == dims.len() { Activation::Identity } else { hidden_activation };
                 DenseLayer::new(DigitalLinear::new(w[0], w[1], rng), act)
             })
             .collect();
@@ -81,11 +82,7 @@ impl<B: LinearBackend> Mlp<B> {
     pub fn from_layers(layers: Vec<DenseLayer<B>>) -> Self {
         assert!(!layers.is_empty(), "need at least one layer");
         for pair in layers.windows(2) {
-            assert_eq!(
-                pair[0].out_dim(),
-                pair[1].in_dim(),
-                "layer dimensions do not chain"
-            );
+            assert_eq!(pair[0].out_dim(), pair[1].in_dim(), "layer dimensions do not chain");
         }
         Mlp { layers }
     }
@@ -95,9 +92,10 @@ impl<B: LinearBackend> Mlp<B> {
         self.layers[0].in_dim()
     }
 
-    /// Output (class-count) dimension.
+    /// Output (class-count) dimension (0 for an empty stack, which the
+    /// constructors reject).
     pub fn out_dim(&self) -> usize {
-        self.layers.last().expect("non-empty").out_dim()
+        self.layers.last().map_or(0, |l| l.out_dim())
     }
 
     /// The layer stack.
@@ -160,9 +158,8 @@ impl<B: LinearBackend> Mlp<B> {
         if data.is_empty() {
             return 0.0;
         }
-        let correct = (0..data.len())
-            .filter(|&i| self.classify(data.input(i)) == data.label(i))
-            .count();
+        let correct =
+            (0..data.len()).filter(|&i| self.classify(data.input(i)) == data.label(i)).count();
         correct as f64 / data.len() as f64
     }
 }
@@ -208,7 +205,8 @@ mod tests {
             .test_per_class(10)
             .build(&mut rng);
         let mut mlp = Mlp::digital(&[12, 16, 3], Activation::Tanh, &mut rng);
-        let hist = mlp.train_sgd(&data.train, &SgdConfig { epochs: 8, learning_rate: 0.05 }, &mut rng);
+        let hist =
+            mlp.train_sgd(&data.train, &SgdConfig { epochs: 8, learning_rate: 0.05 }, &mut rng);
         assert!(hist.last().expect("epochs > 0") < &hist[0], "loss did not fall: {hist:?}");
     }
 

@@ -163,11 +163,9 @@ pub fn quantization_aware_finetune(
     assert!(!data.is_empty(), "need training samples");
     // Calibrate the activation quantizers once on the starting network
     // (the trained clipping parameter, held fixed during fine-tuning).
-    let act_quant: Vec<Quantizer> =
-        QuantizedMlp::from_mlp(mlp, cfg, data).act_quant;
+    let act_quant: Vec<Quantizer> = QuantizedMlp::from_mlp(mlp, cfg, data).act_quant;
     // Full-precision masters.
-    let mut masters: Vec<Matrix> =
-        mlp.layers().iter().map(|l| l.backend().weights()).collect();
+    let mut masters: Vec<Matrix> = mlp.layers().iter().map(|l| l.backend().weights()).collect();
     let mut order: Vec<usize> = (0..data.len()).collect();
     let mut history = Vec::with_capacity(epochs);
     let n_layers = masters.len();
@@ -200,8 +198,7 @@ pub fn quantization_aware_finetune(
                     }
                 }
             }
-            let (loss, mut grad) =
-                crate::loss::softmax_cross_entropy(&a, data.label(i));
+            let (loss, mut grad) = crate::loss::softmax_cross_entropy(&a, data.label(i));
             total += loss as f64;
             // Backward with the straight-through estimator (activation
             // quantization passes gradients unchanged).
@@ -291,7 +288,8 @@ mod tests {
     fn accuracy_monotone_in_bits() {
         let (mut mlp, split) = trained_pair();
         let acc = |bits: u32, mlp: &mut Mlp<DigitalLinear>| {
-            let cfg = InferenceQuant { weight_bits: bits, activation_bits: bits, ..Default::default() };
+            let cfg =
+                InferenceQuant { weight_bits: bits, activation_bits: bits, ..Default::default() };
             QuantizedMlp::from_mlp(mlp, &cfg, &split.train).evaluate(&split.test)
         };
         let a8 = acc(8, &mut mlp);

@@ -157,11 +157,7 @@ impl RnnClassifier {
             let mut xa = sequence[t].clone();
             xa.push(1.0);
             gwx.rank1_update(&dpre, &xa, 1.0);
-            let h_prev: Vec<f32> = if t == 0 {
-                vec![0.0; hidden]
-            } else {
-                caches[t - 1].1.clone()
-            };
+            let h_prev: Vec<f32> = if t == 0 { vec![0.0; hidden] } else { caches[t - 1].1.clone() };
             gwh.rank1_update(&dpre, &h_prev, 1.0);
             // dL/dh_{t−1} = Whᵀ · dpre.
             dh = self.cell.wh.matvec_t(&dpre);
@@ -226,8 +222,9 @@ pub fn waveform_task(
 ) -> Vec<(Vec<Vec<f32>>, usize)> {
     assert!(classes > 0 && steps > 0 && dim > 0, "degenerate task");
     // Per-class phase/frequency parameters.
-    let protos: Vec<(f64, f64)> =
-        (0..classes).map(|_| (rng.range(0.5, 2.5), rng.range(0.0, std::f64::consts::TAU))).collect();
+    let protos: Vec<(f64, f64)> = (0..classes)
+        .map(|_| (rng.range(0.5, 2.5), rng.range(0.0, std::f64::consts::TAU)))
+        .collect();
     let mut data = Vec::with_capacity(classes * samples_per_class);
     for (c, &(freq, phase)) in protos.iter().enumerate() {
         for _ in 0..samples_per_class {
@@ -235,11 +232,10 @@ pub fn waveform_task(
                 .map(|t| {
                     (0..dim)
                         .map(|d| {
-                            let base =
-                                (freq * t as f64 / steps as f64 * std::f64::consts::TAU
-                                    + phase
-                                    + d as f64)
-                                    .sin();
+                            let base = (freq * t as f64 / steps as f64 * std::f64::consts::TAU
+                                + phase
+                                + d as f64)
+                                .sin();
                             (base + noise * rng.normal()) as f32
                         })
                         .collect()
@@ -301,10 +297,7 @@ mod tests {
             softmax_cross_entropy(&logits, label).0
         };
         let numeric = (loss_at(&mut net, eps) - loss_at(&mut net, -eps)) / (2.0 * eps);
-        assert!(
-            (analytic - numeric).abs() < 0.05,
-            "analytic {analytic} vs numeric {numeric}"
-        );
+        assert!((analytic - numeric).abs() < 0.05, "analytic {analytic} vs numeric {numeric}");
     }
 
     #[test]

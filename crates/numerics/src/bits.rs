@@ -88,11 +88,7 @@ impl BitVec {
     /// Panics if lengths differ.
     pub fn hamming(&self, other: &BitVec) -> usize {
         assert_eq!(self.len, other.len, "hamming length mismatch");
-        self.limbs
-            .iter()
-            .zip(&other.limbs)
-            .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum()
+        self.limbs.iter().zip(&other.limbs).map(|(a, b)| (a ^ b).count_ones() as usize).sum()
     }
 
     /// Iterator over the bits as booleans.

@@ -507,11 +507,7 @@ impl Matrix {
     ///
     /// Panics if shapes differ.
     pub fn axpy(&mut self, scale: f32, other: &Matrix) {
-        assert_eq!(
-            (self.rows, self.cols),
-            (other.rows, other.cols),
-            "axpy shape mismatch"
-        );
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "axpy shape mismatch");
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += scale * b;
         }

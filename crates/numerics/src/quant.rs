@@ -40,10 +40,7 @@ impl Quantizer {
     /// finite.
     pub fn new(bits: u32, max_abs: f32) -> Self {
         assert!((2..=16).contains(&bits), "bits must be in 2..=16");
-        assert!(
-            max_abs > 0.0 && max_abs.is_finite(),
-            "max_abs must be positive and finite"
-        );
+        assert!(max_abs > 0.0 && max_abs.is_finite(), "max_abs must be positive and finite");
         Quantizer { bits, max_abs, qmax: (1i32 << (bits - 1)) - 1 }
     }
 
@@ -106,10 +103,7 @@ impl Quantizer {
     /// Quantizes a slice into unsigned fixed-point *levels* `0..2^bits - 1`
     /// (offset binary), the representation TCAM range encodings consume.
     pub fn to_levels(&self, values: &[f32]) -> Vec<u32> {
-        values
-            .iter()
-            .map(|&v| (self.quantize(v) + self.qmax) as u32)
-            .collect()
+        values.iter().map(|&v| (self.quantize(v) + self.qmax) as u32).collect()
     }
 
     /// Number of distinct levels produced by [`Quantizer::to_levels`].
@@ -182,10 +176,9 @@ mod tests {
         let mut rng = Rng64::new(77);
         let v = 0.4 * q.step(); // 40% of the way to the next code
         let n = 50_000;
-        let mean: f64 = (0..n)
-            .map(|_| q.dequantize(q.quantize_stochastic(v, &mut rng)) as f64)
-            .sum::<f64>()
-            / n as f64;
+        let mean: f64 =
+            (0..n).map(|_| q.dequantize(q.quantize_stochastic(v, &mut rng)) as f64).sum::<f64>()
+                / n as f64;
         assert!((mean - v as f64).abs() < q.step() as f64 * 0.02, "mean {mean}");
     }
 

@@ -41,10 +41,7 @@ impl Rng64 {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        Rng64 {
-            state: [next_sm(), next_sm(), next_sm(), next_sm()],
-            gauss_spare: None,
-        }
+        Rng64 { state: [next_sm(), next_sm(), next_sm(), next_sm()], gauss_spare: None }
     }
 
     /// Returns the next raw 64-bit output.
@@ -231,7 +228,7 @@ impl ZipfSampler {
     /// Draws one rank.
     pub fn sample(&self, rng: &mut Rng64) -> usize {
         let u = rng.uniform();
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite")) {
+        match self.cdf.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

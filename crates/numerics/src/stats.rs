@@ -97,7 +97,8 @@ impl FromIterator<f64> for OnlineStats {
 }
 
 /// Returns the `q`-quantile (0 ≤ q ≤ 1) of a data set by linear
-/// interpolation between order statistics.
+/// interpolation between order statistics. NaN values sort after every
+/// finite value (IEEE total order), so clean data behaves classically.
 ///
 /// # Panics
 ///
@@ -106,7 +107,7 @@ pub fn quantile(data: &[f64], q: f64) -> f64 {
     assert!(!data.is_empty(), "quantile of empty data");
     assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("data must not contain NaN"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;

@@ -108,7 +108,13 @@ where
             })
             .collect();
         for h in handles {
-            for (c, r) in h.join().expect("parallel worker panicked") {
+            // Re-raise a worker panic with its original payload rather
+            // than wrapping it in a second panic message.
+            let chunk_results = match h.join() {
+                Ok(rs) => rs,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            for (c, r) in chunk_results {
                 results[c] = Some(r);
             }
         }
@@ -147,12 +153,20 @@ where
             .into_iter()
             .map(|q| {
                 s.spawn(move || {
-                    q.into_iter().map(|(c, start, window)| (c, f(start, window))).collect::<Vec<_>>()
+                    q.into_iter()
+                        .map(|(c, start, window)| (c, f(start, window)))
+                        .collect::<Vec<_>>()
                 })
             })
             .collect();
         for h in handles {
-            for (c, r) in h.join().expect("parallel worker panicked") {
+            // Re-raise a worker panic with its original payload rather
+            // than wrapping it in a second panic message.
+            let chunk_results = match h.join() {
+                Ok(rs) => rs,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            for (c, r) in chunk_results {
                 results[c] = Some(r);
             }
         }

@@ -7,7 +7,7 @@
 //! the catalogue captures most lookups; the experiment harness sweeps
 //! capacity and skew to map that trade-off.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// An LRU cache over `(table, row)` embedding identifiers.
 ///
@@ -24,8 +24,9 @@ use std::collections::{BTreeMap, HashMap};
 #[derive(Debug, Clone)]
 pub struct EmbeddingCache {
     capacity: usize,
-    /// Key → last-use tick.
-    entries: HashMap<(usize, usize), u64>,
+    /// Key → last-use tick. Ordered map: deterministic iteration keeps
+    /// hit/miss traces bit-reproducible (enw-analyze rule ENW-D001).
+    entries: BTreeMap<(usize, usize), u64>,
     /// Tick → key: the recency order (ticks are unique), giving O(log n)
     /// eviction of the least recently used entry.
     order: BTreeMap<u64, (usize, usize)>,
@@ -65,7 +66,7 @@ impl EmbeddingCache {
         assert!(capacity > 0, "zero-capacity cache");
         EmbeddingCache {
             capacity,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             order: BTreeMap::new(),
             clock: 0,
             hits: 0,
@@ -92,10 +93,10 @@ impl EmbeddingCache {
         self.misses += 1;
         if self.entries.len() >= self.capacity {
             // Evict the least recently used entry (smallest tick).
-            let (&lru_tick, &lru_key) =
-                self.order.iter().next().expect("cache non-empty at capacity");
-            self.order.remove(&lru_tick);
-            self.entries.remove(&lru_key);
+            if let Some((&lru_tick, &lru_key)) = self.order.iter().next() {
+                self.order.remove(&lru_tick);
+                self.entries.remove(&lru_key);
+            }
         }
         self.entries.insert(key, self.clock);
         self.order.insert(self.clock, key);

@@ -57,8 +57,8 @@ fn mlp_profile(dims: &[usize], batch: u64) -> OpProfile {
     for w in dims.windows(2) {
         let (i, o) = (w[0] as u64, w[1] as u64);
         flops += 2 * i * o * batch; // MAC = 2 FLOPs
-        // Weights and biases are read once per batch (this reuse is what
-        // makes batched MLPs compute-intense); activations move per sample.
+                                    // Weights and biases are read once per batch (this reuse is what
+                                    // makes batched MLPs compute-intense); activations move per sample.
         bytes += (i * o + o) * 4 + (i + o) * 4 * batch;
     }
     OpProfile { flops, bytes }

@@ -257,9 +257,9 @@ impl RecModel {
     /// dimension is zero.
     pub fn new(cfg: &RecModelConfig, rng: &mut Rng64) -> Self {
         assert_eq!(
-            *cfg.bottom_mlp.last().expect("bottom MLP must not be empty"),
-            cfg.embedding_dim,
-            "bottom MLP must end at embedding_dim for interaction"
+            cfg.bottom_mlp.last().copied(),
+            Some(cfg.embedding_dim),
+            "bottom MLP must be non-empty and end at embedding_dim for interaction"
         );
         let mut bottom_dims = vec![cfg.dense_features];
         bottom_dims.extend_from_slice(&cfg.bottom_mlp);
@@ -321,8 +321,7 @@ impl RecModel {
     /// pooled by the same serial kernel either way, and results come back
     /// in table order, so the output is bit-identical at any thread count.
     fn pool_tables(&self, sparse: &[Vec<usize>]) -> Vec<Vec<f32>> {
-        let gathered: usize =
-            sparse.iter().map(Vec::len).sum::<usize>() * self.cfg.embedding_dim;
+        let gathered: usize = sparse.iter().map(Vec::len).sum::<usize>() * self.cfg.embedding_dim;
         if enw_parallel::should_parallelize(gathered, PAR_MIN_GATHER_ELEMS) {
             enw_parallel::map_chunks(self.tables.len(), PAR_TABLE_CHUNK, |r| {
                 r.map(|t| self.tables[t].lookup_pool(&sparse[t])).collect::<Vec<_>>()
@@ -359,21 +358,13 @@ impl RecModel {
             let mut top = model.top.clone();
             r.map(|qi| {
                 let q = &queries[qi];
-                assert_eq!(
-                    q.dense.len(),
-                    model.cfg.dense_features,
-                    "dense feature count mismatch"
-                );
+                assert_eq!(q.dense.len(), model.cfg.dense_features, "dense feature count mismatch");
                 assert_eq!(q.sparse.len(), model.tables.len(), "one index list per table");
                 let dense_latent = bottom.predict(&q.dense);
                 // Per-query gathers stay serial here: the batch dimension
                 // already saturates the workers.
-                let pooled: Vec<Vec<f32>> = model
-                    .tables
-                    .iter()
-                    .zip(&q.sparse)
-                    .map(|(t, idx)| t.lookup_pool(idx))
-                    .collect();
+                let pooled: Vec<Vec<f32>> =
+                    model.tables.iter().zip(&q.sparse).map(|(t, idx)| t.lookup_pool(idx)).collect();
                 let interacted = model.interact(&dense_latent, &pooled);
                 let logit = top.predict(&interacted)[0];
                 1.0 / (1.0 + (-logit).exp())
@@ -485,11 +476,8 @@ mod tests {
     fn memory_bound_config_is_gigabytes_scale() {
         // Paper Sec. V-B: "hundreds of MBs to tens of GBs".
         let cfg = RecModelConfig::memory_bound();
-        let bytes: u64 = cfg
-            .tables
-            .iter()
-            .map(|&(rows, _)| (rows * cfg.embedding_dim * 4) as u64)
-            .sum();
+        let bytes: u64 =
+            cfg.tables.iter().map(|&(rows, _)| (rows * cfg.embedding_dim * 4) as u64).sum();
         assert!(bytes > 500_000_000, "memory-bound config only {bytes} bytes");
     }
 
@@ -536,10 +524,7 @@ mod tests {
         let mut m = RecModel::new(&cfg, &mut rng);
         let gen = TraceGenerator::new(&cfg, 1.05);
         let queries = gen.batch(37, &mut rng);
-        let serial: Vec<u32> = queries
-            .iter()
-            .map(|q| m.predict_query(q).to_bits())
-            .collect();
+        let serial: Vec<u32> = queries.iter().map(|q| m.predict_query(q).to_bits()).collect();
         for threads in [1usize, 3, 8] {
             let batched = enw_parallel::with_threads(threads, || m.predict_batch(&queries));
             let bits: Vec<u32> = batched.iter().map(|v| v.to_bits()).collect();
@@ -548,7 +533,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bottom MLP must end")]
+    #[should_panic(expected = "bottom MLP must be non-empty and end")]
     fn mismatched_bottom_mlp_panics() {
         let mut rng = Rng64::new(5);
         let cfg = RecModelConfig { bottom_mlp: vec![16, 12], ..tiny_cfg() };

@@ -92,10 +92,7 @@ impl QuantizedTable {
     pub fn row(&self, r: usize) -> Vec<f32> {
         assert!(r < self.rows, "row out of range");
         let q = &self.quantizers[r];
-        self.codes[r * self.dim..(r + 1) * self.dim]
-            .iter()
-            .map(|&c| q.dequantize(c))
-            .collect()
+        self.codes[r * self.dim..(r + 1) * self.dim].iter().map(|&c| q.dequantize(c)).collect()
     }
 
     /// Multi-hot lookup with sum pooling on dequantized rows.
@@ -131,7 +128,12 @@ impl QuantizedTable {
 }
 
 /// Builds an FP32 table and a quantized copy for experiments.
-pub fn quantized_pair(rows: usize, dim: usize, bits: u32, rng: &mut Rng64) -> (EmbeddingTable, QuantizedTable) {
+pub fn quantized_pair(
+    rows: usize,
+    dim: usize,
+    bits: u32,
+    rng: &mut Rng64,
+) -> (EmbeddingTable, QuantizedTable) {
     let t = EmbeddingTable::random(rows, dim, rng);
     let q = QuantizedTable::from_table(&t, bits);
     (t, q)

@@ -33,7 +33,12 @@ pub struct InterestModelConfig {
 
 impl Default for InterestModelConfig {
     fn default() -> Self {
-        InterestModelConfig { items: 10_000, embedding_dim: 32, dense_features: 8, predictor: vec![64, 32] }
+        InterestModelConfig {
+            items: 10_000,
+            embedding_dim: 32,
+            dense_features: 8,
+            predictor: vec![64, 32],
+        }
     }
 }
 
@@ -69,7 +74,11 @@ impl InterestModel {
         let mut dims = vec![2 * cfg.embedding_dim + cfg.dense_features];
         dims.extend_from_slice(&cfg.predictor);
         dims.push(1);
-        InterestModel { cfg: cfg.clone(), items, predictor: Mlp::digital(&dims, Activation::Relu, rng) }
+        InterestModel {
+            cfg: cfg.clone(),
+            items,
+            predictor: Mlp::digital(&dims, Activation::Relu, rng),
+        }
     }
 
     /// The configuration.

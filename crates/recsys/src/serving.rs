@@ -55,8 +55,7 @@ pub fn sla_throughput(
     sla_seconds: f64,
     max_batch: u64,
 ) -> Option<f64> {
-    max_batch_under_sla(cfg, machine, sla_seconds, max_batch)
-        .map(|b| throughput(cfg, b, machine))
+    max_batch_under_sla(cfg, machine, sla_seconds, max_batch).map(|b| throughput(cfg, b, machine))
 }
 
 #[cfg(test)]
@@ -87,10 +86,7 @@ mod tests {
         let gain = |cfg: &RecModelConfig| throughput(cfg, 256, &m) / throughput(cfg, 1, &m);
         let g_compute = gain(&RecModelConfig::compute_bound());
         let g_memory = gain(&RecModelConfig::memory_bound());
-        assert!(
-            g_compute > 2.0 * g_memory,
-            "compute gain {g_compute}, memory gain {g_memory}"
-        );
+        assert!(g_compute > 2.0 * g_memory, "compute gain {g_compute}, memory gain {g_memory}");
     }
 
     #[test]

@@ -106,20 +106,16 @@ pub fn step_breakdown(cfg: &RecModelConfig, batch: u64, cluster: &Cluster) -> St
     // Memory: each sharded table serves the *global* batch's lookups for
     // its shard; per worker that is the global embedding traffic divided
     // by workers — read on forward, written (gradient) on backward.
-    let total_lookup_bytes: f64 = cfg
-        .tables
-        .iter()
-        .map(|&(_, l)| (l * cfg.embedding_dim * 4) as f64)
-        .sum::<f64>()
-        * batch as f64;
+    let total_lookup_bytes: f64 =
+        cfg.tables.iter().map(|&(_, l)| (l * cfg.embedding_dim * 4) as f64).sum::<f64>()
+            * batch as f64;
     let memory_s = 2.0 * total_lookup_bytes / cluster.workers as f64 / cluster.mem_bw_per_worker;
 
     // Network: all-to-all exchange of pooled activations + their
     // gradients (each worker sends/receives the pooled vectors its local
     // samples need from remote shards), plus ring all-reduce of the MLP
     // gradients (2·(W−1)/W · param bytes).
-    let pooled_bytes_per_sample: f64 =
-        (cfg.tables.len() * cfg.embedding_dim * 4) as f64;
+    let pooled_bytes_per_sample: f64 = (cfg.tables.len() * cfg.embedding_dim * 4) as f64;
     let remote_fraction = (cluster.workers - 1) as f64 / cluster.workers as f64;
     let alltoall = 2.0 * pooled_bytes_per_sample * per_worker_batch as f64 * remote_fraction;
     let allreduce = 2.0 * remote_fraction * mlp_param_bytes(cfg) as f64;

@@ -134,10 +134,8 @@ impl Xmann {
     /// owning tile row).
     pub fn write_slot(&mut self, slot: usize, word: &[f32]) -> Cost {
         self.memory.write_slot(slot, word);
-        let cost = Cost::new(
-            word.len() as f64 * self.params.write_pulse_pj,
-            self.params.update_op_ns,
-        );
+        let cost =
+            Cost::new(word.len() as f64 * self.params.write_pulse_pj, self.params.update_op_ns);
         self.total += cost;
         cost
     }
@@ -208,8 +206,7 @@ impl Xmann {
         let l1: Vec<f32> = (0..self.memory.slots())
             .map(|s| self.memory.slot(s).iter().map(|v| v.abs()).sum())
             .collect();
-        let value: Vec<f32> =
-            dots.iter().zip(&l1).map(|(d, n)| d / (n + 1e-6)).collect();
+        let value: Vec<f32> = dots.iter().zip(&l1).map(|(d, n)| d / (n + 1e-6)).collect();
         // Cost: two crossbar phases (dot + norm), inputs = dim per column
         // tile, outputs = rows per tile; SFU does one divide per slot.
         let phase = self.crossbar_phase(self.cfg.tile_cols, self.cfg.tile_rows);
@@ -273,7 +270,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> Xmann {
-        let mut x = Xmann::new(4, 3, XmannConfig { tile_rows: 2, tile_cols: 2, tiles_per_subarray: 2, total_tiles: 4 }, XmannCostParams::default());
+        let mut x = Xmann::new(
+            4,
+            3,
+            XmannConfig { tile_rows: 2, tile_cols: 2, tiles_per_subarray: 2, total_tiles: 4 },
+            XmannCostParams::default(),
+        );
         x.load_memory(&[
             vec![1.0, 0.0, 0.0],
             vec![0.0, 1.0, 0.0],

@@ -77,7 +77,8 @@ impl GpuMann {
     pub fn content_address(&mut self, query: &[f32], beta: f32) -> OpResult<Vec<f32>> {
         let sim = self.similarity(query);
         let value = softmax(&sim.value, beta);
-        let soft = self.params.kernel((self.memory.slots() * 4) as u64, 3 * self.memory.slots() as u64);
+        let soft =
+            self.params.kernel((self.memory.slots() * 4) as u64, 3 * self.memory.slots() as u64);
         self.total += soft;
         OpResult { value, cost: sim.cost + soft }
     }

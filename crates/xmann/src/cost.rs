@@ -39,7 +39,10 @@ impl Cost {
     /// Combines two *concurrent* phases: energies add, latency is the
     /// maximum.
     pub fn parallel_max(self, other: Cost) -> Cost {
-        Cost { energy_pj: self.energy_pj + other.energy_pj, latency_ns: self.latency_ns.max(other.latency_ns) }
+        Cost {
+            energy_pj: self.energy_pj + other.energy_pj,
+            latency_ns: self.latency_ns.max(other.latency_ns),
+        }
     }
 
     /// Scales both components (e.g. repeat an op `n` times serially).
@@ -52,7 +55,10 @@ impl Add for Cost {
     type Output = Cost;
 
     fn add(self, rhs: Cost) -> Cost {
-        Cost { energy_pj: self.energy_pj + rhs.energy_pj, latency_ns: self.latency_ns + rhs.latency_ns }
+        Cost {
+            energy_pj: self.energy_pj + rhs.energy_pj,
+            latency_ns: self.latency_ns + rhs.latency_ns,
+        }
     }
 }
 
@@ -161,7 +167,8 @@ impl GpuCostParams {
     /// Cost of one kernel touching `bytes` of DRAM and executing `flops`
     /// FP32 operations (memory and compute overlap; launch does not).
     pub fn kernel(&self, bytes: u64, flops: u64) -> Cost {
-        let mem = Cost::new(bytes as f64 * self.dram_byte_pj, bytes as f64 / self.dram_bytes_per_ns);
+        let mem =
+            Cost::new(bytes as f64 * self.dram_byte_pj, bytes as f64 / self.dram_bytes_per_ns);
         let compute = Cost::new(flops as f64 * self.flop_pj, flops as f64 / self.flops_per_ns);
         mem.parallel_max(compute) + Cost::new(0.0, self.kernel_launch_ns)
     }

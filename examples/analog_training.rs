@@ -46,7 +46,8 @@ fn main() {
         ("RRAM", devices::rram()),
     ] {
         let mut rng = Rng64::new(7);
-        let mut mlp = train::analog_mlp(&DIMS, &spec, TileConfig::ideal(), Activation::Tanh, &mut rng);
+        let mut mlp =
+            train::analog_mlp(&DIMS, &spec, TileConfig::ideal(), Activation::Tanh, &mut rng);
         let out = train::train_and_evaluate(&mut mlp, &split, &cfg, &mut rng);
         let curve: Vec<String> = out.loss_history.iter().map(|l| format!("{l:.2}")).collect();
         table.row_owned(vec![name.to_string(), curve.join(" -> "), percent(out.test_accuracy)]);
@@ -78,10 +79,11 @@ fn main() {
         // Inject stuck-at-zero devices into every tile, then re-test.
         let mut defect_rng = Rng64::new(10);
         for layer in mlp.layers_mut() {
-            layer
-                .backend_mut()
-                .array_mut()
-                .inject_defects(0.25, DefectMode::StuckAtZero, &mut defect_rng);
+            layer.backend_mut().array_mut().inject_defects(
+                0.25,
+                DefectMode::StuckAtZero,
+                &mut defect_rng,
+            );
         }
         result.row_owned(vec![
             name.to_string(),

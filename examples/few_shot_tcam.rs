@@ -45,7 +45,15 @@ fn main() {
         ("LSH 256 planes + Hamming", SearchMethod::Lsh { planes: 256 }),
         ("4-bit combined Linf+L2 cubes", SearchMethod::RangeEncoded { bits: 4 }),
     ] {
-        let out = evaluate(&mut net, &domain, sampler, HOLDOUT_FROM, method, EPISODES, &mut Rng64::new(77));
+        let out = evaluate(
+            &mut net,
+            &domain,
+            sampler,
+            HOLDOUT_FROM,
+            method,
+            EPISODES,
+            &mut Rng64::new(77),
+        );
         table.row_owned(vec![name.to_string(), percent(out.accuracy)]);
     }
     println!("\n{}", table.render());

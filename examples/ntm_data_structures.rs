@@ -22,9 +22,8 @@ fn main() {
 
     // --- NTM copy task ---
     println!("[1/3] NTM copy task: store a 12-item sequence, read it back...");
-    let sequence: Vec<Vec<f32>> = (0..12)
-        .map(|i| (0..8).map(|j| ((i * 8 + j) as f32 / 48.0).sin()).collect())
-        .collect();
+    let sequence: Vec<Vec<f32>> =
+        (0..12).map(|i| (0..8).map(|j| ((i * 8 + j) as f32 / 48.0).sin()).collect()).collect();
     let recalled = copy(&sequence, 16);
     let max_err = sequence
         .iter()

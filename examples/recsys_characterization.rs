@@ -53,13 +53,23 @@ fn main() {
         let mut cfg = base_config();
         cfg.tables = vec![(500_000, 8); tables];
         let (share, label) = classify(&cfg, &machine);
-        sweep.row_owned(vec!["embedding tables".into(), format!("{tables}"), percent(share), label.into()]);
+        sweep.row_owned(vec![
+            "embedding tables".into(),
+            format!("{tables}"),
+            percent(share),
+            label.into(),
+        ]);
     }
     for &pooling in &[1usize, 8, 64] {
         let mut cfg = base_config();
         cfg.tables = vec![(500_000, pooling); 8];
         let (share, label) = classify(&cfg, &machine);
-        sweep.row_owned(vec!["pooling factor".into(), format!("{pooling}"), percent(share), label.into()]);
+        sweep.row_owned(vec![
+            "pooling factor".into(),
+            format!("{pooling}"),
+            percent(share),
+            label.into(),
+        ]);
     }
     for &width in &[64usize, 256, 1024] {
         let mut cfg = base_config();
@@ -72,7 +82,8 @@ fn main() {
 
     println!("== sizing an embedding cache against Zipf traffic ==\n");
     let energy = MemoryEnergy::default();
-    let mut cache_table = Table::new(&["cache rows", "% of catalogue", "hit rate", "effective pJ/B"]);
+    let mut cache_table =
+        Table::new(&["cache rows", "% of catalogue", "hit rate", "effective pJ/B"]);
     let zipf = ZipfSampler::new(500_000, 1.0);
     for &capacity in &[500usize, 5_000, 50_000] {
         let mut rng = Rng64::new(3);

@@ -15,6 +15,9 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test -q
 
+echo "== enw-analyze (determinism / panic-freedom / architecture lints) =="
+cargo run --release -q -p enw-analyze
+
 if [[ "${1:-}" == "--full" ]]; then
     echo "== cargo test -q --features proptest (property suites) =="
     cargo test -q --features proptest

@@ -72,8 +72,13 @@ fn tiki_taka_beats_plain_sgd_on_rram() {
     let cfg = SgdConfig { epochs: 4, learning_rate: 0.05 };
 
     let mut rng = Rng64::new(3);
-    let mut plain =
-        train::analog_mlp(&[36, 20, 5], &devices::rram(), TileConfig::ideal(), Activation::Tanh, &mut rng);
+    let mut plain = train::analog_mlp(
+        &[36, 20, 5],
+        &devices::rram(),
+        TileConfig::ideal(),
+        Activation::Tanh,
+        &mut rng,
+    );
     let acc_plain = train::train_and_evaluate(&mut plain, &split, &cfg, &mut rng).test_accuracy;
 
     let mut rng = Rng64::new(3);
@@ -100,9 +105,8 @@ fn xmann_is_functionally_equivalent_to_reference() {
     let mut rng = Rng64::new(4);
     let slots = 512;
     let dim = 32;
-    let rows: Vec<Vec<f32>> = (0..slots)
-        .map(|_| (0..dim).map(|_| rng.range(-1.0, 1.0) as f32).collect())
-        .collect();
+    let rows: Vec<Vec<f32>> =
+        (0..slots).map(|_| (0..dim).map(|_| rng.range(-1.0, 1.0) as f32).collect()).collect();
     let mut x = Xmann::new(slots, dim, XmannConfig::default(), XmannCostParams::default());
     x.load_memory(&rows);
     let mut reference = DifferentiableMemory::new(slots, dim);
@@ -131,9 +135,8 @@ fn tcam_search_agrees_with_brute_force() {
     let mut rng = Rng64::new(5);
     let width = 96;
     let mut cam = TcamArray::new(width, cells::cmos_16t(), TcamConfig::default());
-    let words: Vec<BitVec> = (0..200)
-        .map(|_| (0..width).map(|_| rng.bernoulli(0.5)).collect::<BitVec>())
-        .collect();
+    let words: Vec<BitVec> =
+        (0..200).map(|_| (0..width).map(|_| rng.bernoulli(0.5)).collect::<BitVec>()).collect();
     for w in &words {
         cam.write(w.clone());
     }
@@ -387,9 +390,8 @@ fn banked_tcam_scales_capacity() {
     use enw_core::cam::bank::TcamBank;
     let mut rng = Rng64::new(13);
     let mut bank = TcamBank::new(64, 32, cells::fefet_2t(), TcamConfig::default());
-    let words: Vec<BitVec> = (0..200)
-        .map(|_| (0..64).map(|_| rng.bernoulli(0.5)).collect::<BitVec>())
-        .collect();
+    let words: Vec<BitVec> =
+        (0..200).map(|_| (0..64).map(|_| rng.bernoulli(0.5)).collect::<BitVec>()).collect();
     for w in &words {
         bank.write(w.clone());
     }
@@ -439,8 +441,10 @@ fn pcm_deployment_end_to_end() {
     let mut mlp = Mlp::digital(&[36, 16, 4], Activation::Tanh, &mut rng);
     mlp.train_sgd(&split.train, &SgdConfig { epochs: 6, learning_rate: 0.05 }, &mut rng);
     let sw = mlp.evaluate(&split.test);
-    let l1 = PcmLayer::program(&mlp.layers()[0].backend().weights(), PcmConfig::projected(), &mut rng);
-    let l2 = PcmLayer::program(&mlp.layers()[1].backend().weights(), PcmConfig::projected(), &mut rng);
+    let l1 =
+        PcmLayer::program(&mlp.layers()[0].backend().weights(), PcmConfig::projected(), &mut rng);
+    let l2 =
+        PcmLayer::program(&mlp.layers()[1].backend().weights(), PcmConfig::projected(), &mut rng);
     let classify = |x: &[f32], t: f64| {
         let mut xa = x.to_vec();
         xa.push(1.0);

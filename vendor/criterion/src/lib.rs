@@ -123,11 +123,7 @@ impl Criterion {
         BenchmarkGroup { name: name.into(), _criterion: self }
     }
 
-    pub fn bench_function(
-        &mut self,
-        name: &str,
-        mut f: impl FnMut(&mut Bencher),
-    ) -> &mut Self {
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
         run_one(name, &mut f);
         self
     }
