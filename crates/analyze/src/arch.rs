@@ -24,7 +24,11 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
     ("xmann", &["numerics", "mann", "parallel"]),
     ("cam", &["numerics", "mann", "xmann", "parallel"]),
     ("recsys", &["numerics", "nn", "parallel"]),
-    ("core", &["numerics", "nn", "crossbar", "mann", "xmann", "cam", "recsys", "parallel"]),
+    ("serve", &["numerics", "nn", "crossbar", "mann", "cam", "recsys", "parallel"]),
+    (
+        "core",
+        &["numerics", "nn", "crossbar", "mann", "xmann", "cam", "recsys", "serve", "parallel"],
+    ),
     ("bench", &["core"]),
     ("analyze", &[]),
 ];

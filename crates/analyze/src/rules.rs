@@ -24,7 +24,10 @@ use crate::report::{Finding, Severity};
 
 /// Crates whose numeric/kernel paths must stay free of hash collections
 /// (ENW-D001). `nn` and `core` may use maps for bookkeeping/reports.
-pub const KERNEL_CRATES: &[&str] = &["numerics", "crossbar", "cam", "xmann", "mann", "recsys"];
+/// `serve` is included: batch composition and response order feed the
+/// byte-exact response stream, so no hash iteration order may touch them.
+pub const KERNEL_CRATES: &[&str] =
+    &["numerics", "crossbar", "cam", "xmann", "mann", "recsys", "serve"];
 
 /// Crates allowed to read wall-clock time or ambient entropy
 /// (ENW-D002/D003): the bench harness times things by design, and the

@@ -176,6 +176,34 @@ fn a002_bench_artifact_prefix_outside_bench() {
 }
 
 #[test]
+fn serve_is_a_kernel_crate_for_determinism_rules() {
+    // The serving runtime's response stream is a pure function of the
+    // trace, so hash iteration order (D001) and ambient clocks/entropy
+    // (D002/D003) are denied in `crates/serve` library code — virtual
+    // time only; real clocks stay in bench/parallel.
+    let got = hits("crates/serve/src/scheduler.rs", "use std::collections::HashMap;\n");
+    assert_eq!(got, vec![("ENW-D001".to_string(), 1)]);
+    let src = "fn f() { let _t = std::time::Instant::now(); }\n";
+    assert_eq!(hits("crates/serve/src/clock.rs", src), vec![("ENW-D002".to_string(), 1)]);
+    let src = "fn f() { let mut r = thread_rng(); }\n";
+    assert_eq!(hits("crates/serve/src/loadgen.rs", src), vec![("ENW-D003".to_string(), 1)]);
+    // Emitting report artifacts from serve is also denied (A002): the
+    // JSON writer lives in the exp16 bench binary.
+    let src = "fn f() { let _p = \"BENCH_serving.json\"; }\n";
+    assert_eq!(hits("crates/serve/src/telemetry.rs", src), vec![("ENW-A002".to_string(), 1)]);
+}
+
+#[test]
+fn serve_layering_allows_workloads_but_not_core() {
+    let good = "[dependencies]\nenw-crossbar.workspace = true\nenw-cam.workspace = true\nenw-recsys.workspace = true\nenw-parallel.workspace = true\n";
+    assert!(check_manifest("serve", "crates/serve/Cargo.toml", good).is_empty());
+    // serve sits below core; depending upward is a layering violation.
+    let bad = "[dependencies]\nenw-core.workspace = true\n";
+    let got = check_manifest("serve", "crates/serve/Cargo.toml", bad);
+    assert_eq!(got.first().map(|f| (f.rule, f.line)), Some(("ENW-A001", 2)));
+}
+
+#[test]
 fn a001_illegal_dependency_direction() {
     let manifest = "[package]\nname = \"enw-numerics\"\n\n[dependencies]\nenw-parallel.workspace = true\nenw-recsys.workspace = true\n";
     let got = check_manifest("numerics", "crates/numerics/Cargo.toml", manifest);

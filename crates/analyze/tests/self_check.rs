@@ -26,7 +26,7 @@ fn workspace_has_no_deny_findings_at_head() {
         analysis.files_scanned
     );
     assert!(
-        analysis.manifests_checked >= 11,
+        analysis.manifests_checked >= 12,
         "checked only {} manifests",
         analysis.manifests_checked
     );

@@ -9,11 +9,14 @@
 //! | Sec. II | CNN/MLP training & inference | analog resistive crossbars | [`crossbar`] over [`nn`] |
 //! | Sec. III–IV | memory-augmented NNs (one/few-shot) | X-MANN crossbars, TCAMs | [`mann`], [`xmann`], [`cam`] |
 //! | Sec. V | neural recommendation | memory-system co-design | [`recsys`] |
+//! | Sec. V-B (serving) | all four, behind one SLA-bound runtime | micro-batched lanes | [`serve`] |
 //!
 //! Shared numerics live in [`numerics`]; the [`parallel`] runtime fans
 //! simulation hot paths out across threads with bit-identical results
-//! (see DESIGN.md, "Execution model"). The [`registry`] module indexes
-//! every reproduced table/figure (E1–E15) and the `enw-bench` binary that
+//! (see DESIGN.md, "Execution model"). The [`serve`] crate fronts every
+//! workload with the deterministic micro-batching serving runtime
+//! (DESIGN.md, "Serving runtime"). The [`registry`] module indexes
+//! every reproduced table/figure (E1–E16) and the `enw-bench` binary that
 //! regenerates it; [`report`] renders the result tables.
 //!
 //! # Quickstart
@@ -33,6 +36,7 @@ pub use enw_nn as nn;
 pub use enw_numerics as numerics;
 pub use enw_parallel as parallel;
 pub use enw_recsys as recsys;
+pub use enw_serve as serve;
 pub use enw_xmann as xmann;
 
 pub mod registry;

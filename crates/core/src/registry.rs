@@ -111,6 +111,12 @@ pub fn registry() -> Vec<Experiment> {
             claim: "Cache-blocked and multi-threaded simulation kernels beat the naive baselines >=2x with bit-identical outputs",
             binary: "exp15_parallel_scaling",
         },
+        Experiment {
+            id: "E16",
+            paper_anchor: "Sec. V-B (serving SLAs)",
+            claim: "All four workloads served under one deterministic micro-batching runtime: SLA-derived batch sizes, deadline shedding, and analog-to-digital degradation keep tails bounded across under- and over-saturated QPS",
+            binary: "exp16_serving_slo",
+        },
     ]
 }
 
@@ -119,9 +125,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn fifteen_experiments_in_order() {
+    fn sixteen_experiments_in_order() {
         let r = registry();
-        assert_eq!(r.len(), 15);
+        assert_eq!(r.len(), 16);
         for (i, e) in r.iter().enumerate() {
             assert_eq!(e.id, format!("E{}", i + 1));
         }
@@ -146,6 +152,17 @@ mod tests {
             assert!(!e.paper_anchor.is_empty());
             assert!(!e.claim.is_empty());
             assert!(e.binary.starts_with("exp"));
+        }
+    }
+
+    #[test]
+    fn every_binary_exists_in_enw_bench() {
+        // The registry is only useful if each entry's binary actually
+        // builds; catch dangling names at the source tree level.
+        let bench_bins = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../bench/src/bin");
+        for e in registry() {
+            let src = bench_bins.join(format!("{}.rs", e.binary));
+            assert!(src.is_file(), "{}: missing bench binary source {}", e.id, src.display());
         }
     }
 }

@@ -24,17 +24,19 @@ pub fn throughput(cfg: &RecModelConfig, batch: u64, machine: &RooflineMachine) -
 }
 
 /// Largest batch size whose latency fits `sla_seconds` (binary search up
-/// to `max_batch`); `None` if even batch 1 misses the SLA.
+/// to `max_batch`); `None` if even batch 1 misses the SLA, or if
+/// `max_batch == 0` (a zero cap admits no batch at all — the result is
+/// always within the caller's cap).
 pub fn max_batch_under_sla(
     cfg: &RecModelConfig,
     machine: &RooflineMachine,
     sla_seconds: f64,
     max_batch: u64,
 ) -> Option<u64> {
-    if batch_latency(cfg, 1, machine) > sla_seconds {
+    if max_batch == 0 || batch_latency(cfg, 1, machine) > sla_seconds {
         return None;
     }
-    let (mut lo, mut hi) = (1u64, max_batch.max(1));
+    let (mut lo, mut hi) = (1u64, max_batch);
     // Latency is monotone in batch, so binary search applies.
     while lo < hi {
         let mid = lo + (hi - lo).div_ceil(2);
@@ -99,6 +101,14 @@ mod tests {
         if b < 4096 {
             assert!(batch_latency(&cfg, b + 1, &m) > sla, "batch {b} is not maximal");
         }
+    }
+
+    #[test]
+    fn zero_cap_admits_nothing() {
+        let cfg = RecModelConfig::compute_bound();
+        let m = machine();
+        let generous_sla = 1e3 * batch_latency(&cfg, 1, &m);
+        assert_eq!(max_batch_under_sla(&cfg, &m, generous_sla, 0), None);
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! Property-based tests for the SLA batch-size search (paper Sec. V-B),
+//! exercised by the `enw-serve` scheduler's batch-close policy.
+//!
+//! Compiled only with `--features proptest` so the default tier-1 run
+//! stays lean; enable it in CI sweeps via `scripts/verify.sh --full`.
+#![cfg(feature = "proptest")]
+
+use enw_recsys::characterize::RooflineMachine;
+use enw_recsys::model::{Interaction, RecModelConfig};
+use enw_recsys::serving::{batch_latency, max_batch_under_sla};
+use proptest::prelude::*;
+
+/// A small model family spanning compute- and memory-bound shapes.
+fn cfg_for(kind: usize) -> RecModelConfig {
+    match kind % 3 {
+        0 => RecModelConfig::compute_bound(),
+        1 => RecModelConfig::memory_bound(),
+        _ => RecModelConfig {
+            dense_features: 8,
+            bottom_mlp: vec![32, 16],
+            tables: vec![(1024, 8), (512, 4)],
+            embedding_dim: 16,
+            top_mlp: vec![32],
+            interaction: Interaction::Concat,
+        },
+    }
+}
+
+proptest! {
+    /// The search result is admissible (fits the SLA and the cap) and
+    /// maximal (one more query would break the SLA, unless capped).
+    #[test]
+    fn search_is_admissible_and_maximal(kind in 0usize..3,
+                                        sla_x in 1.0f64..200.0,
+                                        cap in 1u64..2048) {
+        let cfg = cfg_for(kind);
+        let m = RooflineMachine::server_cpu();
+        let sla = sla_x * batch_latency(&cfg, 1, &m);
+        let b = max_batch_under_sla(&cfg, &m, sla, cap);
+        // sla >= latency(1) by construction, so a batch always fits.
+        let b = b.expect("reachable SLA must admit batch 1");
+        prop_assert!(b >= 1 && b <= cap);
+        prop_assert!(batch_latency(&cfg, b, &m) <= sla);
+        if b < cap {
+            prop_assert!(batch_latency(&cfg, b + 1, &m) > sla,
+                         "batch {} is not maximal under cap {}", b, cap);
+        }
+    }
+
+    /// Monotonicity: a looser SLA or a larger cap never shrinks the batch.
+    #[test]
+    fn search_is_monotone_in_sla_and_cap(kind in 0usize..3,
+                                         sla_x in 1.0f64..100.0,
+                                         slack in 1.0f64..4.0,
+                                         cap in 1u64..1024) {
+        let cfg = cfg_for(kind);
+        let m = RooflineMachine::server_cpu();
+        let sla = sla_x * batch_latency(&cfg, 1, &m);
+        let tight = max_batch_under_sla(&cfg, &m, sla, cap).expect("reachable");
+        let loose = max_batch_under_sla(&cfg, &m, sla * slack, cap).expect("reachable");
+        prop_assert!(loose >= tight, "loosening the SLA shrank the batch: {} -> {}", tight, loose);
+        let wider = max_batch_under_sla(&cfg, &m, sla, cap * 2).expect("reachable");
+        prop_assert!(wider >= tight, "raising the cap shrank the batch: {} -> {}", tight, wider);
+    }
+
+    /// Edge: a zero cap admits nothing, whatever the SLA.
+    #[test]
+    fn zero_cap_admits_nothing(kind in 0usize..3, sla_x in 0.0f64..1000.0) {
+        let cfg = cfg_for(kind);
+        let m = RooflineMachine::server_cpu();
+        let sla = sla_x * batch_latency(&cfg, 1, &m);
+        prop_assert_eq!(max_batch_under_sla(&cfg, &m, sla, 0), None);
+    }
+
+    /// Edge: an SLA below the single-query latency is unreachable at any cap.
+    #[test]
+    fn sub_unit_sla_is_unreachable(kind in 0usize..3,
+                                   frac in 0.01f64..0.99,
+                                   cap in 1u64..4096) {
+        let cfg = cfg_for(kind);
+        let m = RooflineMachine::server_cpu();
+        let sla = frac * batch_latency(&cfg, 1, &m);
+        prop_assert_eq!(max_batch_under_sla(&cfg, &m, sla, cap), None);
+    }
+}

@@ -1,0 +1,496 @@
+//! The four workload lanes behind the [`Backend`] trait.
+//!
+//! | lane | paper section | compute | service-time model |
+//! |---|---|---|---|
+//! | [`DigitalBackend`] | Sec. II (baseline) | exact FP32 MLP forward | affine: provisioned digital logic |
+//! | [`CrossbarBackend`] | Sec. II | MLP forward on drifted PCM weights | affine: DAC stream + integration + ADC readout per sample |
+//! | [`TcamBackend`] | Sec. III–IV | LSH nearest-Hamming TCAM lookup | affine: per-item cost derived from the `enw-cam` hardware cost model |
+//! | [`RecsysBackend`] | Sec. V | DLRM-style CTR prediction | roofline: `enw-recsys` batched operator latencies |
+//!
+//! Affine constants are representative single-lane figures chosen so the
+//! analog crossbar lane is the *slow tier* (its per-sample DAC/ADC
+//! conversions and drift-compensation rechecks dominate at serving batch
+//! sizes) and the digital lane is the *provisioned fallback tier* — the
+//! degradation ladder of DESIGN.md falls back from analog-noisy to
+//! digital when deadlines are repeatedly missed.
+
+use crate::backend::{Backend, ServiceModel};
+use crate::clock::ns_from_secs;
+use crate::request::{Output, Payload, Request};
+use enw_cam::array::TcamConfig;
+use enw_cam::cells::CellTech;
+use enw_cam::lsh_memory::TcamKeyValueMemory;
+use enw_crossbar::devices::pcm::PcmConfig;
+use enw_crossbar::inference::PcmLayer;
+use enw_numerics::matrix::Matrix;
+use enw_numerics::rng::Rng64;
+use enw_parallel as parallel;
+use enw_recsys::characterize::RooflineMachine;
+use enw_recsys::model::{RecModel, RecModelConfig};
+use enw_recsys::serving::batch_latency;
+use enw_recsys::trace::TraceGenerator;
+
+/// Requests per parallel chunk when an MLP lane fans a batch out.
+const PAR_CHUNK: usize = 8;
+
+/// Minimum batch size before an MLP lane bothers spawning workers.
+const PAR_MIN_BATCH: usize = 2 * PAR_CHUNK;
+
+/// Random post-training-like MLP weights for `dims` (values in
+/// `[-0.5, 0.5]`, inside the PCM programmable range), shared by the
+/// digital lane and the crossbar lane so both serve the *same* model.
+pub fn ideal_layers(dims: &[usize], rng: &mut Rng64) -> Vec<Matrix> {
+    dims.windows(2).map(|w| Matrix::random_uniform(w[1], w[0], -0.5, 0.5, rng)).collect()
+}
+
+/// Forward pass through `layers` with ReLU between hidden layers (linear
+/// output). Purely `&self` so batches can fan out across workers.
+fn mlp_forward(layers: &[Matrix], x: &[f32]) -> Vec<f32> {
+    let mut h = x.to_vec();
+    let last = layers.len().saturating_sub(1);
+    for (i, w) in layers.iter().enumerate() {
+        h = w.matvec(&h);
+        if i < last {
+            for v in h.iter_mut() {
+                *v = v.max(0.0);
+            }
+        }
+    }
+    h
+}
+
+/// Serves a batch of feature-vector requests through shared read-only
+/// layers: fixed 8-request chunks fan out via `enw-parallel`, each chunk
+/// computed exactly as the serial loop would, so outputs are
+/// bit-identical at any thread count.
+fn mlp_serve(layers: &[Matrix], in_dim: usize, batch: &[Request]) -> Vec<Output> {
+    let features: Vec<&[f32]> = batch.iter().filter_map(|r| r.payload.features()).collect();
+    assert!(
+        features.len() == batch.len(),
+        "MLP lane got a non-feature payload: route requests to the station that generated them"
+    );
+    for f in &features {
+        assert!(f.len() == in_dim, "feature width {} does not match lane input {in_dim}", f.len());
+    }
+    if !parallel::should_parallelize(batch.len(), PAR_MIN_BATCH) {
+        return features.iter().map(|f| Output::Scores(mlp_forward(layers, f))).collect();
+    }
+    parallel::map_chunks(features.len(), PAR_CHUNK, |r| {
+        r.map(|i| Output::Scores(mlp_forward(layers, features[i]))).collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Exact FP32 MLP inference on provisioned digital logic — the reference
+/// lane, and the fallback tier of the degradation ladder.
+#[derive(Debug, Clone)]
+pub struct DigitalBackend {
+    name: String,
+    layers: Vec<Matrix>,
+    model: ServiceModel,
+}
+
+impl DigitalBackend {
+    /// Representative single-lane timing: 20 µs batch staging, 8 µs per
+    /// request (weight-stationary quantized MLP).
+    pub const DEFAULT_MODEL: ServiceModel = ServiceModel { setup_ns: 20_000, per_item_ns: 8_000 };
+
+    /// A lane over pre-built layers (use [`ideal_layers`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn from_layers(name: &str, layers: Vec<Matrix>, model: ServiceModel) -> Self {
+        assert!(!layers.is_empty(), "an MLP lane needs at least one layer");
+        DigitalBackend { name: name.to_string(), layers, model }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().map_or(0, Matrix::cols)
+    }
+}
+
+impl Backend for DigitalBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn service_ns(&self, batch: usize) -> u64 {
+        self.model.ns(batch)
+    }
+
+    fn serve(&mut self, batch: &[Request]) -> Vec<Output> {
+        mlp_serve(&self.layers, self.in_dim(), batch)
+    }
+
+    fn make_payload(&self, rng: &mut Rng64) -> Payload {
+        let d = self.in_dim();
+        Payload::Features((0..d).map(|_| rng.range(-1.0, 1.0) as f32).collect())
+    }
+}
+
+/// Analog MLP inference on PCM crossbars (paper Sec. II): the same ideal
+/// weights write-verify programmed onto differential pairs, read back at
+/// deployment time `t_read` — so programming noise and conductance drift
+/// are baked into every answer this lane returns.
+#[derive(Debug, Clone)]
+pub struct CrossbarBackend {
+    name: String,
+    /// Effective (noisy, drifted) weights at deployment time.
+    layers: Vec<Matrix>,
+    model: ServiceModel,
+}
+
+impl CrossbarBackend {
+    /// Representative single-lane timing: 60 µs batch setup (DAC
+    /// programming + integration windows), 25 µs per request (per-sample
+    /// input streaming and ADC readout, including the periodic
+    /// drift-compensation recheck). Deliberately the slow tier.
+    pub const DEFAULT_MODEL: ServiceModel = ServiceModel { setup_ns: 60_000, per_item_ns: 25_000 };
+
+    /// Programs `ideal` layer weights onto PCM pairs and snapshots the
+    /// effective weights at deployment time `t_read` (seconds since
+    /// programming).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ideal` is empty.
+    pub fn program(
+        name: &str,
+        ideal: &[Matrix],
+        cfg: PcmConfig,
+        t_read: f64,
+        model: ServiceModel,
+        rng: &mut Rng64,
+    ) -> Self {
+        assert!(!ideal.is_empty(), "an MLP lane needs at least one layer");
+        let layers = ideal
+            .iter()
+            .map(|w| {
+                let mut layer = PcmLayer::program(w, cfg, rng);
+                layer.compensate_drift(t_read);
+                layer.weights_at(t_read)
+            })
+            .collect();
+        CrossbarBackend { name: name.to_string(), layers, model }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().map_or(0, Matrix::cols)
+    }
+}
+
+impl Backend for CrossbarBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn service_ns(&self, batch: usize) -> u64 {
+        self.model.ns(batch)
+    }
+
+    fn serve(&mut self, batch: &[Request]) -> Vec<Output> {
+        mlp_serve(&self.layers, self.in_dim(), batch)
+    }
+
+    fn make_payload(&self, rng: &mut Rng64) -> Payload {
+        let d = self.in_dim();
+        Payload::Features((0..d).map(|_| rng.range(-1.0, 1.0) as f32).collect())
+    }
+}
+
+/// TCAM few-shot lookup (paper Sec. III–IV): queries hash to LSH
+/// signatures and retrieve the nearest stored support label in one
+/// parallel memory search. The search itself is one physical array
+/// operation, so batches execute serially — the hardware *is* the
+/// parallelism.
+#[derive(Debug)]
+pub struct TcamBackend {
+    name: String,
+    mem: TcamKeyValueMemory,
+    dim: usize,
+    model: ServiceModel,
+}
+
+/// Geometry of a TCAM lane's physical memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcamGeometry {
+    /// Stored-word capacity (must cover the support set).
+    pub capacity: usize,
+    /// Query embedding width.
+    pub dim: usize,
+    /// LSH hyperplanes (signature bits).
+    pub planes: usize,
+}
+
+impl TcamBackend {
+    /// Per-request digital wrapper overhead (query embedding transfer +
+    /// encoder) around the raw TCAM search, and the per-batch staging
+    /// cost. The search latency itself comes from the `enw-cam` cost
+    /// model at construction.
+    const IO_PER_ITEM_NS: u64 = 2_000;
+    const SETUP_NS: u64 = 10_000;
+
+    /// Builds the lane and stores `support` (embedding, label) pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `support` is empty or `geometry.capacity < support.len()`.
+    pub fn new(
+        name: &str,
+        geometry: TcamGeometry,
+        tech: CellTech,
+        cfg: TcamConfig,
+        support: &[(Vec<f32>, usize)],
+        rng: &mut Rng64,
+    ) -> Self {
+        assert!(!support.is_empty(), "a TCAM lane needs stored support examples");
+        assert!(geometry.capacity >= support.len(), "TCAM capacity below support set size");
+        let mut mem = TcamKeyValueMemory::new(
+            geometry.capacity,
+            geometry.dim,
+            geometry.planes,
+            tech,
+            cfg,
+            rng,
+        );
+        for (key, label) in support {
+            mem.update(key, *label);
+        }
+        // Price one probe search with the populated memory: the cam cost
+        // model scales search latency with stored words, so this is the
+        // steady-state per-request device time.
+        let probe: Vec<f32> =
+            (0..geometry.dim).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let (_, cost) = mem.retrieve(&probe);
+        let search_ns = cost.latency_ns.ceil().max(1.0) as u64;
+        let model = ServiceModel {
+            setup_ns: Self::SETUP_NS,
+            per_item_ns: search_ns.saturating_add(Self::IO_PER_ITEM_NS),
+        };
+        TcamBackend { name: name.to_string(), mem, dim: geometry.dim, model }
+    }
+
+    /// Query embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+impl Backend for TcamBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn service_ns(&self, batch: usize) -> u64 {
+        self.model.ns(batch)
+    }
+
+    fn serve(&mut self, batch: &[Request]) -> Vec<Output> {
+        let mut out = Vec::with_capacity(batch.len());
+        for r in batch {
+            let q = r.payload.features();
+            assert!(q.is_some(), "TCAM lane got a non-feature payload");
+            let (hit, _cost) = self.mem.retrieve(q.unwrap_or(&[]));
+            out.push(Output::Label(hit.map(|h| h.value)));
+        }
+        out
+    }
+
+    fn make_payload(&self, rng: &mut Rng64) -> Payload {
+        Payload::Features((0..self.dim).map(|_| rng.range(-1.0, 1.0) as f32).collect())
+    }
+}
+
+/// DLRM-style CTR prediction (paper Sec. V): real `enw-recsys` model
+/// compute, priced by the roofline operator model — so batch size trades
+/// throughput against latency exactly as Sec. V-B describes.
+#[derive(Debug, Clone)]
+pub struct RecsysBackend {
+    name: String,
+    model: RecModel,
+    gen: TraceGenerator,
+    machine: RooflineMachine,
+    cfg: RecModelConfig,
+}
+
+impl RecsysBackend {
+    /// Builds the lane: a model for `cfg`, a Zipf(`alpha`) trace
+    /// generator, and `machine` as the roofline that prices batches.
+    pub fn new(
+        name: &str,
+        cfg: &RecModelConfig,
+        alpha: f64,
+        machine: RooflineMachine,
+        rng: &mut Rng64,
+    ) -> Self {
+        RecsysBackend {
+            name: name.to_string(),
+            model: RecModel::new(cfg, rng),
+            gen: TraceGenerator::new(cfg, alpha),
+            machine,
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// The model configuration (used to derive SLA-driven batch policies).
+    pub fn config(&self) -> &RecModelConfig {
+        &self.cfg
+    }
+
+    /// The pricing roofline.
+    pub fn machine(&self) -> &RooflineMachine {
+        &self.machine
+    }
+}
+
+impl Backend for RecsysBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn service_ns(&self, batch: usize) -> u64 {
+        if batch == 0 {
+            return 0;
+        }
+        ns_from_secs(batch_latency(&self.cfg, batch as u64, &self.machine))
+    }
+
+    fn serve(&mut self, batch: &[Request]) -> Vec<Output> {
+        let queries: Vec<_> = batch.iter().filter_map(|r| r.payload.rec_query()).cloned().collect();
+        assert!(queries.len() == batch.len(), "recsys lane got a non-recsys payload");
+        self.model.predict_batch(&queries).into_iter().map(Output::Ctr).collect()
+    }
+
+    fn make_payload(&self, rng: &mut Rng64) -> Payload {
+        Payload::Rec(self.gen.query(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enw_cam::cells;
+
+    fn req(id: u64, payload: Payload) -> Request {
+        Request { id, station: 0, payload, arrival_ns: 0, deadline_ns: u64::MAX }
+    }
+
+    fn small_rec_cfg() -> RecModelConfig {
+        RecModelConfig {
+            dense_features: 4,
+            bottom_mlp: vec![8, 8],
+            tables: vec![(64, 3), (32, 2)],
+            embedding_dim: 8,
+            top_mlp: vec![8],
+            interaction: enw_recsys::model::Interaction::Concat,
+        }
+    }
+
+    #[test]
+    fn digital_and_crossbar_serve_the_same_model_differently() {
+        let mut rng = Rng64::new(11);
+        let ideal = ideal_layers(&[6, 10, 4], &mut rng);
+        let mut digital =
+            DigitalBackend::from_layers("digital", ideal.clone(), DigitalBackend::DEFAULT_MODEL);
+        let mut analog = CrossbarBackend::program(
+            "crossbar",
+            &ideal,
+            PcmConfig::projected(),
+            1e6,
+            CrossbarBackend::DEFAULT_MODEL,
+            &mut rng,
+        );
+        let p = digital.make_payload(&mut rng);
+        let d = digital.serve(&[req(0, p.clone())]);
+        let a = analog.serve(&[req(0, p)]);
+        let (Some(Output::Scores(ds)), Some(Output::Scores(as_))) = (d.first(), a.first()) else {
+            unreachable!("MLP lanes return scores");
+        };
+        assert_eq!(ds.len(), 4);
+        assert_eq!(as_.len(), 4);
+        // Programming noise + drift make the analog answer close but not
+        // equal to the digital reference.
+        let err: f32 = ds.iter().zip(as_).map(|(x, y)| (x - y).abs()).sum();
+        assert!(err > 0.0, "analog lane should carry device noise");
+        assert!(err < 2.0, "analog lane should still approximate the model, err={err}");
+    }
+
+    #[test]
+    fn mlp_batch_serving_is_thread_count_invariant() {
+        let mut rng = Rng64::new(12);
+        let ideal = ideal_layers(&[8, 16, 3], &mut rng);
+        let mut lane = DigitalBackend::from_layers("d", ideal, DigitalBackend::DEFAULT_MODEL);
+        let batch: Vec<Request> = (0..40).map(|i| req(i, lane.make_payload(&mut rng))).collect();
+        let serial = parallel::with_threads(1, || lane.serve(&batch));
+        for t in [2, 4, 8] {
+            let par = parallel::with_threads(t, || lane.serve(&batch));
+            assert_eq!(par, serial, "thread count {t} changed outputs");
+        }
+    }
+
+    #[test]
+    fn tcam_lane_retrieves_stored_labels() {
+        let mut rng = Rng64::new(13);
+        let support: Vec<(Vec<f32>, usize)> = (0..4)
+            .map(|c| {
+                let mut v = vec![-1.0f32; 8];
+                v[c * 2] = 1.0;
+                (v, c)
+            })
+            .collect();
+        let mut lane = TcamBackend::new(
+            "tcam",
+            TcamGeometry { capacity: 16, dim: 8, planes: 64 },
+            cells::cmos_16t(),
+            TcamConfig::default(),
+            &support,
+            &mut rng,
+        );
+        assert!(lane.service_ns(1) > TcamBackend::SETUP_NS);
+        let out = lane.serve(&[req(0, Payload::Features(support[2].0.clone()))]);
+        assert_eq!(out, vec![Output::Label(Some(2))]);
+    }
+
+    #[test]
+    fn recsys_lane_prices_batches_by_roofline() {
+        let mut rng = Rng64::new(14);
+        let cfg = small_rec_cfg();
+        let mut lane =
+            RecsysBackend::new("recsys", &cfg, 1.0, RooflineMachine::server_cpu(), &mut rng);
+        assert_eq!(lane.service_ns(0), 0);
+        let t1 = lane.service_ns(1);
+        let t64 = lane.service_ns(64);
+        assert!(t1 >= 1);
+        assert!(t64 > t1, "batch latency must grow: {t1} vs {t64}");
+        assert!((t64 as f64) < 64.0 * t1 as f64, "batching must amortize");
+        let p = lane.make_payload(&mut rng);
+        let out = lane.serve(&[req(0, p)]);
+        let Some(Output::Ctr(ctr)) = out.first() else {
+            unreachable!("recsys lane returns CTRs");
+        };
+        assert!((0.0..=1.0).contains(ctr));
+    }
+
+    #[test]
+    fn payloads_match_their_lane() {
+        let mut rng = Rng64::new(15);
+        let ideal = ideal_layers(&[5, 2], &mut rng);
+        let lane = DigitalBackend::from_layers("d", ideal, DigitalBackend::DEFAULT_MODEL);
+        let Payload::Features(f) = lane.make_payload(&mut rng) else {
+            unreachable!("MLP lanes draw feature payloads");
+        };
+        assert_eq!(f.len(), 5);
+        let cfg = small_rec_cfg();
+        let rec = RecsysBackend::new("r", &cfg, 0.8, RooflineMachine::server_cpu(), &mut rng);
+        let Payload::Rec(q) = rec.make_payload(&mut rng) else {
+            unreachable!("recsys lane draws rec payloads");
+        };
+        assert_eq!(q.dense.len(), 4);
+        assert_eq!(q.sparse.len(), 2);
+    }
+}

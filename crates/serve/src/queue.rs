@@ -1,0 +1,122 @@
+//! Bounded per-station admission queues.
+//!
+//! Admission control is the outermost defence of the SLA: a queue that
+//! grows without bound converts overload into unbounded latency for
+//! *everyone*, while a bounded queue converts it into explicit
+//! [`Admission::Rejected`] results the client can retry elsewhere
+//! (backpressure). FIFO order is part of the determinism contract — the
+//! batch a request lands in depends only on the trace, never on host
+//! scheduling.
+
+use crate::request::Request;
+use std::collections::VecDeque;
+
+/// Result of offering a request to a station queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Enqueued; will be served in FIFO order.
+    Accepted,
+    /// Queue full — rejected at the door.
+    Rejected,
+}
+
+/// A FIFO queue with a hard capacity.
+#[derive(Debug, Clone, Default)]
+pub struct BoundedQueue {
+    items: VecDeque<Request>,
+    cap: usize,
+}
+
+impl BoundedQueue {
+    /// A queue holding at most `cap` waiting requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero (a station that can never hold work is a
+    /// configuration error, not a policy).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "queue capacity must be at least 1");
+        BoundedQueue { items: VecDeque::with_capacity(cap.min(1024)), cap }
+    }
+
+    /// Capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Waiting requests.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing waits.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Arrival instant of the oldest waiting request, if any.
+    pub fn oldest_arrival_ns(&self) -> Option<u64> {
+        self.items.front().map(|r| r.arrival_ns)
+    }
+
+    /// Offers a request; full queues reject (backpressure).
+    pub fn offer(&mut self, req: Request) -> Admission {
+        if self.items.len() >= self.cap {
+            return Admission::Rejected;
+        }
+        self.items.push_back(req);
+        Admission::Accepted
+    }
+
+    /// Removes and returns up to `n` oldest requests, in FIFO order.
+    pub fn take(&mut self, n: usize) -> Vec<Request> {
+        let k = n.min(self.items.len());
+        self.items.drain(..k).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Payload;
+
+    fn req(id: u64, arrival_ns: u64) -> Request {
+        Request {
+            id,
+            station: 0,
+            payload: Payload::Features(vec![]),
+            arrival_ns,
+            deadline_ns: u64::MAX,
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let mut q = BoundedQueue::new(2);
+        assert_eq!(q.offer(req(1, 10)), Admission::Accepted);
+        assert_eq!(q.offer(req(2, 11)), Admission::Accepted);
+        assert_eq!(q.offer(req(3, 12)), Admission::Rejected, "cap 2 must reject the third");
+        assert_eq!(q.oldest_arrival_ns(), Some(10));
+        let taken = q.take(5);
+        assert_eq!(taken.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 2]);
+        assert!(q.is_empty());
+        assert_eq!(q.oldest_arrival_ns(), None);
+    }
+
+    #[test]
+    fn take_respects_n() {
+        let mut q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.offer(req(i, i));
+        }
+        let first = q.take(2);
+        assert_eq!(first.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue capacity")]
+    fn zero_capacity_is_rejected() {
+        BoundedQueue::new(0);
+    }
+}

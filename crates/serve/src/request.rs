@@ -1,0 +1,200 @@
+//! Requests, responses and the unified payload vocabulary.
+//!
+//! One runtime serves four heterogeneous workloads, so payloads and
+//! outputs are closed enums rather than generics: the scheduler can hold
+//! mixed traffic in one trace, and rendering a response stream for the
+//! byte-identical determinism check needs a single exhaustive format.
+
+use enw_recsys::trace::SparseQuery;
+
+/// What a request carries to its backend.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// A dense feature vector (crossbar / digital MLP input, or a TCAM
+    /// few-shot query embedding).
+    Features(Vec<f32>),
+    /// A DLRM-style recommendation query (dense + multi-hot sparse).
+    Rec(SparseQuery),
+}
+
+impl Payload {
+    /// The dense feature view, when this payload has one.
+    pub fn features(&self) -> Option<&[f32]> {
+        match self {
+            Payload::Features(v) => Some(v),
+            Payload::Rec(_) => None,
+        }
+    }
+
+    /// The recommendation query, when this payload is one.
+    pub fn rec_query(&self) -> Option<&SparseQuery> {
+        match self {
+            Payload::Rec(q) => Some(q),
+            Payload::Features(_) => None,
+        }
+    }
+}
+
+/// What a backend computes for one request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Output {
+    /// Raw output scores of an MLP forward pass.
+    Scores(Vec<f32>),
+    /// Retrieved class label from a TCAM memory search (`None` when the
+    /// memory is empty).
+    Label(Option<usize>),
+    /// Predicted click-through rate.
+    Ctr(f32),
+}
+
+/// One admitted unit of work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Trace-unique id (also the tie-break key for rendering).
+    pub id: u64,
+    /// Index of the station (backend lane) this request targets.
+    pub station: usize,
+    /// Input data.
+    pub payload: Payload,
+    /// Arrival instant on the virtual clock.
+    pub arrival_ns: u64,
+    /// Absolute deadline; the response is late past this instant.
+    pub deadline_ns: u64,
+}
+
+/// How a request left the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Served within its deadline.
+    Completed,
+    /// Served, but past its deadline (counts toward degradation).
+    DeadlineMiss,
+    /// Dropped at batch close because its deadline had already passed.
+    Shed,
+    /// Refused at admission: the station queue was full (backpressure).
+    Rejected,
+}
+
+impl Outcome {
+    /// Stable short name used in rendered response streams.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Outcome::Completed => "ok",
+            Outcome::DeadlineMiss => "late",
+            Outcome::Shed => "shed",
+            Outcome::Rejected => "rejected",
+        }
+    }
+}
+
+/// The terminal record for one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Id of the originating request.
+    pub id: u64,
+    /// Station that owned the request.
+    pub station: usize,
+    /// How the request left the system.
+    pub outcome: Outcome,
+    /// Backend output (present only for served requests).
+    pub output: Option<Output>,
+    /// Arrival instant of the originating request.
+    pub arrival_ns: u64,
+    /// Instant the response was produced (equals `arrival_ns` for
+    /// rejections, the batch-close instant for sheds).
+    pub finish_ns: u64,
+}
+
+impl Response {
+    /// Served latency; zero for requests that never ran.
+    pub fn latency_ns(&self) -> u64 {
+        self.finish_ns.saturating_sub(self.arrival_ns)
+    }
+}
+
+/// Renders a response stream to a canonical byte-exact text form: floats
+/// are printed as IEEE-754 bit patterns, so two streams compare equal iff
+/// every numeric output is bit-identical.
+pub fn render_responses(responses: &[Response]) -> String {
+    let mut s = String::new();
+    for r in responses {
+        s.push_str(&format!(
+            "id={} st={} {} t={} lat={}",
+            r.id,
+            r.station,
+            r.outcome.tag(),
+            r.finish_ns,
+            r.latency_ns()
+        ));
+        match &r.output {
+            None => s.push_str(" out=-"),
+            Some(Output::Scores(v)) => {
+                s.push_str(" out=scores:");
+                for x in v {
+                    s.push_str(&format!("{:08x},", x.to_bits()));
+                }
+            }
+            Some(Output::Label(l)) => match l {
+                Some(c) => s.push_str(&format!(" out=label:{c}")),
+                None => s.push_str(" out=label:-"),
+            },
+            Some(Output::Ctr(p)) => s.push_str(&format!(" out=ctr:{:08x}", p.to_bits())),
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_views_are_exclusive() {
+        let f = Payload::Features(vec![1.0, 2.0]);
+        assert!(f.features().is_some());
+        assert!(f.rec_query().is_none());
+        let q = Payload::Rec(SparseQuery { dense: vec![0.5], sparse: vec![vec![1]] });
+        assert!(q.features().is_none());
+        assert!(q.rec_query().is_some());
+    }
+
+    #[test]
+    fn latency_is_zero_for_unserved() {
+        let r = Response {
+            id: 1,
+            station: 0,
+            outcome: Outcome::Rejected,
+            output: None,
+            arrival_ns: 50,
+            finish_ns: 50,
+        };
+        assert_eq!(r.latency_ns(), 0);
+    }
+
+    #[test]
+    fn rendering_is_bit_exact() {
+        let mk = |x: f32| Response {
+            id: 7,
+            station: 2,
+            outcome: Outcome::Completed,
+            output: Some(Output::Ctr(x)),
+            arrival_ns: 10,
+            finish_ns: 35,
+        };
+        let a = render_responses(&[mk(0.25)]);
+        let b = render_responses(&[mk(0.25)]);
+        assert_eq!(a, b);
+        let c = render_responses(&[mk(0.25 + 1e-7)]);
+        assert_ne!(a, c, "different bits must render differently");
+        assert!(a.contains("id=7 st=2 ok t=35 lat=25"));
+    }
+
+    #[test]
+    fn outcome_tags_are_stable() {
+        assert_eq!(Outcome::Completed.tag(), "ok");
+        assert_eq!(Outcome::DeadlineMiss.tag(), "late");
+        assert_eq!(Outcome::Shed.tag(), "shed");
+        assert_eq!(Outcome::Rejected.tag(), "rejected");
+    }
+}

@@ -1,0 +1,170 @@
+//! Latency/throughput/shed-rate telemetry.
+//!
+//! Percentiles use the nearest-rank definition over exact integer
+//! nanosecond latencies — no interpolation, no floating-point
+//! accumulation across requests — so two runs that served the same
+//! virtual-time schedule report *identical* p50/p95/p99, not merely
+//! close ones.
+
+/// Nearest-rank percentile of a sorted latency list (0 for empty input).
+///
+/// # Panics
+///
+/// Panics if `pct` is outside `(0, 100]`.
+pub fn percentile_ns(sorted: &[u64], pct: f64) -> u64 {
+    assert!(pct > 0.0 && pct <= 100.0, "percentile must be in (0, 100]");
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    let idx = rank.clamp(1, sorted.len()) - 1;
+    sorted.get(idx).copied().unwrap_or_default()
+}
+
+/// Summary statistics of one lane's served latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// Served responses (on-time + late).
+    pub count: u64,
+    /// Median latency (ns).
+    pub p50_ns: u64,
+    /// 95th percentile (ns).
+    pub p95_ns: u64,
+    /// 99th percentile (ns).
+    pub p99_ns: u64,
+    /// Worst served latency (ns).
+    pub max_ns: u64,
+}
+
+/// Counters and latencies for one station over a run.
+#[derive(Debug, Clone, Default)]
+pub struct StationMetrics {
+    /// Lane name (primary backend's).
+    pub name: String,
+    /// Requests that arrived for this station.
+    pub arrived: u64,
+    /// Requests refused at admission (queue full).
+    pub rejected: u64,
+    /// Requests dropped at batch close (deadline already passed).
+    pub shed: u64,
+    /// Requests served within their deadline.
+    pub completed: u64,
+    /// Requests served past their deadline.
+    pub deadline_misses: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Batches executed on the fallback backend.
+    pub degraded_batches: u64,
+    /// Times the ladder stepped down to the fallback.
+    pub fallback_switches: u64,
+    /// Times the ladder stepped back up to the primary.
+    pub recoveries: u64,
+    /// Latency (ns) of every served request, in completion order.
+    pub latencies_ns: Vec<u64>,
+}
+
+impl StationMetrics {
+    /// Fresh metrics for a named lane.
+    pub fn new(name: &str) -> Self {
+        StationMetrics { name: name.to_string(), ..Default::default() }
+    }
+
+    /// Served requests (on-time + late).
+    pub fn served(&self) -> u64 {
+        self.completed + self.deadline_misses
+    }
+
+    /// Percentile summary of served latencies.
+    pub fn summary(&self) -> LatencySummary {
+        let mut sorted = self.latencies_ns.clone();
+        sorted.sort_unstable();
+        LatencySummary {
+            count: sorted.len() as u64,
+            p50_ns: percentile_ns(&sorted, 50.0),
+            p95_ns: percentile_ns(&sorted, 95.0),
+            p99_ns: percentile_ns(&sorted, 99.0),
+            max_ns: sorted.last().copied().unwrap_or_default(),
+        }
+    }
+
+    /// Fraction of arrived requests dropped at batch close.
+    pub fn shed_rate(&self) -> f64 {
+        ratio(self.shed, self.arrived)
+    }
+
+    /// Fraction of arrived requests refused at admission.
+    pub fn reject_rate(&self) -> f64 {
+        ratio(self.rejected, self.arrived)
+    }
+
+    /// Fraction of served requests that finished late.
+    pub fn miss_rate(&self) -> f64 {
+        ratio(self.deadline_misses, self.served())
+    }
+
+    /// Served goodput (on-time responses per second of virtual time).
+    pub fn goodput_qps(&self, duration_ns: u64) -> f64 {
+        if duration_ns == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / (duration_ns as f64 / 1e9)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ns(&sorted, 50.0), 50);
+        assert_eq!(percentile_ns(&sorted, 95.0), 95);
+        assert_eq!(percentile_ns(&sorted, 99.0), 99);
+        assert_eq!(percentile_ns(&sorted, 100.0), 100);
+        assert_eq!(percentile_ns(&[], 50.0), 0);
+        assert_eq!(percentile_ns(&[7], 1.0), 7, "single sample is every percentile");
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_domain_is_checked() {
+        percentile_ns(&[1], 0.0);
+    }
+
+    #[test]
+    fn summary_and_rates() {
+        let mut m = StationMetrics::new("lane");
+        m.arrived = 10;
+        m.rejected = 2;
+        m.shed = 1;
+        m.completed = 6;
+        m.deadline_misses = 1;
+        m.latencies_ns = vec![30, 10, 20, 40, 50, 60, 70];
+        let s = m.summary();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.p50_ns, 40);
+        assert_eq!(s.max_ns, 70);
+        assert!((m.shed_rate() - 0.1).abs() < 1e-12);
+        assert!((m.reject_rate() - 0.2).abs() < 1e-12);
+        assert!((m.miss_rate() - 1.0 / 7.0).abs() < 1e-12);
+        assert!((m.goodput_qps(1_000_000_000) - 6.0).abs() < 1e-12);
+        assert_eq!(m.goodput_qps(0), 0.0);
+    }
+
+    #[test]
+    fn empty_metrics_are_all_zero() {
+        let m = StationMetrics::new("idle");
+        assert_eq!(m.summary(), LatencySummary::default());
+        assert_eq!(m.shed_rate(), 0.0);
+        assert_eq!(m.miss_rate(), 0.0);
+    }
+}

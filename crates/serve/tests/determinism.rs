@@ -1,0 +1,112 @@
+//! End-to-end determinism of the serving runtime (acceptance criterion):
+//! two runs with the same seed and trace must produce byte-identical
+//! response streams and identical p50/p95/p99/shed-rate figures at any
+//! `ENW_THREADS` setting — with the *real* paper backends, not stubs.
+
+use enw_parallel as parallel;
+use enw_serve::presets::{fleet, saturation_qps, traffic_classes};
+use enw_serve::{generate_trace, LoadSpec, Outcome, RunReport};
+
+const SEED: u64 = 20_200_309;
+
+/// One full simulated run at `qps_frac` times the fleet's saturation QPS.
+fn run_at(seed: u64, qps_frac: f64, duration_ns: u64) -> RunReport {
+    let server = fleet(seed);
+    let classes = traffic_classes();
+    let qps = qps_frac * saturation_qps(&server, &classes);
+    let spec = LoadSpec { qps, duration_ns, seed: seed ^ 0x9e37_79b9 };
+    let trace = generate_trace(&server, &spec, &classes);
+    assert!(!trace.is_empty(), "trace must carry load");
+    server.run(&trace)
+}
+
+/// Everything the experiment reports, rendered to comparable bytes.
+fn fingerprint(report: &RunReport) -> String {
+    let mut s = report.render();
+    for m in &report.stations {
+        let sum = m.summary();
+        s.push_str(&format!(
+            "{} p50={} p95={} p99={} shed={:.6} reject={:.6} miss={:.6} switches={} recov={}\n",
+            m.name,
+            sum.p50_ns,
+            sum.p95_ns,
+            sum.p99_ns,
+            m.shed_rate(),
+            m.reject_rate(),
+            m.miss_rate(),
+            m.fallback_switches,
+            m.recoveries,
+        ));
+    }
+    s
+}
+
+#[test]
+fn same_seed_same_bytes_across_thread_counts() {
+    let reference = parallel::with_threads(1, || fingerprint(&run_at(SEED, 0.6, 30_000_000)));
+    for threads in [2, 4, 8] {
+        let got = parallel::with_threads(threads, || fingerprint(&run_at(SEED, 0.6, 30_000_000)));
+        assert_eq!(got, reference, "ENW_THREADS={threads} changed the response stream");
+    }
+    // And a plain re-run without any thread pinning.
+    assert_eq!(fingerprint(&run_at(SEED, 0.6, 30_000_000)), reference);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = fingerprint(&run_at(SEED, 0.6, 20_000_000));
+    let b = fingerprint(&run_at(SEED + 1, 0.6, 20_000_000));
+    assert_ne!(a, b, "distinct seeds should name distinct streams");
+}
+
+#[test]
+fn undersaturated_fleet_serves_cleanly() {
+    let report = run_at(SEED, 0.25, 30_000_000);
+    let arrived: u64 = report.stations.iter().map(|m| m.arrived).sum();
+    let completed: u64 = report.stations.iter().map(|m| m.completed).sum();
+    assert!(arrived > 100, "need a meaningful sample, got {arrived}");
+    for m in &report.stations {
+        assert_eq!(m.rejected, 0, "{} rejected under light load", m.name);
+    }
+    assert!(
+        completed as f64 >= 0.95 * arrived as f64,
+        "light load should mostly complete on time: {completed}/{arrived}"
+    );
+}
+
+#[test]
+fn oversaturated_fleet_sheds_and_degrades() {
+    let report = run_at(SEED, 3.0, 30_000_000);
+    let dropped: u64 = report.stations.iter().map(|m| m.rejected + m.shed).sum();
+    assert!(dropped > 0, "3x saturation must trigger backpressure somewhere");
+    // Every arrived request is accounted for exactly once.
+    for m in &report.stations {
+        assert_eq!(
+            m.arrived,
+            m.rejected + m.shed + m.completed + m.deadline_misses,
+            "{} loses requests",
+            m.name
+        );
+    }
+    // Responses cover rejections too, tagged with their outcome.
+    let arrived: u64 = report.stations.iter().map(|m| m.arrived).sum();
+    assert_eq!(report.responses.len() as u64, arrived);
+    assert!(report.responses.iter().any(|r| r.outcome != Outcome::Completed));
+}
+
+#[test]
+fn analog_lane_falls_back_under_sustained_overload() {
+    // Hammer only the crossbar lane with a tight deadline so the ladder
+    // has to step down to the digital fallback.
+    let server = fleet(SEED);
+    let mut classes = traffic_classes();
+    classes.truncate(1);
+    classes[0].deadline_ns = 300_000; // tighter than an 8-deep analog batch
+    let qps = 4.0 * saturation_qps(&server, &classes);
+    let spec = LoadSpec { qps, duration_ns: 30_000_000, seed: SEED };
+    let trace = generate_trace(&server, &spec, &classes);
+    let report = server.run(&trace);
+    let lane = &report.stations[0];
+    assert!(lane.fallback_switches > 0, "ladder never engaged: {lane:?}");
+    assert!(lane.degraded_batches > 0);
+}

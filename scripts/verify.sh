@@ -18,6 +18,10 @@ cargo test -q
 echo "== enw-analyze (determinism / panic-freedom / architecture lints) =="
 cargo run --release -q -p enw-analyze
 
+echo "== exp16_serving_slo --smoke (serving runtime end to end) =="
+cargo run --release -q -p enw-bench --bin exp16_serving_slo -- --smoke
+test -s BENCH_serving.json || { echo "exp16 did not emit BENCH_serving.json"; exit 1; }
+
 if [[ "${1:-}" == "--full" ]]; then
     echo "== cargo test -q --features proptest (property suites) =="
     cargo test -q --features proptest
