@@ -16,18 +16,22 @@ use crate::report::{Finding, Severity};
 /// the stack first. `dev-dependencies` are exempt (tests may reach
 /// anywhere below them in the build graph anyway).
 pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
+    ("trace", &[]),
     ("parallel", &[]),
     ("numerics", &["parallel"]),
     ("nn", &["numerics", "parallel"]),
-    ("crossbar", &["numerics", "nn", "parallel"]),
-    ("mann", &["numerics", "nn", "parallel"]),
-    ("xmann", &["numerics", "mann", "parallel"]),
-    ("cam", &["numerics", "mann", "xmann", "parallel"]),
-    ("recsys", &["numerics", "nn", "parallel"]),
-    ("serve", &["numerics", "nn", "crossbar", "mann", "cam", "recsys", "parallel"]),
+    ("crossbar", &["numerics", "nn", "parallel", "trace"]),
+    ("mann", &["numerics", "nn", "parallel", "trace"]),
+    ("xmann", &["numerics", "mann", "parallel", "trace"]),
+    ("cam", &["numerics", "mann", "xmann", "parallel", "trace"]),
+    ("recsys", &["numerics", "nn", "parallel", "trace"]),
+    ("serve", &["numerics", "nn", "crossbar", "mann", "cam", "recsys", "parallel", "trace"]),
     (
         "core",
-        &["numerics", "nn", "crossbar", "mann", "xmann", "cam", "recsys", "serve", "parallel"],
+        &[
+            "numerics", "nn", "crossbar", "mann", "xmann", "cam", "recsys", "serve", "parallel",
+            "trace",
+        ],
     ),
     ("bench", &["core"]),
     ("analyze", &[]),

@@ -13,6 +13,7 @@
 //! | ENW-P003 | deny     | no `panic!`/`todo!`/`unimplemented!`/`unreachable!` in non-test library code |
 //! | ENW-P004 | warn     | no indexing by integer literal (`xs[0]`) in non-test library code |
 //! | ENW-A002 | deny     | only `crates/bench` may name `BENCH_*` report artifacts |
+//! | ENW-A004 | deny     | no public `*_unchecked`/`*unwrap*` constructors in kernel crates (validation belongs in builders / `try_*` APIs) |
 //!
 //! Test code (bodies of `#[cfg(test)]` items and `#[test]` fns), doc
 //! comments, binaries under `src/bin/`, bench targets, and integration
@@ -26,8 +27,10 @@ use crate::report::{Finding, Severity};
 /// (ENW-D001). `nn` and `core` may use maps for bookkeeping/reports.
 /// `serve` is included: batch composition and response order feed the
 /// byte-exact response stream, so no hash iteration order may touch them.
+/// `trace` is included: its merged totals are part of the reproducible
+/// output (TraceReport bytes), so hash iteration order may not feed them.
 pub const KERNEL_CRATES: &[&str] =
-    &["numerics", "crossbar", "cam", "xmann", "mann", "recsys", "serve"];
+    &["numerics", "crossbar", "cam", "xmann", "mann", "recsys", "serve", "trace"];
 
 /// Crates allowed to read wall-clock time or ambient entropy
 /// (ENW-D002/D003): the bench harness times things by design, and the
@@ -178,6 +181,26 @@ pub fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
                         ),
                     );
                 }
+                if kernel
+                    && kind == FileKind::Lib
+                    && name == "pub"
+                    && toks.get(i + 1).map(|t| t.is_punct('(')) != Some(true)
+                {
+                    if let Some(fn_name) = public_fn_name(&toks, i + 1) {
+                        if fn_name.ends_with("_unchecked") || fn_name.contains("unwrap") {
+                            push(
+                                "ENW-A004",
+                                Severity::Deny,
+                                t.line,
+                                format!(
+                                    "public `{fn_name}` in kernel crate `{crate_name}` bypasses \
+                                     validated construction; expose a builder or a `try_*` \
+                                     Result API instead"
+                                ),
+                            );
+                        }
+                    }
+                }
                 if panic_rules
                     && (name == "unwrap" || name == "expect")
                     && i > 0
@@ -232,6 +255,24 @@ pub fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
         }
     }
     out
+}
+
+/// Name of the function declared at a `pub` item starting after token
+/// `i`, skipping declaration qualifiers (`const fn`, `unsafe fn`, …).
+/// `None` when the item is not a function.
+fn public_fn_name(toks: &[Token], mut i: usize) -> Option<String> {
+    while let Some(t) = toks.get(i) {
+        match t.text.as_str() {
+            "const" | "unsafe" | "async" | "extern" => i += 1,
+            _ if t.kind == TokKind::Str => i += 1, // `extern "C"` ABI string
+            "fn" => {
+                let name = toks.get(i + 1)?;
+                return (name.kind == TokKind::Ident).then(|| name.text.clone());
+            }
+            _ => return None,
+        }
+    }
+    None
 }
 
 /// True when the previous token can be the base of an index expression.

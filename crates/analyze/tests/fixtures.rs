@@ -190,7 +190,47 @@ fn serve_is_a_kernel_crate_for_determinism_rules() {
     // Emitting report artifacts from serve is also denied (A002): the
     // JSON writer lives in the exp16 bench binary.
     let src = "fn f() { let _p = \"BENCH_serving.json\"; }\n";
-    assert_eq!(hits("crates/serve/src/telemetry.rs", src), vec![("ENW-A002".to_string(), 1)]);
+    assert_eq!(hits("crates/serve/src/metrics.rs", src), vec![("ENW-A002".to_string(), 1)]);
+}
+
+#[test]
+fn trace_is_a_kernel_crate_for_determinism_rules() {
+    // TraceReport bytes are part of the reproducible output, so the trace
+    // crate gets the full determinism treatment: no hash iteration order
+    // (D001) and no ambient clocks (D002) — spans run on virtual time or
+    // an installed time source only.
+    let got = hits("crates/trace/src/recorder.rs", "use std::collections::HashMap;\n");
+    assert_eq!(got, vec![("ENW-D001".to_string(), 1)]);
+    let src = "fn f() { let _t = std::time::Instant::now(); }\n";
+    assert_eq!(hits("crates/trace/src/lib.rs", src), vec![("ENW-D002".to_string(), 1)]);
+}
+
+#[test]
+fn a004_unchecked_constructor_in_kernel_crate() {
+    let src =
+        "impl Tile {\n    pub fn new_unchecked(n: usize) -> Self {\n        Tile { n }\n    }\n}\n";
+    assert_eq!(hits("crates/crossbar/src/foo.rs", src), vec![("ENW-A004".to_string(), 2)]);
+    let src = "pub fn from_parts_unchecked(a: u32) -> u32 { a }\n";
+    assert_eq!(hits("crates/trace/src/foo.rs", src), vec![("ENW-A004".to_string(), 1)]);
+    let src = "pub const fn unwrap_config(c: Option<u32>) -> u32 { 0 }\n";
+    assert_eq!(hits("crates/serve/src/foo.rs", src), vec![("ENW-A004".to_string(), 1)]);
+}
+
+#[test]
+fn a004_spares_validated_and_private_apis() {
+    // Plain constructors, try_* APIs, and builders are the sanctioned
+    // surface.
+    let src = "pub fn new(n: usize) -> Self { Self { n } }\npub fn try_new(n: usize) -> Result<Self, E> { Ok(Self { n }) }\npub fn builder() -> Builder { Builder::default() }\n";
+    assert!(hits("crates/crossbar/src/foo.rs", src).is_empty());
+    // Crate-private helpers may do what they like.
+    let src = "pub(crate) fn new_unchecked(n: usize) -> usize { n }\nfn also_unchecked() {}\n";
+    assert!(hits("crates/crossbar/src/foo.rs", src).is_empty());
+    // Non-kernel crates (reports, bookkeeping) are out of scope.
+    let src = "pub fn new_unchecked(n: usize) -> usize { n }\n";
+    assert!(hits("crates/core/src/foo.rs", src).is_empty());
+    // Test modules inside kernel crates are exempt.
+    let src = "#[cfg(test)]\nmod tests {\n    pub fn new_unchecked() {}\n}\n";
+    assert!(hits("crates/crossbar/src/foo.rs", src).is_empty());
 }
 
 #[test]

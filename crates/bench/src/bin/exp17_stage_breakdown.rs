@@ -1,0 +1,233 @@
+//! E17 — per-stage work attribution across all four workload lanes via
+//! the `enw-trace` span recorder (methodology companion to E1/E15/E16).
+//!
+//! Every kernel crate records deterministic work units (element counts,
+//! pulses) into named spans (`lane/stage`). This binary runs a small
+//! representative workload per lane — analog crossbar training with
+//! Tiki-Taka transfers, the MANN/X-MANN/TCAM few-shot memory path, DLRM
+//! inference, and the E16 serving fleet — and reports each stage's share
+//! of its lane's total work. Because the attributed quantities are element
+//! counts on the virtual clock, every number here is bit-identical across
+//! reruns and any `ENW_THREADS` setting (asserted by rerunning each lane).
+//!
+//! Emits `BENCH_stage_breakdown.json` (chrome-trace-style summary per
+//! lane) in the working directory. Pass `--smoke` for CI-sized inputs.
+
+use enw_bench::{banner, emit};
+use enw_core::crossbar::devices;
+use enw_core::crossbar::tiki_taka::TikiTakaConfig;
+use enw_core::crossbar::tile::TileConfig;
+use enw_core::crossbar::train::{tiki_taka_mlp, train_and_evaluate};
+use enw_core::mann::memory::{DifferentiableMemory, Similarity};
+use enw_core::nn::activation::Activation;
+use enw_core::nn::data::SyntheticImages;
+use enw_core::nn::mlp::SgdConfig;
+use enw_core::numerics::bits::BitVec;
+use enw_core::numerics::rng::Rng64;
+use enw_core::recsys::model::{Interaction, RecModel, RecModelConfig};
+use enw_core::recsys::trace::TraceGenerator;
+use enw_core::report::Table;
+use enw_core::serve::presets::{fleet, saturation_qps, traffic_classes};
+use enw_core::serve::{generate_trace, LoadSpec};
+use enw_core::trace::{self, TraceMode, TraceReport};
+use enw_core::xmann::arch::{Xmann, XmannConfig};
+use enw_core::xmann::cost::XmannCostParams;
+use enw_core::{cam, numerics};
+
+const SEED: u64 = 17;
+
+/// Analog crossbar training lane: forward/backward MVMs, stochastic-pulse
+/// updates, programming, and Tiki-Taka column transfers.
+fn lane_crossbar(smoke: bool) {
+    let mut rng = Rng64::new(SEED);
+    let split = SyntheticImages::builder()
+        .classes(4)
+        .dim(16)
+        .train_per_class(if smoke { 8 } else { 40 })
+        .test_per_class(4)
+        .noise(1.0)
+        .build(&mut rng);
+    let mut mlp = tiki_taka_mlp(
+        &[16, 12, 4],
+        &devices::rram(),
+        TileConfig::default(),
+        TikiTakaConfig::default(),
+        Activation::Tanh,
+        &mut rng,
+    );
+    let cfg = SgdConfig { epochs: if smoke { 1 } else { 3 }, learning_rate: 0.05 };
+    let out = train_and_evaluate(&mut mlp, &split, &cfg, &mut rng);
+    assert!((0.0..=1.0).contains(&out.test_accuracy));
+}
+
+/// Few-shot memory lane: MANN similarity scan, X-MANN tiled
+/// similarity/read/write, and TCAM nearest-match search.
+fn lane_fewshot(smoke: bool) {
+    let mut rng = Rng64::new(SEED);
+    let slots = if smoke { 64 } else { 512 };
+    let dim = 32;
+    let queries = if smoke { 8 } else { 64 };
+
+    let mem = DifferentiableMemory::random(slots, dim, &mut rng);
+    let mut xm = Xmann::new(slots, dim, XmannConfig::default(), XmannCostParams::default());
+    let rows: Vec<Vec<f32>> = (0..slots).map(|s| mem.slot(s).to_vec()).collect();
+    xm.load_memory(&rows);
+
+    let mut bank = cam::bank::TcamBank::new(
+        dim,
+        16,
+        cam::cells::fefet_2t(),
+        cam::array::TcamConfig::default(),
+    );
+    for row in &rows {
+        let bits: Vec<bool> = row.iter().map(|&v| v >= 0.0).collect();
+        bank.write(BitVec::from_bools(&bits));
+    }
+
+    for _ in 0..queries {
+        let q: Vec<f32> = (0..dim).map(|_| rng.uniform_f32() - 0.5).collect();
+        let _ = mem.similarities(&q, Similarity::Cosine);
+        let sim = xm.similarity(&q);
+        let weights = numerics::vector::softmax(&sim.value, 1.0);
+        let _ = xm.soft_read(&weights);
+        let erase = vec![0.1f32; dim];
+        let _ = xm.soft_write(&weights, &erase, &q);
+        let bits: Vec<bool> = q.iter().map(|&v| v >= 0.0).collect();
+        let _ = bank.search_nearest(&BitVec::from_bools(&bits));
+    }
+}
+
+/// Recommendation lane: embedding gather+pool and the MLP stacks of a
+/// DLRM-style model over a Zipf-skewed query trace.
+fn lane_recsys(smoke: bool) {
+    let mut rng = Rng64::new(SEED);
+    let cfg = RecModelConfig {
+        dense_features: 16,
+        bottom_mlp: vec![32, 16],
+        tables: vec![(1000, 4); 4],
+        embedding_dim: 16,
+        top_mlp: vec![32],
+        interaction: Interaction::DotPairwise,
+    };
+    let mut model = RecModel::new(&cfg, &mut rng);
+    let gen = TraceGenerator::new(&cfg, 1.0);
+    let queries = gen.batch(if smoke { 64 } else { 512 }, &mut rng);
+    let preds = model.predict_batch(&queries);
+    assert!(preds.iter().all(|p| (0.0..=1.0).contains(p)));
+}
+
+/// Serving lane: the E16 fleet near its saturation knee on a short
+/// virtual-time trace.
+fn lane_serve(smoke: bool) {
+    let server = fleet(SEED);
+    let classes = traffic_classes();
+    let qps = 0.9 * saturation_qps(&server, &classes);
+    let horizon_ns = if smoke { 5_000_000 } else { 50_000_000 };
+    let spec = LoadSpec { qps, duration_ns: horizon_ns, seed: SEED };
+    let trace = generate_trace(&server, &spec, &classes);
+    let report = server.try_run(&trace).expect("generated trace is valid");
+    assert!(!report.stations.is_empty());
+}
+
+/// Runs one lane under a fresh summary-mode recording and drains it.
+fn record_lane(run: &dyn Fn(bool), smoke: bool) -> TraceReport {
+    trace::reset();
+    run(smoke);
+    trace::take_report()
+}
+
+struct Lane {
+    name: &'static str,
+    report: TraceReport,
+}
+
+/// Std-only JSON rendering (no serde in the workspace): one object per
+/// lane with per-stage counts, work units, and work shares.
+fn to_json(lanes: &[Lane], smoke: bool, deterministic: bool) -> String {
+    let mut s = format!(
+        "{{\n  \"bench\": \"stage_breakdown\",\n  \"seed\": {SEED},\n  \"mode\": \"{}\",\n  \"deterministic_rerun\": {deterministic},\n  \"lanes\": [\n",
+        if smoke { "smoke" } else { "full" }
+    );
+    for (i, l) in lanes.iter().enumerate() {
+        let total = l.report.total_work().max(1);
+        s.push_str(&format!(
+            "    {{\n      \"name\": \"{}\",\n      \"total_work\": {},\n      \"stages\": [\n",
+            l.name,
+            l.report.total_work()
+        ));
+        for (j, sp) in l.report.spans.iter().enumerate() {
+            s.push_str(&format!(
+                "        {{\"name\": \"{}\", \"count\": {}, \"work\": {}, \"work_share\": {:.6}}}{}\n",
+                sp.name,
+                sp.count,
+                sp.work,
+                sp.work as f64 / total as f64,
+                if j + 1 < l.report.spans.len() { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!("      ]\n    }}{}\n", if i + 1 < lanes.len() { "," } else { "" }));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    banner("E17");
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    println!(
+        "mode: {}; work units are deterministic element/pulse counts, so every share below",
+        if smoke { "smoke" } else { "full" }
+    );
+    println!("is bit-identical across reruns and any ENW_THREADS setting\n");
+    trace::set_mode(TraceMode::Summary);
+
+    let runs: [(&'static str, &dyn Fn(bool)); 4] = [
+        ("crossbar_training", &lane_crossbar),
+        ("fewshot_memory", &lane_fewshot),
+        ("recsys_inference", &lane_recsys),
+        ("serving", &lane_serve),
+    ];
+
+    // Each lane runs twice; the recorder must produce the same bytes both
+    // times or the attribution is not trustworthy.
+    let mut deterministic = true;
+    let mut lanes = Vec::new();
+    for (name, run) in runs {
+        let first = record_lane(run, smoke);
+        let second = record_lane(run, smoke);
+        assert!(!first.spans.is_empty(), "lane {name} recorded no spans");
+        deterministic &= first == second;
+        lanes.push(Lane { name, report: first });
+    }
+    assert!(deterministic, "rerun of a lane produced a different trace report");
+
+    let mut table = Table::new(&["lane", "stage", "count", "work units", "work %"]);
+    for l in &lanes {
+        let total = l.report.total_work().max(1);
+        for sp in &l.report.spans {
+            table.row_owned(vec![
+                l.name.to_string(),
+                sp.name.to_string(),
+                format!("{}", sp.count),
+                format!("{}", sp.work),
+                format!("{:.1}%", 100.0 * sp.work as f64 / total as f64),
+            ]);
+        }
+    }
+    emit(&table);
+
+    let json = to_json(&lanes, smoke, deterministic);
+    let path = "BENCH_stage_breakdown.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => println!("could not write {path}: {e}"),
+    }
+
+    println!();
+    println!("Reading: training work concentrates in the crossbar MVM/update pair with a");
+    println!("fixed Tiki-Taka transfer overhead; the few-shot path is dominated by the");
+    println!("similarity scans the CAM/X-MANN hardware accelerates; DLRM splits between");
+    println!("embedding gather and the MLP stacks; serving work sits in backend execution.");
+    println!("These shares are the attribution the paper's per-workload hardware arguments");
+    println!("rest on, derived from the same instrumented kernels the experiments run.");
+}

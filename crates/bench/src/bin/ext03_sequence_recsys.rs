@@ -63,7 +63,7 @@ fn main() {
     ] {
         for &sla_ms in &[1.0f64, 10.0, 100.0] {
             let sla = sla_ms / 1e3;
-            let row = match serving::max_batch_under_sla(&cfg, &machine, sla, 65_536) {
+            let row = match serving::try_max_batch_under_sla(&cfg, &machine, sla, 65_536).ok() {
                 None => vec![
                     name.to_string(),
                     format!("{sla_ms} ms"),

@@ -13,11 +13,15 @@
 use enw_core::report::Table;
 
 /// Prints an experiment header (id, anchor, claim) before its table.
+///
+/// # Panics
+///
+/// Panics if `id` is not in the registry — experiment binaries are
+/// fail-fast CLI tools; library callers wanting a `Result` use
+/// [`enw_core::registry::find`] directly.
 pub fn banner(id: &str) {
-    let exp = enw_core::experiments()
-        .into_iter()
-        .find(|e| e.id == id)
-        .unwrap_or_else(|| panic!("unknown experiment id {id}"));
+    let exp =
+        enw_core::registry::find(id).unwrap_or_else(|e| panic!("unknown experiment id {id}: {e}"));
     println!("== {} [{}] ==", exp.id, exp.paper_anchor);
     println!("claim: {}", exp.claim);
     println!("binary: {}", exp.binary);

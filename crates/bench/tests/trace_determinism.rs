@@ -1,0 +1,43 @@
+//! TraceReport determinism across thread counts.
+//!
+//! The recorder merges thread-local sinks on join, and every recorded
+//! quantity (element counts, pulses, virtual-clock spans) is independent
+//! of how work was chunked — so the drained report must serialize to the
+//! same bytes at any `ENW_THREADS` setting. This is the property the E17
+//! stage-breakdown attribution rests on.
+//!
+//! Single test function: the recorder is process-global and `cargo test`
+//! runs tests in one binary concurrently, so all thread-count sweeps live
+//! in one sequential body.
+
+use enw_core::parallel::with_threads;
+use enw_core::serve::presets::{fleet, saturation_qps, traffic_classes};
+use enw_core::serve::{generate_trace, LoadSpec};
+use enw_core::trace::{self, TraceMode};
+
+/// One serving smoke run (the E16 fleet slightly over saturation, short
+/// virtual horizon) under a fresh recording; returns the report bytes.
+fn serve_smoke_report_json() -> String {
+    trace::reset();
+    let server = fleet(99);
+    let classes = traffic_classes();
+    let qps = 1.2 * saturation_qps(&server, &classes);
+    let spec = LoadSpec { qps, duration_ns: 4_000_000, seed: 99 };
+    let arrivals = generate_trace(&server, &spec, &classes);
+    server.try_run(&arrivals).expect("generated trace is valid");
+    trace::take_report().to_json()
+}
+
+#[test]
+fn serve_trace_report_is_bit_identical_across_thread_counts() {
+    trace::set_mode(TraceMode::Summary);
+    let t1 = with_threads(1, serve_smoke_report_json);
+    let t2 = with_threads(2, serve_smoke_report_json);
+    let t8 = with_threads(8, serve_smoke_report_json);
+    trace::set_mode(TraceMode::Off);
+
+    assert!(t1.contains("serve/backend_execute"), "serving spans missing:\n{t1}");
+    assert!(t1.contains("serve/queue_wait"), "queue spans missing:\n{t1}");
+    assert_eq!(t1, t2, "trace report diverged between 1 and 2 threads");
+    assert_eq!(t1, t8, "trace report diverged between 1 and 8 threads");
+}

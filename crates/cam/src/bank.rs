@@ -135,6 +135,7 @@ impl TcamBank {
     /// Nearest-Hamming search across every array in parallel; ties break
     /// toward the lowest global index (the global priority encoder).
     pub fn search_nearest(&mut self, query: &BitVec) -> (Option<NearestHit>, Cost) {
+        enw_trace::record_span("cam/search_nearest", (self.len() * self.width()) as u64);
         let hits = self.nearest_per_array(query);
         let mut best: Option<NearestHit> = None;
         let mut energy = 0.0;
@@ -162,6 +163,7 @@ impl TcamBank {
 
     /// Ternary match across all arrays; returns global indices.
     pub fn search_ternary(&mut self, pattern: &TernaryWord) -> (Vec<usize>, Cost) {
+        enw_trace::record_span("cam/search_ternary", (self.len() * self.width()) as u64);
         let per_array: Vec<Vec<usize>> = if self.parallel_search() {
             enw_parallel::map_chunks(self.arrays.len(), PAR_ARRAY_CHUNK, |r| {
                 r.map(|b| self.arrays[b].peek_ternary(pattern)).collect::<Vec<_>>()

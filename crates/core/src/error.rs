@@ -1,0 +1,107 @@
+//! The workspace-level error type.
+//!
+//! Per-crate APIs return their own typed errors (`ServeError`,
+//! `RecsysError`, `CrossbarError`); applications composing several
+//! workloads can funnel all of them into [`EnwError`] with `?` — the
+//! `From` impls below — and still reach the originating error through
+//! [`std::error::Error::source`].
+
+use enw_crossbar::error::CrossbarError;
+use enw_recsys::error::RecsysError;
+use enw_serve::error::ServeError;
+use std::error::Error;
+use std::fmt;
+
+/// Any error produced by the workspace's public APIs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EnwError {
+    /// A serving-runtime error.
+    Serve(ServeError),
+    /// A recommendation-model error.
+    Recsys(RecsysError),
+    /// A crossbar-configuration error.
+    Crossbar(CrossbarError),
+    /// An experiment id not present in the registry.
+    UnknownExperiment {
+        /// The id that was looked up.
+        id: String,
+    },
+}
+
+impl fmt::Display for EnwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnwError::Serve(e) => write!(f, "serving runtime: {e}"),
+            EnwError::Recsys(e) => write!(f, "recommendation model: {e}"),
+            EnwError::Crossbar(e) => write!(f, "crossbar simulator: {e}"),
+            EnwError::UnknownExperiment { id } => {
+                write!(f, "unknown experiment id {id} (see enw_core::experiments())")
+            }
+        }
+    }
+}
+
+impl Error for EnwError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EnwError::Serve(e) => Some(e),
+            EnwError::Recsys(e) => Some(e),
+            EnwError::Crossbar(e) => Some(e),
+            EnwError::UnknownExperiment { .. } => None,
+        }
+    }
+}
+
+impl From<ServeError> for EnwError {
+    fn from(e: ServeError) -> Self {
+        EnwError::Serve(e)
+    }
+}
+
+impl From<RecsysError> for EnwError {
+    fn from(e: RecsysError) -> Self {
+        EnwError::Recsys(e)
+    }
+}
+
+impl From<CrossbarError> for EnwError {
+    fn from(e: CrossbarError) -> Self {
+        EnwError::Crossbar(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn question_mark_funnels_every_crate_error() {
+        fn serve() -> Result<(), EnwError> {
+            Err(ServeError::NoStations)?
+        }
+        fn recsys() -> Result<(), EnwError> {
+            Err(RecsysError::ZeroBatchCap)?
+        }
+        fn crossbar() -> Result<(), EnwError> {
+            Err(CrossbarError::InvalidConfig { reason: "x" })?
+        }
+        assert_eq!(serve(), Err(EnwError::Serve(ServeError::NoStations)));
+        assert_eq!(recsys(), Err(EnwError::Recsys(RecsysError::ZeroBatchCap)));
+        assert!(matches!(crossbar(), Err(EnwError::Crossbar(_))));
+    }
+
+    #[test]
+    fn source_chain_reaches_the_originating_error() {
+        let e = EnwError::from(ServeError::QueueFull { capacity: 8 });
+        let src = e.source().expect("wrapped errors expose a source");
+        assert!(src.to_string().contains("capacity 8"), "{src}");
+        assert!(EnwError::UnknownExperiment { id: "E99".into() }.source().is_none());
+    }
+
+    #[test]
+    fn display_prefixes_the_subsystem() {
+        let e = EnwError::from(RecsysError::ZeroBatchCap);
+        assert!(e.to_string().starts_with("recommendation model:"), "{e}");
+    }
+}

@@ -37,9 +37,13 @@ pub use enw_numerics as numerics;
 pub use enw_parallel as parallel;
 pub use enw_recsys as recsys;
 pub use enw_serve as serve;
+pub use enw_trace as trace;
 pub use enw_xmann as xmann;
 
+pub mod error;
+pub mod prelude;
 pub mod registry;
 pub mod report;
 
-pub use registry::{registry as experiments, Experiment};
+pub use error::EnwError;
+pub use registry::{find, registry as experiments, Experiment};

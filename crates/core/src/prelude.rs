@@ -1,0 +1,45 @@
+//! One-line import surface for applications composing several workloads:
+//!
+//! ```
+//! use enw_core::prelude::*;
+//!
+//! let mut rng = Rng64::new(7);
+//! let policy = BatchPolicy::builder().max_batch(4).build().expect("valid");
+//! assert_eq!(policy.max_batch, 4);
+//! let _ = rng.next_u64();
+//! ```
+//!
+//! The prelude carries the names almost every consumer touches — the
+//! backend traits, the deterministic RNG, the builder entry points, the
+//! typed errors, and the observability handles — and nothing
+//! workload-internal. Naming follows the workspace conventions in
+//! DESIGN.md: `try_*` for fallible operations, `builder()` for staged
+//! construction, `*Error` per crate plus [`EnwError`] at the top.
+
+pub use crate::error::EnwError;
+pub use crate::registry::{find as find_experiment, registry as experiments, Experiment};
+
+pub use enw_numerics::rng::Rng64;
+
+pub use enw_nn::backend::{DigitalLinear, LinearBackend};
+pub use enw_nn::mlp::{Mlp, SgdConfig};
+
+pub use enw_crossbar::device::DeviceSpec;
+pub use enw_crossbar::error::CrossbarError;
+pub use enw_crossbar::tile::{AnalogTile, TileConfig, TileConfigBuilder};
+
+pub use enw_mann::memory::{DifferentiableMemory, Similarity};
+
+pub use enw_recsys::error::RecsysError;
+pub use enw_recsys::model::{RecModel, RecModelConfig, RecModelConfigBuilder};
+
+pub use enw_serve::backend::Backend;
+pub use enw_serve::error::ServeError;
+pub use enw_serve::policy::{
+    BatchPolicy, BatchPolicyBuilder, DegradePolicy, StationSpec, StationSpecBuilder,
+};
+pub use enw_serve::scheduler::Server;
+
+pub use enw_trace::{
+    counter_add, record_span, record_value, span, take_report, TraceMode, TraceReport,
+};

@@ -5,6 +5,8 @@
 //! machine-readable index (used by `enw-bench` to enumerate and by tests
 //! to guarantee the index stays complete).
 
+use crate::error::EnwError;
+
 /// One reproducible experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Experiment {
@@ -117,7 +119,25 @@ pub fn registry() -> Vec<Experiment> {
             claim: "All four workloads served under one deterministic micro-batching runtime: SLA-derived batch sizes, deadline shedding, and analog-to-digital degradation keep tails bounded across under- and over-saturated QPS",
             binary: "exp16_serving_slo",
         },
+        Experiment {
+            id: "E17",
+            paper_anchor: "Methodology (workload attribution)",
+            claim: "Instrumented kernels attribute per-stage work shares across all four workload lanes, bit-identical across reruns and thread counts",
+            binary: "exp17_stage_breakdown",
+        },
     ]
+}
+
+/// Looks up one experiment by id (`"E1"` … ).
+///
+/// # Errors
+///
+/// Returns [`EnwError::UnknownExperiment`] when no entry carries `id`.
+pub fn find(id: &str) -> Result<Experiment, EnwError> {
+    registry()
+        .into_iter()
+        .find(|e| e.id == id)
+        .ok_or_else(|| EnwError::UnknownExperiment { id: id.to_string() })
 }
 
 #[cfg(test)]
@@ -125,9 +145,22 @@ mod tests {
     use super::*;
 
     #[test]
-    fn sixteen_experiments_in_order() {
+    fn find_resolves_every_registered_id() {
+        for e in registry() {
+            assert_eq!(find(e.id), Ok(e));
+        }
+    }
+
+    #[test]
+    fn find_reports_unknown_ids() {
+        let err = find("E99");
+        assert_eq!(err, Err(EnwError::UnknownExperiment { id: "E99".into() }));
+    }
+
+    #[test]
+    fn seventeen_experiments_in_order() {
         let r = registry();
-        assert_eq!(r.len(), 16);
+        assert_eq!(r.len(), 17);
         for (i, e) in r.iter().enumerate() {
             assert_eq!(e.id, format!("E{}", i + 1));
         }

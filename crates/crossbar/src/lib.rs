@@ -55,6 +55,7 @@
 pub mod array;
 pub mod device;
 pub mod devices;
+pub mod error;
 pub mod inference;
 pub mod noise;
 pub mod tiki_taka;
@@ -63,6 +64,7 @@ pub mod train;
 
 pub use array::AnalogArray;
 pub use device::{DeviceSpec, PulseDir, PulsedDevice};
+pub use error::CrossbarError;
 pub use noise::AnalogNoise;
 pub use tiki_taka::{TikiTakaConfig, TikiTakaTile};
-pub use tile::{AnalogTile, TileConfig, UpdateScheme};
+pub use tile::{AnalogTile, TileConfig, TileConfigBuilder, UpdateScheme};

@@ -113,6 +113,7 @@ impl TikiTakaTile {
 
     fn transfer_one_column(&mut self) {
         let cols = self.c.array().cols();
+        enw_trace::record_span("crossbar/transfer", self.c.array().rows() as u64);
         let j = self.next_col;
         self.next_col = (self.next_col + 1) % cols;
         // Read the effective A column (a digital read in hardware).

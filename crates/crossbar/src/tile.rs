@@ -15,6 +15,7 @@
 
 use crate::array::AnalogArray;
 use crate::device::{DeviceSpec, PulseDir};
+use crate::error::CrossbarError;
 use crate::noise::AnalogNoise;
 use enw_nn::backend::LinearBackend;
 use enw_numerics::matrix::Matrix;
@@ -78,6 +79,64 @@ impl TileConfig {
     /// An ideal tile: no converters, no noise, stochastic pulses.
     pub fn ideal() -> Self {
         TileConfig { noise: AnalogNoise::ideal(), ..TileConfig::default() }
+    }
+
+    /// Starts building a configuration; constraints are checked once at
+    /// [`TileConfigBuilder::build`].
+    pub fn builder() -> TileConfigBuilder {
+        TileConfigBuilder::default()
+    }
+}
+
+/// Builder for [`TileConfig`]: set what differs from the defaults
+/// (standard noise, stochastic pulses with `bl = 31`, no drop-connect)
+/// and let [`build`](TileConfigBuilder::build) validate the whole
+/// configuration at once.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TileConfigBuilder {
+    noise: Option<AnalogNoise>,
+    update: Option<UpdateScheme>,
+    drop_connect: f32,
+}
+
+impl TileConfigBuilder {
+    /// Converter/noise model (default: [`AnalogNoise::standard`]).
+    pub fn noise(mut self, noise: AnalogNoise) -> Self {
+        self.noise = Some(noise);
+        self
+    }
+
+    /// Update realization (default: stochastic pulses, `bl = 31`).
+    pub fn update(mut self, update: UpdateScheme) -> Self {
+        self.update = Some(update);
+        self
+    }
+
+    /// Probability of suppressing an update coincidence (default 0).
+    pub fn drop_connect(mut self, p: f32) -> Self {
+        self.drop_connect = p;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    pub fn build(self) -> Result<TileConfig, CrossbarError> {
+        let defaults = TileConfig::default();
+        let update = self.update.unwrap_or(defaults.update);
+        if let UpdateScheme::StochasticPulse { bl } = update {
+            if bl == 0 {
+                return Err(CrossbarError::InvalidConfig {
+                    reason: "pulse-train length bl must be at least 1",
+                });
+            }
+        }
+        if !(0.0..1.0).contains(&self.drop_connect) {
+            return Err(CrossbarError::InvalidConfig { reason: "drop_connect must lie in [0, 1)" });
+        }
+        Ok(TileConfig {
+            noise: self.noise.unwrap_or(defaults.noise),
+            update,
+            drop_connect: self.drop_connect,
+        })
     }
 }
 
@@ -155,6 +214,7 @@ impl AnalogTile {
         };
         let mut rng = self.rng.fork();
         self.array.program(&physical, self.dw_avg * 0.6, 4000, &mut rng);
+        enw_trace::record_span("crossbar/program", (self.array.rows() * self.array.cols()) as u64);
     }
 
     /// Zero-shift calibration \[30\]: drives every device to its symmetry
@@ -337,6 +397,7 @@ impl LinearBackend for AnalogTile {
         let mut y = self.effective(raw, refp);
         self.cfg.noise.apply_output(&mut y, &mut self.rng);
         self.stats.forward_ops += 1;
+        enw_trace::record_span("crossbar/mvm", (self.array.rows() * self.array.cols()) as u64);
         y
     }
 
@@ -348,17 +409,20 @@ impl LinearBackend for AnalogTile {
         self.cfg.noise.apply_output(&mut y, &mut self.rng);
         y.truncate(self.in_dim);
         self.stats.backward_ops += 1;
+        enw_trace::record_span("crossbar/mvm_t", (self.array.rows() * self.array.cols()) as u64);
         y
     }
 
     fn update(&mut self, delta: &[f32], x: &[f32], lr: f32) {
         assert_eq!(delta.len(), self.array.rows(), "gradient dimension mismatch");
         let xa = self.augmented(x);
+        let pulses_before = self.stats.pulses;
         match self.cfg.update {
             UpdateScheme::StochasticPulse { bl } => self.update_stochastic(delta, &xa, lr, bl),
             UpdateScheme::MeanField => self.update_mean_field(delta, &xa, lr),
         }
         self.stats.update_ops += 1;
+        enw_trace::record_span("crossbar/update", self.stats.pulses - pulses_before);
     }
 
     fn weights(&self) -> Matrix {
@@ -523,6 +587,22 @@ mod tests {
             let bits = |m: &Matrix| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
             assert_eq!(bits(&w), bits(&w1), "weights changed at {threads} threads");
         }
+    }
+
+    #[test]
+    fn builder_defaults_match_default_config() {
+        let built = TileConfig::builder().build().expect("defaults are valid");
+        assert_eq!(built, TileConfig::default());
+        let ideal = TileConfig::builder().noise(AnalogNoise::ideal()).build().expect("valid");
+        assert_eq!(ideal, TileConfig::ideal());
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs() {
+        let err = TileConfig::builder().drop_connect(1.5).build();
+        assert!(matches!(err, Err(CrossbarError::InvalidConfig { .. })), "{err:?}");
+        let err = TileConfig::builder().update(UpdateScheme::StochasticPulse { bl: 0 }).build();
+        assert!(matches!(err, Err(CrossbarError::InvalidConfig { .. })), "{err:?}");
     }
 
     #[test]

@@ -116,6 +116,7 @@ impl DifferentiableMemory {
     /// Panics if the query width mismatches.
     pub fn similarities(&self, query: &[f32], sim: Similarity) -> Vec<f32> {
         assert_eq!(query.len(), self.dim(), "query width mismatch");
+        enw_trace::record_span("mann/similarity_scan", (self.slots() * self.dim()) as u64);
         (0..self.slots()).map(|s| sim.score(query, self.data.row(s))).collect()
     }
 

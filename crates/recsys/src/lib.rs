@@ -45,6 +45,7 @@
 
 pub mod cache;
 pub mod characterize;
+pub mod error;
 pub mod model;
 pub mod quantize;
 pub mod sequence;
@@ -54,9 +55,12 @@ pub mod training;
 
 pub use cache::{CacheStats, EmbeddingCache, MemoryEnergy};
 pub use characterize::{profile, Bound, ModelProfile, OpProfile, RooflineMachine};
-pub use model::{EmbeddingTable, Interaction, RecModel, RecModelConfig};
+pub use error::RecsysError;
+pub use model::{EmbeddingTable, Interaction, RecModel, RecModelConfig, RecModelConfigBuilder};
 pub use quantize::QuantizedTable;
 pub use sequence::{InterestModel, InterestModelConfig};
-pub use serving::{batch_latency, max_batch_under_sla, sla_throughput, throughput};
+pub use serving::{batch_latency, throughput, try_max_batch_under_sla, try_sla_throughput};
+#[allow(deprecated)]
+pub use serving::{max_batch_under_sla, sla_throughput};
 pub use trace::{SparseQuery, TraceGenerator};
 pub use training::{retraining_time, step_breakdown, Cluster, StepBreakdown};

@@ -7,6 +7,7 @@
 //! top/predictor MLP whose sigmoid output is the predicted
 //! click-through-rate.
 
+use crate::error::RecsysError;
 use crate::trace::SparseQuery;
 use enw_nn::activation::Activation;
 use enw_nn::mlp::Mlp;
@@ -94,6 +95,7 @@ impl EmbeddingTable {
     pub fn lookup_pool(&self, indices: &[usize]) -> Vec<f32> {
         assert!(!indices.is_empty(), "empty multi-hot lookup");
         let dim = self.dim();
+        enw_trace::record_span("recsys/gather_pool", (indices.len() * dim) as u64);
         let mut pooled = vec![0.0f32; dim];
         for &i in indices.iter().take(PF_DISTANCE) {
             self.prefetch_row(i);
@@ -223,6 +225,88 @@ impl RecModelConfig {
             interaction: Interaction::Concat,
         }
     }
+
+    /// Starts building a configuration from `base`; cross-field
+    /// constraints (the bottom MLP ending at `embedding_dim`, non-zero
+    /// dimensions) are checked once at [`RecModelConfigBuilder::build`]
+    /// instead of panicking inside [`RecModel::new`].
+    pub fn builder(base: RecModelConfig) -> RecModelConfigBuilder {
+        RecModelConfigBuilder { cfg: base }
+    }
+}
+
+/// Builder for [`RecModelConfig`]: start from a preset
+/// ([`RecModelConfig::compute_bound`] or
+/// [`RecModelConfig::memory_bound`]), override fields, and validate the
+/// whole configuration at [`build`](RecModelConfigBuilder::build).
+#[derive(Debug, Clone)]
+pub struct RecModelConfigBuilder {
+    cfg: RecModelConfig,
+}
+
+impl RecModelConfigBuilder {
+    /// Number of continuous input features.
+    pub fn dense_features(mut self, n: usize) -> Self {
+        self.cfg.dense_features = n;
+        self
+    }
+
+    /// Bottom MLP hidden widths (must end at the embedding dimension).
+    pub fn bottom_mlp(mut self, widths: Vec<usize>) -> Self {
+        self.cfg.bottom_mlp = widths;
+        self
+    }
+
+    /// `(rows, lookups_per_query)` per embedding table.
+    pub fn tables(mut self, tables: Vec<(usize, usize)>) -> Self {
+        self.cfg.tables = tables;
+        self
+    }
+
+    /// Shared latent dimension.
+    pub fn embedding_dim(mut self, dim: usize) -> Self {
+        self.cfg.embedding_dim = dim;
+        self
+    }
+
+    /// Top (predictor) MLP hidden widths.
+    pub fn top_mlp(mut self, widths: Vec<usize>) -> Self {
+        self.cfg.top_mlp = widths;
+        self
+    }
+
+    /// Feature-interaction operator.
+    pub fn interaction(mut self, interaction: Interaction) -> Self {
+        self.cfg.interaction = interaction;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    pub fn build(self) -> Result<RecModelConfig, RecsysError> {
+        let c = self.cfg;
+        if c.embedding_dim == 0 {
+            return Err(RecsysError::InvalidConfig { reason: "embedding_dim must be non-zero" });
+        }
+        if c.dense_features == 0 {
+            return Err(RecsysError::InvalidConfig { reason: "dense_features must be non-zero" });
+        }
+        if c.bottom_mlp.last() != Some(&c.embedding_dim) {
+            return Err(RecsysError::InvalidConfig {
+                reason: "bottom MLP must be non-empty and end at embedding_dim",
+            });
+        }
+        if c.tables.is_empty() {
+            return Err(RecsysError::InvalidConfig {
+                reason: "at least one embedding table is required",
+            });
+        }
+        if c.tables.iter().any(|&(rows, lookups)| rows == 0 || lookups == 0) {
+            return Err(RecsysError::InvalidConfig {
+                reason: "every table needs non-zero rows and lookups",
+            });
+        }
+        Ok(c)
+    }
 }
 
 /// A constructed recommendation model.
@@ -312,7 +396,25 @@ impl RecModel {
         let pooled = self.pool_tables(sparse);
         let interacted = self.interact(&dense_latent, &pooled);
         let logit = self.top.predict(&interacted)[0];
+        enw_trace::record_span("recsys/mlp", self.mlp_work());
         1.0 / (1.0 + (-logit).exp())
+    }
+
+    /// Multiply–accumulates in one pass through both MLP stacks — the
+    /// deterministic work units attributed to the dense-compute stage.
+    fn mlp_work(&self) -> u64 {
+        let mut work = 0u64;
+        let mut prev = self.cfg.dense_features;
+        for &h in &self.cfg.bottom_mlp {
+            work += (prev * h) as u64;
+            prev = h;
+        }
+        let mut prev = Self::interaction_width(&self.cfg);
+        for &h in &self.cfg.top_mlp {
+            work += (prev * h) as u64;
+            prev = h;
+        }
+        work + prev as u64 // final logit layer
     }
 
     /// Pools every table's sparse indices, fanning the per-table gathers
@@ -367,6 +469,7 @@ impl RecModel {
                     model.tables.iter().zip(&q.sparse).map(|(t, idx)| t.lookup_pool(idx)).collect();
                 let interacted = model.interact(&dense_latent, &pooled);
                 let logit = top.predict(&interacted)[0];
+                enw_trace::record_span("recsys/mlp", model.mlp_work());
                 1.0 / (1.0 + (-logit).exp())
             })
             .collect::<Vec<f32>>()
@@ -393,6 +496,7 @@ impl RecModel {
         let dense_latent = self.bottom.predict(dense);
         let interacted = self.interact(&dense_latent, pooled);
         let logit = self.top.predict(&interacted)[0];
+        enw_trace::record_span("recsys/mlp", self.mlp_work());
         1.0 / (1.0 + (-logit).exp())
     }
 
@@ -470,6 +574,30 @@ mod tests {
         let mut m = RecModel::new(&cfg, &mut rng);
         let ctr = m.predict(&[0.1; 8], &[vec![0, 1], vec![5]]);
         assert!((0.0..=1.0).contains(&ctr));
+    }
+
+    #[test]
+    fn builder_validates_cross_field_constraints() {
+        let ok = RecModelConfig::builder(tiny_cfg())
+            .embedding_dim(4)
+            .bottom_mlp(vec![8, 4])
+            .build()
+            .expect("consistent override");
+        assert_eq!(ok.embedding_dim, 4);
+        let err = RecModelConfig::builder(tiny_cfg()).embedding_dim(16).build();
+        assert!(matches!(err, Err(RecsysError::InvalidConfig { .. })), "{err:?}");
+        let err = RecModelConfig::builder(tiny_cfg()).tables(vec![]).build();
+        assert!(matches!(err, Err(RecsysError::InvalidConfig { .. })), "{err:?}");
+        let err = RecModelConfig::builder(tiny_cfg()).tables(vec![(0, 2)]).build();
+        assert!(matches!(err, Err(RecsysError::InvalidConfig { .. })), "{err:?}");
+    }
+
+    #[test]
+    fn builder_passthrough_matches_preset() {
+        let built = RecModelConfig::builder(RecModelConfig::compute_bound())
+            .build()
+            .expect("presets are valid");
+        assert_eq!(built, RecModelConfig::compute_bound());
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! amortizes MLP weights but not embedding gathers).
 
 use crate::characterize::{profile_batched, RooflineMachine};
+use crate::error::RecsysError;
 use crate::model::RecModelConfig;
 
 /// Modeled latency (seconds) of one batched inference: the sum of
@@ -24,17 +25,21 @@ pub fn throughput(cfg: &RecModelConfig, batch: u64, machine: &RooflineMachine) -
 }
 
 /// Largest batch size whose latency fits `sla_seconds` (binary search up
-/// to `max_batch`); `None` if even batch 1 misses the SLA, or if
+/// to `max_batch`). Fails with [`RecsysError::ZeroBatchCap`] when
 /// `max_batch == 0` (a zero cap admits no batch at all — the result is
-/// always within the caller's cap).
-pub fn max_batch_under_sla(
+/// always within the caller's cap) and with
+/// [`RecsysError::InfeasibleSla`] when even batch 1 misses the SLA.
+pub fn try_max_batch_under_sla(
     cfg: &RecModelConfig,
     machine: &RooflineMachine,
     sla_seconds: f64,
     max_batch: u64,
-) -> Option<u64> {
-    if max_batch == 0 || batch_latency(cfg, 1, machine) > sla_seconds {
-        return None;
+) -> Result<u64, RecsysError> {
+    if max_batch == 0 {
+        return Err(RecsysError::ZeroBatchCap);
+    }
+    if batch_latency(cfg, 1, machine) > sla_seconds {
+        return Err(RecsysError::InfeasibleSla { sla_seconds });
     }
     let (mut lo, mut hi) = (1u64, max_batch);
     // Latency is monotone in batch, so binary search applies.
@@ -46,18 +51,47 @@ pub fn max_batch_under_sla(
             hi = mid - 1;
         }
     }
-    Some(lo)
+    Ok(lo)
 }
 
-/// Peak throughput achievable under an SLA (QPS at the largest admissible
-/// batch), or `None` if the SLA is unreachable.
+/// Option-returning forerunner of [`try_max_batch_under_sla`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `try_max_batch_under_sla`, which distinguishes a zero cap from an infeasible SLA"
+)]
+pub fn max_batch_under_sla(
+    cfg: &RecModelConfig,
+    machine: &RooflineMachine,
+    sla_seconds: f64,
+    max_batch: u64,
+) -> Option<u64> {
+    try_max_batch_under_sla(cfg, machine, sla_seconds, max_batch).ok()
+}
+
+/// Peak throughput achievable under an SLA (QPS at the largest
+/// admissible batch); fails like [`try_max_batch_under_sla`].
+pub fn try_sla_throughput(
+    cfg: &RecModelConfig,
+    machine: &RooflineMachine,
+    sla_seconds: f64,
+    max_batch: u64,
+) -> Result<f64, RecsysError> {
+    try_max_batch_under_sla(cfg, machine, sla_seconds, max_batch)
+        .map(|b| throughput(cfg, b, machine))
+}
+
+/// Option-returning forerunner of [`try_sla_throughput`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `try_sla_throughput`, which distinguishes a zero cap from an infeasible SLA"
+)]
 pub fn sla_throughput(
     cfg: &RecModelConfig,
     machine: &RooflineMachine,
     sla_seconds: f64,
     max_batch: u64,
 ) -> Option<f64> {
-    max_batch_under_sla(cfg, machine, sla_seconds, max_batch).map(|b| throughput(cfg, b, machine))
+    try_sla_throughput(cfg, machine, sla_seconds, max_batch).ok()
 }
 
 #[cfg(test)]
@@ -96,7 +130,7 @@ mod tests {
         let cfg = RecModelConfig::compute_bound();
         let m = machine();
         let sla = 2.0 * batch_latency(&cfg, 64, &m);
-        let b = max_batch_under_sla(&cfg, &m, sla, 4096).expect("sla reachable");
+        let b = try_max_batch_under_sla(&cfg, &m, sla, 4096).expect("sla reachable");
         assert!(batch_latency(&cfg, b, &m) <= sla);
         if b < 4096 {
             assert!(batch_latency(&cfg, b + 1, &m) > sla, "batch {b} is not maximal");
@@ -108,14 +142,20 @@ mod tests {
         let cfg = RecModelConfig::compute_bound();
         let m = machine();
         let generous_sla = 1e3 * batch_latency(&cfg, 1, &m);
-        assert_eq!(max_batch_under_sla(&cfg, &m, generous_sla, 0), None);
+        assert_eq!(
+            try_max_batch_under_sla(&cfg, &m, generous_sla, 0),
+            Err(RecsysError::ZeroBatchCap)
+        );
     }
 
     #[test]
-    fn impossible_sla_returns_none() {
+    fn impossible_sla_is_distinguished_from_zero_cap() {
         let cfg = RecModelConfig::memory_bound();
         let m = machine();
-        assert!(max_batch_under_sla(&cfg, &m, 1e-12, 1024).is_none());
+        assert_eq!(
+            try_max_batch_under_sla(&cfg, &m, 1e-12, 1024),
+            Err(RecsysError::InfeasibleSla { sla_seconds: 1e-12 })
+        );
     }
 
     #[test]
@@ -123,9 +163,23 @@ mod tests {
         let cfg = RecModelConfig::compute_bound();
         let m = machine();
         let sla = 10.0 * batch_latency(&cfg, 1, &m);
-        let qps = sla_throughput(&cfg, &m, sla, 4096).expect("reachable");
+        let qps = try_sla_throughput(&cfg, &m, sla, 4096).expect("reachable");
         assert!(qps > 0.0);
-        let b = max_batch_under_sla(&cfg, &m, sla, 4096).expect("reachable");
+        let b = try_max_batch_under_sla(&cfg, &m, sla, 4096).expect("reachable");
         assert!((qps - throughput(&cfg, b, &m)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_option_shims_match_try_apis() {
+        let cfg = RecModelConfig::compute_bound();
+        let m = machine();
+        let sla = 10.0 * batch_latency(&cfg, 1, &m);
+        assert_eq!(
+            max_batch_under_sla(&cfg, &m, sla, 4096),
+            try_max_batch_under_sla(&cfg, &m, sla, 4096).ok()
+        );
+        assert_eq!(max_batch_under_sla(&cfg, &m, sla, 0), None);
+        assert_eq!(sla_throughput(&cfg, &m, 1e-12, 1024), None);
     }
 }

@@ -6,8 +6,9 @@
 #![cfg(feature = "proptest")]
 
 use enw_recsys::characterize::RooflineMachine;
+use enw_recsys::error::RecsysError;
 use enw_recsys::model::{Interaction, RecModelConfig};
-use enw_recsys::serving::{batch_latency, max_batch_under_sla};
+use enw_recsys::serving::{batch_latency, try_max_batch_under_sla};
 use proptest::prelude::*;
 
 /// A small model family spanning compute- and memory-bound shapes.
@@ -36,7 +37,7 @@ proptest! {
         let cfg = cfg_for(kind);
         let m = RooflineMachine::server_cpu();
         let sla = sla_x * batch_latency(&cfg, 1, &m);
-        let b = max_batch_under_sla(&cfg, &m, sla, cap);
+        let b = try_max_batch_under_sla(&cfg, &m, sla, cap);
         // sla >= latency(1) by construction, so a batch always fits.
         let b = b.expect("reachable SLA must admit batch 1");
         prop_assert!(b >= 1 && b <= cap);
@@ -56,10 +57,10 @@ proptest! {
         let cfg = cfg_for(kind);
         let m = RooflineMachine::server_cpu();
         let sla = sla_x * batch_latency(&cfg, 1, &m);
-        let tight = max_batch_under_sla(&cfg, &m, sla, cap).expect("reachable");
-        let loose = max_batch_under_sla(&cfg, &m, sla * slack, cap).expect("reachable");
+        let tight = try_max_batch_under_sla(&cfg, &m, sla, cap).expect("reachable");
+        let loose = try_max_batch_under_sla(&cfg, &m, sla * slack, cap).expect("reachable");
         prop_assert!(loose >= tight, "loosening the SLA shrank the batch: {} -> {}", tight, loose);
-        let wider = max_batch_under_sla(&cfg, &m, sla, cap * 2).expect("reachable");
+        let wider = try_max_batch_under_sla(&cfg, &m, sla, cap * 2).expect("reachable");
         prop_assert!(wider >= tight, "raising the cap shrank the batch: {} -> {}", tight, wider);
     }
 
@@ -69,7 +70,7 @@ proptest! {
         let cfg = cfg_for(kind);
         let m = RooflineMachine::server_cpu();
         let sla = sla_x * batch_latency(&cfg, 1, &m);
-        prop_assert_eq!(max_batch_under_sla(&cfg, &m, sla, 0), None);
+        prop_assert_eq!(try_max_batch_under_sla(&cfg, &m, sla, 0), Err(RecsysError::ZeroBatchCap));
     }
 
     /// Edge: an SLA below the single-query latency is unreachable at any cap.
@@ -80,6 +81,7 @@ proptest! {
         let cfg = cfg_for(kind);
         let m = RooflineMachine::server_cpu();
         let sla = frac * batch_latency(&cfg, 1, &m);
-        prop_assert_eq!(max_batch_under_sla(&cfg, &m, sla, cap), None);
+        prop_assert_eq!(try_max_batch_under_sla(&cfg, &m, sla, cap),
+                        Err(RecsysError::InfeasibleSla { sla_seconds: sla }));
     }
 }

@@ -36,18 +36,20 @@
 pub mod backend;
 pub mod backends;
 pub mod clock;
+pub mod error;
 pub mod loadgen;
+pub mod metrics;
 pub mod policy;
 pub mod presets;
 pub mod queue;
 pub mod request;
 pub mod scheduler;
-pub mod telemetry;
 
 pub use backend::{Backend, ServiceModel};
 pub use clock::VirtualClock;
+pub use error::ServeError;
 pub use loadgen::{generate_trace, LoadSpec, TrafficClass};
+pub use metrics::{LatencySummary, StationMetrics};
 pub use policy::{BatchPolicy, DegradePolicy, StationSpec};
 pub use request::{render_responses, Outcome, Output, Payload, Request, Response};
 pub use scheduler::{RunReport, Server};
-pub use telemetry::{LatencySummary, StationMetrics};

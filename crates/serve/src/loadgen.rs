@@ -111,11 +111,12 @@ mod tests {
     }
 
     fn server(stations: usize) -> Server {
-        Server::new(
+        Server::try_new(
             (0..stations)
                 .map(|i| StationSpec::simple(Box::new(Stub(i + 1)), BatchPolicy::new(4, 100, 16)))
                 .collect(),
         )
+        .expect("test server has stations")
     }
 
     fn spec(seed: u64) -> LoadSpec {

@@ -1,38 +1,30 @@
-//! Latency/throughput/shed-rate telemetry.
+//! Per-station serving metrics on the shared `enw-trace` histogram.
 //!
-//! Percentiles use the nearest-rank definition over exact integer
-//! nanosecond latencies — no interpolation, no floating-point
-//! accumulation across requests — so two runs that served the same
-//! virtual-time schedule report *identical* p50/p95/p99, not merely
-//! close ones.
+//! Earlier revisions kept every served latency in a `Vec<u64>` and
+//! computed nearest-rank percentiles over the sorted list. The counters
+//! survive unchanged, but latencies now accumulate into
+//! [`enw_trace::Histogram`] — the same fixed-bucket type the rest of the
+//! workspace records into — so a station's distribution merges with any
+//! other deterministically and in O(buckets) memory regardless of run
+//! length. Bucket boundaries are a pure function of the value, so the
+//! reported p50/p95/p99 remain bit-identical across runs, hosts, and
+//! `ENW_THREADS` settings; values below 64 ns are exact and larger ones
+//! quantize to ≤ ~3% (min/max stay exact).
 
-/// Nearest-rank percentile of a sorted latency list (0 for empty input).
-///
-/// # Panics
-///
-/// Panics if `pct` is outside `(0, 100]`.
-pub fn percentile_ns(sorted: &[u64], pct: f64) -> u64 {
-    assert!(pct > 0.0 && pct <= 100.0, "percentile must be in (0, 100]");
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
-    let idx = rank.clamp(1, sorted.len()) - 1;
-    sorted.get(idx).copied().unwrap_or_default()
-}
+use enw_trace::Histogram;
 
 /// Summary statistics of one lane's served latencies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LatencySummary {
     /// Served responses (on-time + late).
     pub count: u64,
-    /// Median latency (ns).
+    /// Median latency (ns, bucket-quantized).
     pub p50_ns: u64,
-    /// 95th percentile (ns).
+    /// 95th percentile (ns, bucket-quantized).
     pub p95_ns: u64,
-    /// 99th percentile (ns).
+    /// 99th percentile (ns, bucket-quantized).
     pub p99_ns: u64,
-    /// Worst served latency (ns).
+    /// Worst served latency (ns, exact).
     pub max_ns: u64,
 }
 
@@ -59,14 +51,19 @@ pub struct StationMetrics {
     pub fallback_switches: u64,
     /// Times the ladder stepped back up to the primary.
     pub recoveries: u64,
-    /// Latency (ns) of every served request, in completion order.
-    pub latencies_ns: Vec<u64>,
+    /// Distribution of served latencies (ns).
+    pub latencies: Histogram,
 }
 
 impl StationMetrics {
     /// Fresh metrics for a named lane.
     pub fn new(name: &str) -> Self {
         StationMetrics { name: name.to_string(), ..Default::default() }
+    }
+
+    /// Records one served latency (on-time or late).
+    pub fn record_latency(&mut self, latency_ns: u64) {
+        self.latencies.record(latency_ns);
     }
 
     /// Served requests (on-time + late).
@@ -76,14 +73,15 @@ impl StationMetrics {
 
     /// Percentile summary of served latencies.
     pub fn summary(&self) -> LatencySummary {
-        let mut sorted = self.latencies_ns.clone();
-        sorted.sort_unstable();
+        if self.latencies.is_empty() {
+            return LatencySummary::default();
+        }
         LatencySummary {
-            count: sorted.len() as u64,
-            p50_ns: percentile_ns(&sorted, 50.0),
-            p95_ns: percentile_ns(&sorted, 95.0),
-            p99_ns: percentile_ns(&sorted, 99.0),
-            max_ns: sorted.last().copied().unwrap_or_default(),
+            count: self.latencies.count(),
+            p50_ns: self.latencies.percentile(50.0),
+            p95_ns: self.latencies.percentile(95.0),
+            p99_ns: self.latencies.percentile(99.0),
+            max_ns: self.latencies.max(),
         }
     }
 
@@ -124,23 +122,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn nearest_rank_percentiles() {
-        let sorted: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile_ns(&sorted, 50.0), 50);
-        assert_eq!(percentile_ns(&sorted, 95.0), 95);
-        assert_eq!(percentile_ns(&sorted, 99.0), 99);
-        assert_eq!(percentile_ns(&sorted, 100.0), 100);
-        assert_eq!(percentile_ns(&[], 50.0), 0);
-        assert_eq!(percentile_ns(&[7], 1.0), 7, "single sample is every percentile");
-    }
-
-    #[test]
-    #[should_panic(expected = "percentile")]
-    fn percentile_domain_is_checked() {
-        percentile_ns(&[1], 0.0);
-    }
-
-    #[test]
     fn summary_and_rates() {
         let mut m = StationMetrics::new("lane");
         m.arrived = 10;
@@ -148,11 +129,13 @@ mod tests {
         m.shed = 1;
         m.completed = 6;
         m.deadline_misses = 1;
-        m.latencies_ns = vec![30, 10, 20, 40, 50, 60, 70];
+        for v in [30u64, 10, 20, 40, 50, 60, 70] {
+            m.record_latency(v);
+        }
         let s = m.summary();
         assert_eq!(s.count, 7);
-        assert_eq!(s.p50_ns, 40);
-        assert_eq!(s.max_ns, 70);
+        assert_eq!(s.p50_ns, 40, "sub-64 latencies are exact");
+        assert_eq!(s.max_ns, 70, "max is tracked exactly");
         assert!((m.shed_rate() - 0.1).abs() < 1e-12);
         assert!((m.reject_rate() - 0.2).abs() < 1e-12);
         assert!((m.miss_rate() - 1.0 / 7.0).abs() < 1e-12);
@@ -161,10 +144,41 @@ mod tests {
     }
 
     #[test]
+    fn large_latency_percentiles_are_bounded_quantizations() {
+        let mut m = StationMetrics::new("lane");
+        for i in 0..1000u64 {
+            m.record_latency(1_000_000 + i * 1_000);
+        }
+        let s = m.summary();
+        let exact_p95 = 1_000_000 + 949 * 1_000;
+        assert!(s.p95_ns >= exact_p95, "nearest-rank bucket upper bound cannot undershoot");
+        assert!((s.p95_ns - exact_p95) as f64 / exact_p95 as f64 <= 0.04, "p95 {}", s.p95_ns);
+        assert_eq!(s.max_ns, 1_999_000);
+    }
+
+    #[test]
     fn empty_metrics_are_all_zero() {
         let m = StationMetrics::new("idle");
         assert_eq!(m.summary(), LatencySummary::default());
         assert_eq!(m.shed_rate(), 0.0);
         assert_eq!(m.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn merged_station_histograms_equal_sequential() {
+        let mut a = StationMetrics::new("a");
+        let mut b = StationMetrics::new("b");
+        let mut whole = StationMetrics::new("w");
+        for v in 0..200u64 {
+            let v = v * 977;
+            whole.record_latency(v);
+            if v % 2 == 0 {
+                a.record_latency(v)
+            } else {
+                b.record_latency(v)
+            }
+        }
+        a.latencies.merge(&b.latencies);
+        assert_eq!(a.latencies, whole.latencies);
     }
 }

@@ -10,9 +10,10 @@
 
 use crate::backend::Backend;
 use crate::clock::ns_from_secs;
+use crate::error::ServeError;
 use enw_recsys::characterize::RooflineMachine;
 use enw_recsys::model::RecModelConfig;
-use enw_recsys::serving::max_batch_under_sla;
+use enw_recsys::serving::try_max_batch_under_sla;
 
 /// When a station closes the batch it is accumulating.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,13 +38,43 @@ impl BatchPolicy {
         BatchPolicy { max_batch, max_wait_ns, queue_cap }
     }
 
+    /// Starts building a policy; constraints are checked at
+    /// [`BatchPolicyBuilder::build`] instead of panicking here.
+    pub fn builder() -> BatchPolicyBuilder {
+        BatchPolicyBuilder::default()
+    }
+
     /// SLA-derived policy for a recommendation lane: `max_batch` is the
     /// largest batch whose modeled latency fits `sla_seconds` on
     /// `machine` (capped at `batch_cap`), per the paper's binary search;
     /// the batch timeout is the SLA headroom left after serving at that
     /// size, so a timeout-closed batch still finishes inside the SLA.
-    /// Returns `None` when even batch 1 misses the SLA — such a lane
-    /// cannot be served compliantly at all.
+    /// Fails with [`ServeError::InfeasibleSla`] when even batch 1 misses
+    /// the SLA — such a lane cannot be served compliantly at all.
+    pub fn try_for_recsys_sla(
+        cfg: &RecModelConfig,
+        machine: &RooflineMachine,
+        sla_seconds: f64,
+        batch_cap: usize,
+        queue_cap: usize,
+    ) -> Result<Self, ServeError> {
+        let b = try_max_batch_under_sla(cfg, machine, sla_seconds, batch_cap as u64)
+            .map_err(|_| ServeError::InfeasibleSla { sla_ns: ns_from_secs(sla_seconds) })?;
+        let max_batch = (b as usize).max(1);
+        let service = enw_recsys::serving::batch_latency(cfg, max_batch as u64, machine);
+        let headroom = (sla_seconds - service).max(0.0);
+        BatchPolicy::builder()
+            .max_batch(max_batch)
+            .max_wait_ns(ns_from_secs(headroom))
+            .queue_cap(queue_cap.max(max_batch))
+            .build()
+    }
+
+    /// Option-returning forerunner of [`BatchPolicy::try_for_recsys_sla`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_for_recsys_sla`, which reports `ServeError::InfeasibleSla`"
+    )]
     pub fn for_recsys_sla(
         cfg: &RecModelConfig,
         machine: &RooflineMachine,
@@ -51,11 +82,54 @@ impl BatchPolicy {
         batch_cap: usize,
         queue_cap: usize,
     ) -> Option<Self> {
-        let b = max_batch_under_sla(cfg, machine, sla_seconds, batch_cap as u64)?;
-        let max_batch = (b as usize).max(1);
-        let service = enw_recsys::serving::batch_latency(cfg, max_batch as u64, machine);
-        let headroom = (sla_seconds - service).max(0.0);
-        Some(BatchPolicy::new(max_batch, ns_from_secs(headroom), queue_cap.max(max_batch)))
+        Self::try_for_recsys_sla(cfg, machine, sla_seconds, batch_cap, queue_cap).ok()
+    }
+}
+
+/// Builder for [`BatchPolicy`]: set what differs from the defaults
+/// (`max_batch = 1`, `max_wait_ns = 0`, `queue_cap =` one full batch)
+/// and let [`build`](BatchPolicyBuilder::build) validate the whole
+/// configuration at once.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchPolicyBuilder {
+    max_batch: Option<usize>,
+    max_wait_ns: u64,
+    queue_cap: Option<usize>,
+}
+
+impl BatchPolicyBuilder {
+    /// Close as soon as this many requests wait (default 1).
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.max_batch = Some(n);
+        self
+    }
+
+    /// Close when the oldest waiting request has waited this long
+    /// (default 0: close immediately).
+    pub fn max_wait_ns(mut self, ns: u64) -> Self {
+        self.max_wait_ns = ns;
+        self
+    }
+
+    /// Admission-queue capacity (default: `max_batch`).
+    pub fn queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = Some(cap);
+        self
+    }
+
+    /// Validates and produces the policy.
+    pub fn build(self) -> Result<BatchPolicy, ServeError> {
+        let max_batch = self.max_batch.unwrap_or(1);
+        let queue_cap = self.queue_cap.unwrap_or(max_batch);
+        if max_batch == 0 {
+            return Err(ServeError::InvalidPolicy { reason: "max_batch must be at least 1" });
+        }
+        if queue_cap < max_batch {
+            return Err(ServeError::InvalidPolicy {
+                reason: "queue_cap must hold at least one full batch",
+            });
+        }
+        Ok(BatchPolicy { max_batch, max_wait_ns: self.max_wait_ns, queue_cap })
     }
 }
 
@@ -111,6 +185,42 @@ impl StationSpec {
     ) -> Self {
         StationSpec { primary, policy, degrade: Some((fallback, ladder)) }
     }
+
+    /// Starts building a station around its primary backend.
+    pub fn builder(primary: Box<dyn Backend>) -> StationSpecBuilder {
+        StationSpecBuilder { primary, policy: None, degrade: None }
+    }
+}
+
+/// Builder for [`StationSpec`]: attach the batch policy (required) and
+/// optionally a degradation rung, then validate at
+/// [`build`](StationSpecBuilder::build).
+pub struct StationSpecBuilder {
+    primary: Box<dyn Backend>,
+    policy: Option<BatchPolicy>,
+    degrade: Option<(Box<dyn Backend>, DegradePolicy)>,
+}
+
+impl StationSpecBuilder {
+    /// Batch-close policy for the lane (required).
+    pub fn policy(mut self, policy: BatchPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Degradation rung: step down to `fallback` per `ladder`.
+    pub fn fallback(mut self, fallback: Box<dyn Backend>, ladder: DegradePolicy) -> Self {
+        self.degrade = Some((fallback, ladder));
+        self
+    }
+
+    /// Validates and produces the spec.
+    pub fn build(self) -> Result<StationSpec, ServeError> {
+        let Some(policy) = self.policy else {
+            return Err(ServeError::InvalidPolicy { reason: "a station needs a batch policy" });
+        };
+        Ok(StationSpec { primary: self.primary, policy, degrade: self.degrade })
+    }
 }
 
 #[cfg(test)]
@@ -127,8 +237,8 @@ mod tests {
         let c = cfg();
         let m = RooflineMachine::server_cpu();
         let sla = 2.0 * batch_latency(&c, 64, &m);
-        let p = BatchPolicy::for_recsys_sla(&c, &m, sla, 4096, 8192).expect("sla reachable");
-        let direct = max_batch_under_sla(&c, &m, sla, 4096).expect("sla reachable");
+        let p = BatchPolicy::try_for_recsys_sla(&c, &m, sla, 4096, 8192).expect("sla reachable");
+        let direct = try_max_batch_under_sla(&c, &m, sla, 4096).expect("sla reachable");
         assert_eq!(p.max_batch as u64, direct);
         // Timeout-closed batches still fit the SLA: wait + service <= sla.
         let service = ns_from_secs(batch_latency(&c, p.max_batch as u64, &m));
@@ -136,10 +246,11 @@ mod tests {
     }
 
     #[test]
-    fn unreachable_sla_yields_no_policy() {
+    fn unreachable_sla_yields_a_typed_error() {
         let c = cfg();
         let m = RooflineMachine::server_cpu();
-        assert!(BatchPolicy::for_recsys_sla(&c, &m, 1e-15, 1024, 2048).is_none());
+        let err = BatchPolicy::try_for_recsys_sla(&c, &m, 1e-15, 1024, 2048);
+        assert!(matches!(err, Err(ServeError::InfeasibleSla { .. })), "{err:?}");
     }
 
     #[test]
@@ -147,7 +258,7 @@ mod tests {
         let c = cfg();
         let m = RooflineMachine::server_cpu();
         let sla = 4.0 * batch_latency(&c, 256, &m);
-        let p = BatchPolicy::for_recsys_sla(&c, &m, sla, 4096, 1).expect("sla reachable");
+        let p = BatchPolicy::try_for_recsys_sla(&c, &m, sla, 4096, 1).expect("sla reachable");
         assert!(p.queue_cap >= p.max_batch);
     }
 
@@ -161,5 +272,32 @@ mod tests {
     #[should_panic(expected = "miss streak")]
     fn ladder_validates_streak() {
         DegradePolicy::new(0, 1);
+    }
+
+    #[test]
+    fn builder_defaults_and_validation() {
+        let p = BatchPolicy::builder().max_batch(4).build().expect("valid");
+        assert_eq!((p.max_batch, p.max_wait_ns, p.queue_cap), (4, 0, 4));
+        let err = BatchPolicy::builder().max_batch(16).queue_cap(8).build();
+        assert!(matches!(err, Err(ServeError::InvalidPolicy { .. })), "{err:?}");
+        let err = BatchPolicy::builder().max_batch(0).build();
+        assert!(matches!(err, Err(ServeError::InvalidPolicy { .. })), "{err:?}");
+        assert_eq!(
+            BatchPolicy::builder().max_batch(2).max_wait_ns(7).queue_cap(9).build(),
+            Ok(BatchPolicy::new(2, 7, 9))
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_option_shim_matches_try_api() {
+        let c = cfg();
+        let m = RooflineMachine::server_cpu();
+        assert!(BatchPolicy::for_recsys_sla(&c, &m, 1e-15, 1024, 2048).is_none());
+        let sla = 2.0 * batch_latency(&c, 64, &m);
+        assert_eq!(
+            BatchPolicy::for_recsys_sla(&c, &m, sla, 4096, 8192),
+            BatchPolicy::try_for_recsys_sla(&c, &m, sla, 4096, 8192).ok()
+        );
     }
 }

@@ -103,21 +103,43 @@ pub fn fleet(seed: u64) -> Server {
     let cfg = recsys_config();
     let machine = RooflineMachine::server_cpu();
     let sla = RECSYS_SLA_X * batch_latency(&cfg, 1, &machine);
-    let recsys_policy = BatchPolicy::for_recsys_sla(&cfg, &machine, sla, RECSYS_BATCH_CAP, 512)
-        .unwrap_or(BatchPolicy::new(RECSYS_BATCH_CAP, 100_000, 512));
+    let recsys_policy =
+        BatchPolicy::try_for_recsys_sla(&cfg, &machine, sla, RECSYS_BATCH_CAP, 512).unwrap_or(
+            BatchPolicy { max_batch: RECSYS_BATCH_CAP, max_wait_ns: 100_000, queue_cap: 512 },
+        );
     let recsys = RecsysBackend::new("recsys", &cfg, 1.0, machine, &mut rng);
 
-    Server::new(vec![
-        StationSpec::with_fallback(
-            Box::new(analog),
-            BatchPolicy::new(8, 200_000, 64),
-            Box::new(analog_fallback),
-            DegradePolicy::new(3, 8),
-        ),
-        StationSpec::simple(Box::new(digital), BatchPolicy::new(16, 100_000, 128)),
-        StationSpec::simple(Box::new(tcam), BatchPolicy::new(4, 50_000, 64)),
-        StationSpec::simple(Box::new(recsys), recsys_policy),
-    ])
+    // Every figure below is a compile-time constant satisfying the
+    // builders' constraints, so the expects cannot fire (waived in
+    // lint.toml).
+    let policy = |max_batch: usize, max_wait_ns: u64, queue_cap: usize| {
+        BatchPolicy::builder()
+            .max_batch(max_batch)
+            .max_wait_ns(max_wait_ns)
+            .queue_cap(queue_cap)
+            .build()
+            .expect("preset policy is statically valid")
+    };
+    let specs = vec![
+        StationSpec::builder(Box::new(analog))
+            .policy(policy(8, 200_000, 64))
+            .fallback(Box::new(analog_fallback), DegradePolicy::new(3, 8))
+            .build()
+            .expect("preset station is statically valid"),
+        StationSpec::builder(Box::new(digital))
+            .policy(policy(16, 100_000, 128))
+            .build()
+            .expect("preset station is statically valid"),
+        StationSpec::builder(Box::new(tcam))
+            .policy(policy(4, 50_000, 64))
+            .build()
+            .expect("preset station is statically valid"),
+        StationSpec::builder(Box::new(recsys))
+            .policy(recsys_policy)
+            .build()
+            .expect("preset station is statically valid"),
+    ];
+    Server::try_new(specs).expect("preset fleet is statically valid")
 }
 
 /// The traffic mix matching [`fleet`]'s station order.
@@ -163,13 +185,13 @@ mod tests {
     fn recsys_policy_is_sla_derived() {
         let s = fleet(2);
         let p = s.policy(3);
-        let direct = enw_recsys::serving::max_batch_under_sla(
+        let direct = enw_recsys::serving::try_max_batch_under_sla(
             &recsys_config(),
             &RooflineMachine::server_cpu(),
             RECSYS_SLA_X * batch_latency(&recsys_config(), 1, &RooflineMachine::server_cpu()),
             RECSYS_BATCH_CAP as u64,
         );
-        assert_eq!(Some(p.max_batch as u64), direct, "policy must come from the paper search");
+        assert_eq!(Ok(p.max_batch as u64), direct, "policy must come from the paper search");
     }
 
     #[test]

@@ -8,10 +8,12 @@
 //! batch a request lands in depends only on the trace, never on host
 //! scheduling.
 
+use crate::error::ServeError;
 use crate::request::Request;
 use std::collections::VecDeque;
 
-/// Result of offering a request to a station queue.
+/// Result of offering a request to a station queue (legacy sentinel;
+/// [`BoundedQueue::try_offer`] reports the same thing as a `Result`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Admission {
     /// Enqueued; will be served in FIFO order.
@@ -59,13 +61,23 @@ impl BoundedQueue {
         self.items.front().map(|r| r.arrival_ns)
     }
 
-    /// Offers a request; full queues reject (backpressure).
-    pub fn offer(&mut self, req: Request) -> Admission {
+    /// Offers a request; a full queue refuses it with
+    /// [`ServeError::QueueFull`] (backpressure).
+    pub fn try_offer(&mut self, req: Request) -> Result<(), ServeError> {
         if self.items.len() >= self.cap {
-            return Admission::Rejected;
+            return Err(ServeError::QueueFull { capacity: self.cap });
         }
         self.items.push_back(req);
-        Admission::Accepted
+        Ok(())
+    }
+
+    /// Sentinel-returning forerunner of [`BoundedQueue::try_offer`].
+    #[deprecated(since = "0.2.0", note = "use `try_offer`, which reports `ServeError::QueueFull`")]
+    pub fn offer(&mut self, req: Request) -> Admission {
+        match self.try_offer(req) {
+            Ok(()) => Admission::Accepted,
+            Err(_) => Admission::Rejected,
+        }
     }
 
     /// Removes and returns up to `n` oldest requests, in FIFO order.
@@ -93,9 +105,13 @@ mod tests {
     #[test]
     fn fifo_order_and_capacity() {
         let mut q = BoundedQueue::new(2);
-        assert_eq!(q.offer(req(1, 10)), Admission::Accepted);
-        assert_eq!(q.offer(req(2, 11)), Admission::Accepted);
-        assert_eq!(q.offer(req(3, 12)), Admission::Rejected, "cap 2 must reject the third");
+        assert_eq!(q.try_offer(req(1, 10)), Ok(()));
+        assert_eq!(q.try_offer(req(2, 11)), Ok(()));
+        assert_eq!(
+            q.try_offer(req(3, 12)),
+            Err(ServeError::QueueFull { capacity: 2 }),
+            "cap 2 must reject the third"
+        );
         assert_eq!(q.oldest_arrival_ns(), Some(10));
         let taken = q.take(5);
         assert_eq!(taken.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 2]);
@@ -107,11 +123,19 @@ mod tests {
     fn take_respects_n() {
         let mut q = BoundedQueue::new(8);
         for i in 0..5 {
-            q.offer(req(i, i));
+            let _ = q.try_offer(req(i, i));
         }
         let first = q.take(2);
         assert_eq!(first.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 1]);
         assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_offer_shim_matches_try_offer() {
+        let mut q = BoundedQueue::new(1);
+        assert_eq!(q.offer(req(1, 0)), Admission::Accepted);
+        assert_eq!(q.offer(req(2, 1)), Admission::Rejected);
     }
 
     #[test]

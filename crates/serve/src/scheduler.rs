@@ -26,14 +26,24 @@
 //!    misses and drive the degradation ladder (primary → fallback after
 //!    `miss_streak` missed batches, back after `recover_streak` clean
 //!    ones).
+//!
+//! # Observability
+//!
+//! The loop publishes the `enw-trace` virtual clock as it advances and
+//! records `serve/*` spans — queue wait, batch close, backend execute,
+//! shed and reject — plus latency/batch-size histograms, all keyed on
+//! virtual time and therefore bit-identical across runs and thread
+//! counts. Run with `ENW_TRACE=summary` to see the breakdown.
 
 use crate::backend::Backend;
 use crate::clock::VirtualClock;
+use crate::error::ServeError;
+use crate::metrics::StationMetrics;
 use crate::policy::{BatchPolicy, DegradePolicy, StationSpec};
-use crate::queue::{Admission, BoundedQueue};
+use crate::queue::BoundedQueue;
 use crate::request::{render_responses, Outcome, Output, Payload, Request, Response};
-use crate::telemetry::StationMetrics;
 use enw_numerics::rng::Rng64;
+use enw_trace as trace;
 
 struct Station {
     backend: Box<dyn Backend>,
@@ -100,7 +110,7 @@ impl Station {
 pub struct RunReport {
     /// Terminal record per request, in virtual-time emission order.
     pub responses: Vec<Response>,
-    /// Per-station counters and latencies.
+    /// Per-station counters and latency histograms.
     pub stations: Vec<StationMetrics>,
     /// Virtual instant of the last event (the simulated makespan).
     pub duration_ns: u64,
@@ -122,17 +132,28 @@ pub struct Server {
 
 impl Server {
     /// Builds a server from station specs; station indices follow the
-    /// order given here.
+    /// order given here. Fails with [`ServeError::NoStations`] on an
+    /// empty spec list.
+    pub fn try_new(specs: Vec<StationSpec>) -> Result<Self, ServeError> {
+        if specs.is_empty() {
+            return Err(ServeError::NoStations);
+        }
+        Ok(Server {
+            stations: specs.into_iter().map(Station::new).collect(),
+            clock: VirtualClock::new(),
+        })
+    }
+
+    /// Panicking forerunner of [`Server::try_new`].
     ///
     /// # Panics
     ///
     /// Panics if `specs` is empty.
+    #[deprecated(since = "0.2.0", note = "use `Server::try_new`, which reports `ServeError`")]
     pub fn new(specs: Vec<StationSpec>) -> Self {
-        assert!(!specs.is_empty(), "a server needs at least one station");
-        Server {
-            stations: specs.into_iter().map(Station::new).collect(),
-            clock: VirtualClock::new(),
-        }
+        let result = Self::try_new(specs);
+        assert!(result.is_ok(), "a server needs at least one station");
+        result.unwrap_or_else(|_| Server { stations: Vec::new(), clock: VirtualClock::new() })
     }
 
     /// Number of stations.
@@ -185,23 +206,28 @@ impl Server {
         b as f64 / (ns as f64 / 1e9)
     }
 
-    /// Runs the whole trace to completion and reports.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the trace is not sorted by arrival time or names an
-    /// unknown station.
-    pub fn run(mut self, trace: &[Request]) -> RunReport {
-        for w in trace.windows(2) {
-            assert!(w[0].arrival_ns <= w[1].arrival_ns, "trace must be sorted by arrival time");
+    /// Runs the whole trace to completion and reports. Fails without
+    /// serving anything if the trace is unsorted or names an unknown
+    /// station.
+    pub fn try_run(mut self, trace_reqs: &[Request]) -> Result<RunReport, ServeError> {
+        for (i, w) in trace_reqs.windows(2).enumerate() {
+            if w[0].arrival_ns > w[1].arrival_ns {
+                return Err(ServeError::UnsortedTrace { position: i + 1 });
+            }
         }
-        for r in trace {
-            assert!(r.station < self.stations.len(), "request {} targets unknown station", r.id);
+        for r in trace_reqs {
+            if r.station >= self.stations.len() {
+                return Err(ServeError::UnknownStation {
+                    request_id: r.id,
+                    station: r.station,
+                    stations: self.stations.len(),
+                });
+            }
         }
-        let mut responses: Vec<Response> = Vec::with_capacity(trace.len());
+        let mut responses: Vec<Response> = Vec::with_capacity(trace_reqs.len());
         let mut next = 0usize;
         loop {
-            let mut t_next: Option<u64> = trace.get(next).map(|r| r.arrival_ns);
+            let mut t_next: Option<u64> = trace_reqs.get(next).map(|r| r.arrival_ns);
             for st in &self.stations {
                 if let Some(cand) = st.next_event_ns() {
                     t_next = Some(t_next.map_or(cand, |t| t.min(cand)));
@@ -209,6 +235,9 @@ impl Server {
             }
             let Some(t) = t_next else { break };
             self.clock.advance_to(t);
+            // Publish virtual time so serve/* spans measure virtual-time
+            // deltas, not host time.
+            trace::set_virtual_ns(t);
             // 1. Completions due now free their stations.
             for i in 0..self.stations.len() {
                 if self.stations[i].busy_until == Some(t) {
@@ -216,8 +245,8 @@ impl Server {
                 }
             }
             // 2. All arrivals at this instant are admitted (trace order).
-            while trace.get(next).is_some_and(|r| r.arrival_ns == t) {
-                self.admit(trace[next].clone(), t, &mut responses);
+            while trace_reqs.get(next).is_some_and(|r| r.arrival_ns == t) {
+                self.admit(trace_reqs[next].clone(), t, &mut responses);
                 next += 1;
             }
             // 3. Idle stations close every batch that is now due; a close
@@ -236,19 +265,42 @@ impl Server {
                 }
             }
         }
-        RunReport {
+        Ok(RunReport {
             responses,
             duration_ns: self.clock.now_ns(),
             stations: self.stations.into_iter().map(|s| s.metrics).collect(),
-        }
+        })
+    }
+
+    /// Panicking forerunner of [`Server::try_run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is not sorted by arrival time or names an
+    /// unknown station.
+    #[deprecated(since = "0.2.0", note = "use `Server::try_run`, which reports `ServeError`")]
+    pub fn run(self, trace_reqs: &[Request]) -> RunReport {
+        let result = self.try_run(trace_reqs);
+        assert!(
+            result.is_ok(),
+            "trace must be sorted by arrival time and target known stations: {}",
+            result.as_ref().err().map(ServeError::to_string).unwrap_or_default()
+        );
+        result.unwrap_or_else(|_| RunReport {
+            responses: Vec::new(),
+            stations: Vec::new(),
+            duration_ns: 0,
+        })
     }
 
     fn admit(&mut self, req: Request, now_ns: u64, responses: &mut Vec<Response>) {
         let station = &mut self.stations[req.station];
         station.metrics.arrived += 1;
+        trace::counter_add("serve.arrived", 1);
         let (id, sid, arrival) = (req.id, req.station, req.arrival_ns);
-        if station.queue.offer(req) == Admission::Rejected {
+        if station.queue.try_offer(req).is_err() {
             station.metrics.rejected += 1;
+            trace::record_span("serve/reject", 1);
             responses.push(Response {
                 id,
                 station: sid,
@@ -261,15 +313,19 @@ impl Server {
     }
 
     fn close_batch(&mut self, i: usize, now_ns: u64, responses: &mut Vec<Response>) {
+        let close_span = trace::span("serve/batch_close");
         let station = &mut self.stations[i];
         let taken = station.queue.take(station.policy.max_batch);
+        close_span.add_work(taken.len() as u64);
         let mut batch = Vec::with_capacity(taken.len());
         for req in taken {
+            trace::record_span("serve/queue_wait", now_ns.saturating_sub(req.arrival_ns));
             // Timeout shedding: a request already past its deadline gets
             // no service — answering it late helps no one and slows the
             // batch for everyone else.
             if now_ns >= req.deadline_ns {
                 station.metrics.shed += 1;
+                trace::record_span("serve/shed", 1);
                 responses.push(Response {
                     id: req.id,
                     station: i,
@@ -299,6 +355,10 @@ impl Server {
             batch.len()
         );
         let service = backend.service_ns(batch.len()).max(1);
+        // Work = modeled service nanoseconds: deterministic, and exactly
+        // the currency exp17's stage-share breakdown wants.
+        trace::record_span("serve/backend_execute", service);
+        trace::record_value("serve.batch_size", batch.len() as u64);
         station.busy_until = Some(now_ns.saturating_add(service));
         station.metrics.batches += 1;
         if on_fallback {
@@ -320,7 +380,9 @@ impl Server {
             } else {
                 station.metrics.completed += 1;
             }
-            station.metrics.latencies_ns.push(now_ns.saturating_sub(req.arrival_ns));
+            let latency = now_ns.saturating_sub(req.arrival_ns);
+            station.metrics.record_latency(latency);
+            trace::record_value("serve.latency_ns", latency);
             responses.push(Response {
                 id: req.id,
                 station: i,
@@ -403,11 +465,15 @@ mod tests {
         }
     }
 
+    fn run_one(spec: StationSpec, trace_reqs: &[Request]) -> RunReport {
+        Server::try_new(vec![spec]).and_then(|s| s.try_run(trace_reqs)).expect("valid test fixture")
+    }
+
     #[test]
     fn batch_closes_when_full() {
         let spec =
             StationSpec::simple(Toy::boxed("t", 100, 1.0), BatchPolicy::new(2, 1_000_000, 8));
-        let report = Server::new(vec![spec]).run(&[req(0, 10, u64::MAX), req(1, 10, u64::MAX)]);
+        let report = run_one(spec, &[req(0, 10, u64::MAX), req(1, 10, u64::MAX)]);
         // Both arrived at 10, batch of 2 closed at 10, completed at 110.
         assert_eq!(report.responses.len(), 2);
         for r in &report.responses {
@@ -420,7 +486,7 @@ mod tests {
     #[test]
     fn batch_closes_on_wait_timeout() {
         let spec = StationSpec::simple(Toy::boxed("t", 100, 1.0), BatchPolicy::new(8, 500, 16));
-        let report = Server::new(vec![spec]).run(&[req(0, 10, u64::MAX)]);
+        let report = run_one(spec, &[req(0, 10, u64::MAX)]);
         // Lone request waits max_wait = 500, closes at 510, done at 610.
         assert_eq!(report.responses[0].finish_ns, 610);
         assert_eq!(report.responses[0].latency_ns(), 600);
@@ -431,11 +497,8 @@ mod tests {
         // Service is long, so request 0 occupies the lane while 1 waits
         // in the single queue slot and 2 bounces off.
         let spec = StationSpec::simple(Toy::boxed("t", 10_000, 1.0), BatchPolicy::new(1, 0, 1));
-        let report = Server::new(vec![spec]).run(&[
-            req(0, 0, u64::MAX),
-            req(1, 5, u64::MAX),
-            req(2, 6, u64::MAX),
-        ]);
+        let report =
+            run_one(spec, &[req(0, 0, u64::MAX), req(1, 5, u64::MAX), req(2, 6, u64::MAX)]);
         let outcomes: Vec<(u64, Outcome)> =
             report.responses.iter().map(|r| (r.id, r.outcome)).collect();
         assert!(outcomes.contains(&(2, Outcome::Rejected)));
@@ -451,7 +514,7 @@ mod tests {
         // Request 1 queues behind a 10 µs batch and its 2 µs deadline
         // passes before the lane frees up: shed, never served.
         let spec = StationSpec::simple(Toy::boxed("t", 10_000, 1.0), BatchPolicy::new(1, 0, 4));
-        let report = Server::new(vec![spec]).run(&[req(0, 0, u64::MAX), req(1, 5, 2_000)]);
+        let report = run_one(spec, &[req(0, 0, u64::MAX), req(1, 5, 2_000)]);
         let shed = report.responses.iter().find(|r| r.id == 1).expect("response for 1");
         assert_eq!(shed.outcome, Outcome::Shed);
         assert_eq!(shed.finish_ns, 10_000, "shed at the batch-close instant");
@@ -471,7 +534,7 @@ mod tests {
         );
         // Arrivals far apart so each is its own batch.
         let trace: Vec<Request> = (0..6).map(|k| req(k, 10_000 * k, 10_000 * k + 800)).collect();
-        let report = Server::new(vec![spec]).run(&trace);
+        let report = run_one(spec, &trace);
         let served_by: Vec<f32> = report
             .responses
             .iter()
@@ -496,17 +559,49 @@ mod tests {
     fn reruns_are_bit_identical() {
         let mk = || StationSpec::simple(Toy::boxed("t", 777, 0.5), BatchPolicy::new(3, 1_500, 6));
         let trace: Vec<Request> = (0..40).map(|k| req(k, k * 400, k * 400 + 5_000)).collect();
-        let a = Server::new(vec![mk()]).run(&trace);
-        let b = Server::new(vec![mk()]).run(&trace);
+        let a = run_one(mk(), &trace);
+        let b = run_one(mk(), &trace);
         assert_eq!(a.render(), b.render());
         assert_eq!(a.duration_ns, b.duration_ns);
-        assert_eq!(a.stations[0].latencies_ns, b.stations[0].latencies_ns);
+        assert_eq!(a.stations[0].latencies, b.stations[0].latencies);
     }
 
     #[test]
-    #[should_panic(expected = "sorted by arrival")]
     fn unsorted_traces_are_rejected() {
         let spec = StationSpec::simple(Toy::boxed("t", 1, 0.0), BatchPolicy::new(1, 0, 1));
-        Server::new(vec![spec]).run(&[req(0, 10, 20), req(1, 5, 20)]);
+        let server = Server::try_new(vec![spec]).expect("one station");
+        let err = server.try_run(&[req(0, 10, 20), req(1, 5, 20)]);
+        assert_eq!(err.err(), Some(ServeError::UnsortedTrace { position: 1 }));
+    }
+
+    #[test]
+    fn unknown_stations_are_rejected() {
+        let spec = StationSpec::simple(Toy::boxed("t", 1, 0.0), BatchPolicy::new(1, 0, 1));
+        let server = Server::try_new(vec![spec]).expect("one station");
+        let mut r = req(7, 10, 20);
+        r.station = 3;
+        let err = server.try_run(&[r]);
+        assert_eq!(
+            err.err(),
+            Some(ServeError::UnknownStation { request_id: 7, station: 3, stations: 1 })
+        );
+    }
+
+    #[test]
+    fn empty_spec_list_is_rejected() {
+        assert_eq!(Server::try_new(Vec::new()).err(), Some(ServeError::NoStations));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_shim_panics_like_the_old_api() {
+        let spec = StationSpec::simple(Toy::boxed("t", 100, 1.0), BatchPolicy::new(2, 500, 8));
+        let report = Server::new(vec![spec]).run(&[req(0, 10, u64::MAX), req(1, 10, u64::MAX)]);
+        assert_eq!(report.responses.len(), 2);
+        let result = std::panic::catch_unwind(|| {
+            let spec = StationSpec::simple(Toy::boxed("t", 1, 0.0), BatchPolicy::new(1, 0, 1));
+            Server::new(vec![spec]).run(&[req(0, 10, 20), req(1, 5, 20)])
+        });
+        assert!(result.is_err(), "old API must still panic on unsorted traces");
     }
 }

@@ -17,7 +17,7 @@ fn run_at(seed: u64, qps_frac: f64, duration_ns: u64) -> RunReport {
     let spec = LoadSpec { qps, duration_ns, seed: seed ^ 0x9e37_79b9 };
     let trace = generate_trace(&server, &spec, &classes);
     assert!(!trace.is_empty(), "trace must carry load");
-    server.run(&trace)
+    server.try_run(&trace).expect("preset trace is sorted and targets known stations")
 }
 
 /// Everything the experiment reports, rendered to comparable bytes.
@@ -105,7 +105,7 @@ fn analog_lane_falls_back_under_sustained_overload() {
     let qps = 4.0 * saturation_qps(&server, &classes);
     let spec = LoadSpec { qps, duration_ns: 30_000_000, seed: SEED };
     let trace = generate_trace(&server, &spec, &classes);
-    let report = server.run(&trace);
+    let report = server.try_run(&trace).expect("generated trace is valid");
     let lane = &report.stations[0];
     assert!(lane.fallback_switches > 0, "ladder never engaged: {lane:?}");
     assert!(lane.degraded_batches > 0);

@@ -214,6 +214,10 @@ impl Xmann {
         let sfu = self.sfu_phase(self.memory.slots());
         let cost = phase.repeat(2) + reduce + sfu;
         self.total += cost;
+        enw_trace::record_span(
+            "xmann/similarity",
+            2 * (self.memory.slots() * self.memory.dim()) as u64,
+        );
         OpResult { value, cost }
     }
 
@@ -241,6 +245,7 @@ impl Xmann {
         let reduce = self.reduce_phase(self.memory.dim(), self.row_tiles());
         let cost = phase + reduce;
         self.total += cost;
+        enw_trace::record_span("xmann/soft_read", (self.memory.slots() * self.memory.dim()) as u64);
         OpResult { value, cost }
     }
 
@@ -261,6 +266,10 @@ impl Xmann {
         let sfu = self.sfu_phase(2 * self.memory.dim());
         let cost = update + sfu;
         self.total += cost;
+        enw_trace::record_span(
+            "xmann/soft_write",
+            (self.memory.slots() * self.memory.dim()) as u64,
+        );
         OpResult { value: (), cost }
     }
 }

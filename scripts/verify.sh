@@ -22,6 +22,12 @@ echo "== exp16_serving_slo --smoke (serving runtime end to end) =="
 cargo run --release -q -p enw-bench --bin exp16_serving_slo -- --smoke
 test -s BENCH_serving.json || { echo "exp16 did not emit BENCH_serving.json"; exit 1; }
 
+echo "== exp17_stage_breakdown --smoke (trace attribution across all lanes) =="
+cargo run --release -q -p enw-bench --bin exp17_stage_breakdown -- --smoke
+test -s BENCH_stage_breakdown.json || { echo "exp17 did not emit BENCH_stage_breakdown.json"; exit 1; }
+python3 -c "import json; r = json.load(open('BENCH_stage_breakdown.json')); assert r['deterministic_rerun'] and len(r['lanes']) == 4, r" \
+    || { echo "BENCH_stage_breakdown.json failed to parse or is incomplete"; exit 1; }
+
 if [[ "${1:-}" == "--full" ]]; then
     echo "== cargo test -q --features proptest (property suites) =="
     cargo test -q --features proptest
