@@ -14,6 +14,7 @@
 //! | ENW-P004 | warn     | no indexing by integer literal (`xs[0]`) in non-test library code |
 //! | ENW-A002 | deny     | only `crates/bench` may name `BENCH_*` report artifacts |
 //! | ENW-A004 | deny     | no public `*_unchecked`/`*unwrap*` constructors in kernel crates (validation belongs in builders / `try_*` APIs) |
+//! | ENW-M001 | deny     | no heap allocation (`vec!`, `Vec::with_capacity`, `.to_vec()`, `.clone()`) inside functions annotated `// enw:hot` in kernel crates |
 //!
 //! Test code (bodies of `#[cfg(test)]` items and `#[test]` fns), doc
 //! comments, binaries under `src/bin/`, bench targets, and integration
@@ -254,7 +255,98 @@ pub fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
             _ => {}
         }
     }
+    if kernel {
+        for region in hot_regions(&lines, &toks) {
+            scan_hot_region(&toks, &region, &mut push);
+        }
+    }
     out
+}
+
+/// A `// enw:hot` function body: token range plus the function's name.
+struct HotRegion {
+    name: String,
+    start: usize,
+    end: usize,
+}
+
+/// Finds functions annotated with a `// enw:hot` marker line. The lexer
+/// drops comments, so markers come from the raw source lines; the body is
+/// then brace-matched over the token stream starting at the first `fn`
+/// after the marker.
+fn hot_regions(lines: &[&str], toks: &[Token]) -> Vec<HotRegion> {
+    let mut out = Vec::new();
+    for (idx, l) in lines.iter().enumerate() {
+        if l.trim() != "// enw:hot" {
+            continue;
+        }
+        let marker_line = (idx + 1) as u32;
+        let Some(fn_idx) = toks.iter().position(|t| t.line > marker_line && t.is_ident("fn"))
+        else {
+            continue;
+        };
+        let name = match toks.get(fn_idx + 1) {
+            Some(t) if t.kind == TokKind::Ident => t.text.clone(),
+            _ => continue,
+        };
+        let Some(open) = (fn_idx..toks.len()).find(|&k| toks[k].is_punct('{')) else {
+            continue;
+        };
+        let mut depth = 1usize;
+        let mut k = open + 1;
+        while k < toks.len() && depth > 0 {
+            if toks[k].is_punct('{') {
+                depth += 1;
+            } else if toks[k].is_punct('}') {
+                depth -= 1;
+            }
+            k += 1;
+        }
+        out.push(HotRegion { name, start: open + 1, end: k });
+    }
+    out
+}
+
+/// Flags heap-allocating constructs inside one `// enw:hot` body
+/// (ENW-M001): `vec!`, `Vec::with_capacity`, `.to_vec()`, `.clone()`.
+fn scan_hot_region(
+    toks: &[Token],
+    region: &HotRegion,
+    push: &mut impl FnMut(&'static str, Severity, u32, String),
+) {
+    let mut hit = |line: u32, what: &str| {
+        push(
+            "ENW-M001",
+            Severity::Deny,
+            line,
+            format!(
+                "`{what}` allocates inside `// enw:hot` fn `{}`; reuse a caller buffer \
+                 (`_into` parameter) or checkout from `enw_parallel::scratch`",
+                region.name
+            ),
+        );
+    };
+    for i in region.start..region.end.min(toks.len()) {
+        let t = &toks[i];
+        if t.is_ident("vec") && toks.get(i + 1).map(|n| n.is_punct('!')) == Some(true) {
+            hit(t.line, "vec!");
+        }
+        if t.is_ident("Vec")
+            && matches_seq(toks, i + 1, &[":", ":"])
+            && toks.get(i + 3).map(|n| n.is_ident("with_capacity")) == Some(true)
+        {
+            hit(t.line, "Vec::with_capacity");
+        }
+        if t.is_punct('.') {
+            for method in ["to_vec", "clone", "to_owned"] {
+                if toks.get(i + 1).map(|n| n.is_ident(method)) == Some(true)
+                    && toks.get(i + 2).map(|n| n.is_punct('(')) == Some(true)
+                {
+                    hit(t.line, &format!(".{method}()"));
+                }
+            }
+        }
+    }
 }
 
 /// Name of the function declared at a `pub` item starting after token

@@ -234,6 +234,41 @@ fn a004_spares_validated_and_private_apis() {
 }
 
 #[test]
+fn m001_allocations_in_hot_function() {
+    let src = "// enw:hot\npub fn kernel_into(xs: &[f32], out: &mut [f32]) {\n    let tmp = vec![0.0; xs.len()];\n    let copy = xs.to_vec();\n    let mut buf = Vec::with_capacity(xs.len());\n    let again = copy.clone();\n}\n";
+    let got = hits("crates/numerics/src/foo.rs", src);
+    let m001: Vec<u32> =
+        got.iter().filter(|(r, _)| r == "ENW-M001").map(|&(_, line)| line).collect();
+    assert_eq!(m001, vec![3, 4, 5, 6]);
+}
+
+#[test]
+fn m001_spares_unannotated_and_non_kernel_code() {
+    // The same body without the marker is fine: allocating wrappers stay.
+    let src = "pub fn kernel(xs: &[f32]) -> Vec<f32> {\n    xs.to_vec()\n}\n";
+    assert!(hits("crates/numerics/src/foo.rs", src).is_empty());
+    // Non-kernel crates are out of scope even when annotated.
+    let src = "// enw:hot\nfn helper(xs: &[f32]) -> Vec<f32> {\n    xs.to_vec()\n}\n";
+    assert!(hits("crates/core/src/foo.rs", src).is_empty());
+}
+
+#[test]
+fn m001_marker_binds_to_the_next_fn_only() {
+    // The fn after the annotated one may allocate freely.
+    let src = "// enw:hot\nfn hot(out: &mut [f32]) {\n    out.fill(0.0);\n}\n\nfn cold(xs: &[f32]) -> Vec<f32> {\n    xs.to_vec()\n}\n";
+    assert!(hits("crates/mann/src/foo.rs", src).is_empty());
+    // Doc comments between marker and fn do not detach the marker.
+    let src = "// enw:hot\n/// Docs mentioning .clone() stay exempt.\nfn hot(xs: &[f32], out: &mut [f32]) {\n    let v = xs.to_vec();\n}\n";
+    assert_eq!(hits("crates/mann/src/foo.rs", src), vec![("ENW-M001".to_string(), 4)]);
+}
+
+#[test]
+fn m001_allows_scratch_and_into_idioms() {
+    let src = "// enw:hot\npub fn matvec_into(m: &[f32], x: &[f32], out: &mut [f32]) {\n    let mut acc = enw_parallel::scratch::take_f32(x.len());\n    for (o, row) in out.iter_mut().zip(m.chunks(x.len())) {\n        *o = row.iter().zip(x).map(|(a, b)| a * b).sum();\n    }\n}\n";
+    assert!(hits("crates/numerics/src/foo.rs", src).is_empty());
+}
+
+#[test]
 fn serve_layering_allows_workloads_but_not_core() {
     let good = "[dependencies]\nenw-crossbar.workspace = true\nenw-cam.workspace = true\nenw-recsys.workspace = true\nenw-parallel.workspace = true\n";
     assert!(check_manifest("serve", "crates/serve/Cargo.toml", good).is_empty());

@@ -10,6 +10,8 @@
 //! done
 //! ```
 
+pub mod alloc_audit;
+
 use enw_core::report::Table;
 
 /// Prints an experiment header (id, anchor, claim) before its table.

@@ -21,6 +21,9 @@ pub use crate::registry::{find as find_experiment, registry as experiments, Expe
 
 pub use enw_numerics::rng::Rng64;
 
+pub use enw_parallel::scratch::{self, take_bits, take_f32, take_usize};
+pub use enw_parallel::scratch::{ScratchBits, ScratchF32, ScratchUsize};
+
 pub use enw_nn::backend::{DigitalLinear, LinearBackend};
 pub use enw_nn::mlp::{Mlp, SgdConfig};
 

@@ -125,6 +125,12 @@ pub fn registry() -> Vec<Experiment> {
             claim: "Instrumented kernels attribute per-stage work shares across all four workload lanes, bit-identical across reruns and thread counts",
             binary: "exp17_stage_breakdown",
         },
+        Experiment {
+            id: "E18",
+            paper_anchor: "Methodology (memory discipline)",
+            claim: "Scratch-pooled `_into` kernels cut steady-state allocations per inference >=90% on all four lanes and the serving loop runs allocation-free per request, outputs bit-identical to the allocating APIs",
+            binary: "exp18_alloc_audit",
+        },
     ]
 }
 
@@ -158,9 +164,9 @@ mod tests {
     }
 
     #[test]
-    fn seventeen_experiments_in_order() {
+    fn eighteen_experiments_in_order() {
         let r = registry();
-        assert_eq!(r.len(), 17);
+        assert_eq!(r.len(), 18);
         for (i, e) in r.iter().enumerate() {
             assert_eq!(e.id, format!("E{}", i + 1));
         }

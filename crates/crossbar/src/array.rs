@@ -11,10 +11,11 @@ use crate::device::{DeviceSpec, PulseDir, PulsedDevice};
 use enw_numerics::matrix::Matrix;
 use enw_numerics::rng::Rng64;
 
-/// Fixed chunk sizes for the parallel read kernels; boundaries depend
-/// only on the array shape, so results are bit-identical at any
-/// `ENW_THREADS` (each output line is one independent reduction).
-const PAR_LINE_CHUNK: usize = 32;
+// Chunks for the parallel read kernels are sized by
+// `enw_parallel::adaptive_chunk` from the per-line crosspoint count;
+// boundaries depend only on the array shape, so results are
+// bit-identical at any `ENW_THREADS` (each output line is one
+// independent reduction).
 
 /// Minimum crosspoint count before the parallel reads pay for spawning.
 const PAR_MIN_CROSSPOINTS: usize = 1 << 14;
@@ -126,8 +127,21 @@ impl AnalogArray {
     ///
     /// Panics if `x.len() != cols`.
     pub fn matvec(&self, x: &[f32], ir_drop: f32) -> Vec<f32> {
-        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut y = vec![0.0f32; self.rows];
+        self.matvec_into(x, ir_drop, &mut y);
+        y
+    }
+
+    /// [`matvec`](AnalogArray::matvec) into a caller-owned output buffer
+    /// (`y` is fully overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `y.len() != rows`.
+    // enw:hot
+    pub fn matvec_into(&self, x: &[f32], ir_drop: f32, y: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(y.len(), self.rows, "matvec output dimension mismatch");
         for (r, out) in y.iter_mut().enumerate() {
             let row = &self.weights[r * self.cols..(r + 1) * self.cols];
             let mut acc = 0.0f32;
@@ -144,7 +158,6 @@ impl AnalogArray {
             }
             *out = acc;
         }
-        y
     }
 
     /// Transposed read `y = Wᵀ · d` with the same IR-drop model.
@@ -153,8 +166,22 @@ impl AnalogArray {
     ///
     /// Panics if `d.len() != rows`.
     pub fn matvec_t(&self, d: &[f32], ir_drop: f32) -> Vec<f32> {
-        assert_eq!(d.len(), self.rows, "matvec_t dimension mismatch");
         let mut y = vec![0.0f32; self.cols];
+        self.matvec_t_into(d, ir_drop, &mut y);
+        y
+    }
+
+    /// [`matvec_t`](AnalogArray::matvec_t) into a caller-owned output
+    /// buffer (`y` is fully overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d.len() != rows` or `y.len() != cols`.
+    // enw:hot
+    pub fn matvec_t_into(&self, d: &[f32], ir_drop: f32, y: &mut [f32]) {
+        assert_eq!(d.len(), self.rows, "matvec_t dimension mismatch");
+        assert_eq!(y.len(), self.cols, "matvec_t output dimension mismatch");
+        y.fill(0.0);
         for (r, di) in d.iter().enumerate() {
             if *di == 0.0 {
                 continue;
@@ -172,26 +199,39 @@ impl AnalogArray {
                 }
             }
         }
-        y
     }
 
-    /// Parallel [`matvec`](AnalogArray::matvec): rows are split into
-    /// fixed 32-row chunks across the `enw_parallel` pool; each output
-    /// current is the same ascending-column sum (with the same per-
-    /// crosspoint IR-drop attenuation) as the serial read, so results
-    /// are bit-identical at any thread count. Falls back to the serial
-    /// loop for small arrays or a single worker.
+    /// Parallel [`matvec`](AnalogArray::matvec): rows are split at
+    /// work-estimate-sized chunk boundaries across the `enw_parallel`
+    /// pool; each output current is the same ascending-column sum (with
+    /// the same per-crosspoint IR-drop attenuation) as the serial read,
+    /// so results are bit-identical at any thread count. Falls back to
+    /// the serial loop for small arrays or a single worker.
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != cols`.
     pub fn par_matvec(&self, x: &[f32], ir_drop: f32) -> Vec<f32> {
-        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
-        if !enw_parallel::should_parallelize(self.rows * self.cols, PAR_MIN_CROSSPOINTS) {
-            return self.matvec(x, ir_drop);
-        }
         let mut y = vec![0.0f32; self.rows];
-        enw_parallel::for_each_chunk_mut(&mut y, PAR_LINE_CHUNK, |start, window| {
+        self.par_matvec_into(x, ir_drop, &mut y);
+        y
+    }
+
+    /// [`par_matvec`](AnalogArray::par_matvec) into a caller-owned
+    /// output buffer (`y` is fully overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `y.len() != rows`.
+    // enw:hot
+    pub fn par_matvec_into(&self, x: &[f32], ir_drop: f32, y: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(y.len(), self.rows, "matvec output dimension mismatch");
+        if !enw_parallel::should_parallelize(self.rows * self.cols, PAR_MIN_CROSSPOINTS) {
+            return self.matvec_into(x, ir_drop, y);
+        }
+        let chunk = enw_parallel::adaptive_chunk(self.rows, self.cols);
+        enw_parallel::for_each_chunk_mut(y, chunk, |start, window| {
             for (out, r) in window.iter_mut().zip(start..) {
                 let row = &self.weights[r * self.cols..(r + 1) * self.cols];
                 let mut acc = 0.0f32;
@@ -209,25 +249,40 @@ impl AnalogArray {
                 *out = acc;
             }
         });
-        y
     }
 
     /// Parallel [`matvec_t`](AnalogArray::matvec_t): output columns are
-    /// split into fixed 32-column chunks; every worker walks the rows in
-    /// ascending order with the same zero-`d` skip and IR-drop model, so
-    /// results are bit-identical to the serial read at any thread count.
+    /// split at work-estimate-sized chunk boundaries; every worker walks
+    /// the rows in ascending order with the same zero-`d` skip and
+    /// IR-drop model, so results are bit-identical to the serial read at
+    /// any thread count.
     ///
     /// # Panics
     ///
     /// Panics if `d.len() != rows`.
     pub fn par_matvec_t(&self, d: &[f32], ir_drop: f32) -> Vec<f32> {
+        let mut y = vec![0.0f32; self.cols];
+        self.par_matvec_t_into(d, ir_drop, &mut y);
+        y
+    }
+
+    /// [`par_matvec_t`](AnalogArray::par_matvec_t) into a caller-owned
+    /// output buffer (`y` is fully overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d.len() != rows` or `y.len() != cols`.
+    // enw:hot
+    pub fn par_matvec_t_into(&self, d: &[f32], ir_drop: f32, y: &mut [f32]) {
         assert_eq!(d.len(), self.rows, "matvec_t dimension mismatch");
+        assert_eq!(y.len(), self.cols, "matvec_t output dimension mismatch");
         if !enw_parallel::should_parallelize(self.rows * self.cols, PAR_MIN_CROSSPOINTS) {
-            return self.matvec_t(d, ir_drop);
+            return self.matvec_t_into(d, ir_drop, y);
         }
         let cols = self.cols;
-        let mut y = vec![0.0f32; cols];
-        enw_parallel::for_each_chunk_mut(&mut y, PAR_LINE_CHUNK, |c0, window| {
+        y.fill(0.0);
+        let chunk = enw_parallel::adaptive_chunk(cols, self.rows);
+        enw_parallel::for_each_chunk_mut(y, chunk, |c0, window| {
             for (r, di) in d.iter().enumerate() {
                 if *di == 0.0 {
                     continue;
@@ -246,7 +301,6 @@ impl AnalogArray {
                 }
             }
         });
-        y
     }
 
     /// Applies one programming pulse to device `(r, c)`.

@@ -247,47 +247,52 @@ impl AnalogTile {
         &self.array
     }
 
-    fn effective(&self, physical: Vec<f32>, reference_product: Option<Vec<f32>>) -> Vec<f32> {
-        match reference_product {
-            None => physical,
-            Some(refp) => physical.iter().zip(&refp).map(|(a, b)| a - b).collect(),
-        }
-    }
-
-    fn reference_matvec(&self, x: &[f32]) -> Option<Vec<f32>> {
-        self.reference.as_ref().map(|r| {
-            let rows = self.array.rows();
+    /// Subtracts the zero-shift reference product `R · x` from `y`
+    /// in place (no-op without a calibrated reference). The reference
+    /// term for each row accumulates in ascending-column order, exactly
+    /// as the pre-`_into` per-call-buffer code did, so results are
+    /// bit-identical.
+    // enw:hot
+    fn sub_reference_matvec(&self, x: &[f32], y: &mut [f32]) {
+        if let Some(r) = &self.reference {
             let cols = self.array.cols();
-            let mut y = vec![0.0f32; rows];
             for (row, out) in y.iter_mut().enumerate() {
                 let mut acc = 0.0;
                 for (c, xi) in x.iter().enumerate() {
                     acc += r[row * cols + c] * xi;
                 }
-                *out = acc;
+                *out -= acc;
             }
-            y
-        })
+        }
     }
 
-    fn reference_matvec_t(&self, d: &[f32]) -> Option<Vec<f32>> {
-        self.reference.as_ref().map(|r| {
+    /// Transposed counterpart of
+    /// [`sub_reference_matvec`](AnalogTile::sub_reference_matvec):
+    /// subtracts `Rᵀ · d` from `y` in place, walking rows in ascending
+    /// order like the serial reference read.
+    // enw:hot
+    fn sub_reference_matvec_t(&self, d: &[f32], y: &mut [f32]) {
+        if let Some(r) = &self.reference {
             let cols = self.array.cols();
-            let mut y = vec![0.0f32; cols];
+            let mut refp = enw_parallel::scratch::take_f32(cols);
             for (row, di) in d.iter().enumerate() {
-                for (c, out) in y.iter_mut().enumerate() {
+                for (c, out) in refp.iter_mut().enumerate() {
                     *out += r[row * cols + c] * di;
                 }
             }
-            y
-        })
+            for (out, rp) in y.iter_mut().zip(refp.iter()) {
+                *out -= rp;
+            }
+        }
     }
 
-    fn augmented(&self, x: &[f32]) -> Vec<f32> {
+    /// Checks out a scratch buffer holding the bias-augmented input
+    /// `[x; 1]`, hoisting the old per-call `Vec` off the hot path.
+    fn augmented_scratch(&self, x: &[f32]) -> enw_parallel::scratch::ScratchF32 {
         assert_eq!(x.len(), self.in_dim, "input dimension mismatch");
-        let mut xa = Vec::with_capacity(self.in_dim + 1);
-        xa.extend_from_slice(x);
-        xa.push(1.0);
+        let mut xa = enw_parallel::scratch::take_f32(self.in_dim + 1);
+        xa[..self.in_dim].copy_from_slice(x);
+        xa[self.in_dim] = 1.0;
         xa
     }
 
@@ -388,34 +393,49 @@ impl LinearBackend for AnalogTile {
     }
 
     fn forward(&mut self, x: &[f32]) -> Vec<f32> {
-        let mut xa = self.augmented(x);
-        self.cfg.noise.apply_input(&mut xa);
-        // Bit-identical to the serial read; parallel only above the
-        // array-size threshold (see AnalogArray::par_matvec).
-        let raw = self.array.par_matvec(&xa, self.cfg.noise.ir_drop);
-        let refp = self.reference_matvec(&xa);
-        let mut y = self.effective(raw, refp);
-        self.cfg.noise.apply_output(&mut y, &mut self.rng);
-        self.stats.forward_ops += 1;
-        enw_trace::record_span("crossbar/mvm", (self.array.rows() * self.array.cols()) as u64);
+        let mut y = vec![0.0f32; self.array.rows()];
+        self.forward_into(x, &mut y);
         y
     }
 
+    // enw:hot
+    fn forward_into(&mut self, x: &[f32], out: &mut [f32]) {
+        let mut xa = self.augmented_scratch(x);
+        self.cfg.noise.apply_input(&mut xa);
+        // Bit-identical to the serial read; parallel only above the
+        // array-size threshold (see AnalogArray::par_matvec_into).
+        self.array.par_matvec_into(&xa, self.cfg.noise.ir_drop, out);
+        self.sub_reference_matvec(&xa, out);
+        self.cfg.noise.apply_output(out, &mut self.rng);
+        self.stats.forward_ops += 1;
+        enw_trace::record_span("crossbar/mvm", (self.array.rows() * self.array.cols()) as u64);
+    }
+
     fn backward(&mut self, delta: &[f32]) -> Vec<f32> {
+        let mut dx = vec![0.0f32; self.in_dim];
+        self.backward_into(delta, &mut dx);
+        dx
+    }
+
+    // enw:hot
+    fn backward_into(&mut self, delta: &[f32], out: &mut [f32]) {
         assert_eq!(delta.len(), self.array.rows(), "gradient dimension mismatch");
-        let raw = self.array.par_matvec_t(delta, self.cfg.noise.ir_drop);
-        let refp = self.reference_matvec_t(delta);
-        let mut y = self.effective(raw, refp);
+        assert_eq!(out.len(), self.in_dim, "gradient output dimension mismatch");
+        // The periphery applies output noise to the full column read —
+        // bias column included — before truncation, so the RNG stream
+        // (and therefore every later draw) matches the allocating path.
+        let mut y = enw_parallel::scratch::take_f32(self.array.cols());
+        self.array.par_matvec_t_into(delta, self.cfg.noise.ir_drop, &mut y);
+        self.sub_reference_matvec_t(delta, &mut y);
         self.cfg.noise.apply_output(&mut y, &mut self.rng);
-        y.truncate(self.in_dim);
+        out.copy_from_slice(&y[..self.in_dim]);
         self.stats.backward_ops += 1;
         enw_trace::record_span("crossbar/mvm_t", (self.array.rows() * self.array.cols()) as u64);
-        y
     }
 
     fn update(&mut self, delta: &[f32], x: &[f32], lr: f32) {
         assert_eq!(delta.len(), self.array.rows(), "gradient dimension mismatch");
-        let xa = self.augmented(x);
+        let xa = self.augmented_scratch(x);
         let pulses_before = self.stats.pulses;
         match self.cfg.update {
             UpdateScheme::StochasticPulse { bl } => self.update_stochastic(delta, &xa, lr, bl),

@@ -9,7 +9,7 @@
 
 use enw_numerics::matrix::Matrix;
 use enw_numerics::rng::Rng64;
-use enw_numerics::vector::{self, softmax};
+use enw_numerics::vector::{self, softmax_into};
 
 /// Similarity measure used for content-based addressing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -115,15 +115,47 @@ impl DifferentiableMemory {
     ///
     /// Panics if the query width mismatches.
     pub fn similarities(&self, query: &[f32], sim: Similarity) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.slots()];
+        self.similarities_into(query, sim, &mut out);
+        out
+    }
+
+    /// [`similarities`](DifferentiableMemory::similarities) into a
+    /// caller-owned buffer of `slots` scores (`out` is fully overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query width or output length mismatches.
+    // enw:hot
+    pub fn similarities_into(&self, query: &[f32], sim: Similarity, out: &mut [f32]) {
         assert_eq!(query.len(), self.dim(), "query width mismatch");
+        assert_eq!(out.len(), self.slots(), "similarity output length mismatch");
         enw_trace::record_span("mann/similarity_scan", (self.slots() * self.dim()) as u64);
-        (0..self.slots()).map(|s| sim.score(query, self.data.row(s))).collect()
+        for (s, o) in out.iter_mut().enumerate() {
+            *o = sim.score(query, self.data.row(s));
+        }
     }
 
     /// Content-based addressing: softmax (inverse temperature `beta`) over
     /// the similarity scores.
     pub fn content_address(&self, query: &[f32], sim: Similarity, beta: f32) -> Vec<f32> {
-        softmax(&self.similarities(query, sim), beta)
+        let mut out = vec![0.0f32; self.slots()];
+        self.content_address_into(query, sim, beta, &mut out);
+        out
+    }
+
+    /// [`content_address`](DifferentiableMemory::content_address) into a
+    /// caller-owned buffer (`out` is fully overwritten); the intermediate
+    /// similarity scores live in thread-local scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query width or output length mismatches.
+    // enw:hot
+    pub fn content_address_into(&self, query: &[f32], sim: Similarity, beta: f32, out: &mut [f32]) {
+        let mut scores = enw_parallel::scratch::take_f32(self.slots());
+        self.similarities_into(query, sim, &mut scores);
+        softmax_into(&scores, beta, out);
     }
 
     /// Soft read `r = wᵀ·M`: every slot contributes per its attention
@@ -133,8 +165,21 @@ impl DifferentiableMemory {
     ///
     /// Panics if `weights.len() != slots`.
     pub fn soft_read(&self, weights: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim()];
+        self.soft_read_into(weights, &mut out);
+        out
+    }
+
+    /// [`soft_read`](DifferentiableMemory::soft_read) into a caller-owned
+    /// buffer of `dim` elements (`out` is fully overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != slots` or `out.len() != dim`.
+    // enw:hot
+    pub fn soft_read_into(&self, weights: &[f32], out: &mut [f32]) {
         assert_eq!(weights.len(), self.slots(), "weight length mismatch");
-        self.data.matvec_t(weights)
+        self.data.matvec_t_into(weights, out);
     }
 
     /// Soft write with erase and add vectors (NTM semantics):
@@ -160,7 +205,9 @@ impl DifferentiableMemory {
 
     /// Index of the best-matching slot under `sim` (ties → lowest index).
     pub fn nearest(&self, query: &[f32], sim: Similarity) -> usize {
-        vector::argmax(&self.similarities(query, sim))
+        let mut scores = enw_parallel::scratch::take_f32(self.slots());
+        self.similarities_into(query, sim, &mut scores);
+        vector::argmax(&scores)
     }
 }
 

@@ -31,6 +31,19 @@ pub trait LinearBackend {
     /// Implementations panic if `x.len() != in_dim()`.
     fn forward(&mut self, x: &[f32]) -> Vec<f32>;
 
+    /// Forward cycle into a caller-owned buffer (`out` is fully
+    /// overwritten). The default delegates to
+    /// [`forward`](LinearBackend::forward) and copies; allocation-free
+    /// backends override it to write directly into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim()` or `out.len() != out_dim()`.
+    fn forward_into(&mut self, x: &[f32], out: &mut [f32]) {
+        let y = self.forward(x);
+        out.copy_from_slice(&y);
+    }
+
     /// Backward cycle: returns `Wᵀ · delta` truncated to the logical input
     /// dimension (the bias column's gradient is internal to the layer).
     ///
@@ -38,6 +51,18 @@ pub trait LinearBackend {
     ///
     /// Implementations panic if `delta.len() != out_dim()`.
     fn backward(&mut self, delta: &[f32]) -> Vec<f32>;
+
+    /// Backward cycle into a caller-owned buffer of `in_dim()` elements
+    /// (`out` is fully overwritten). The default delegates to
+    /// [`backward`](LinearBackend::backward) and copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta.len() != out_dim()` or `out.len() != in_dim()`.
+    fn backward_into(&mut self, delta: &[f32], out: &mut [f32]) {
+        let dx = self.backward(delta);
+        out.copy_from_slice(&dx);
+    }
 
     /// Update cycle: `W += lr · delta · [x; 1]ᵀ` (or the hardware
     /// approximation of it).
@@ -111,14 +136,20 @@ impl DigitalLinear {
         );
         self.weights = weights;
     }
+}
 
-    fn augmented(&self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(x.len(), self.in_dim, "input dimension mismatch");
-        let mut xa = Vec::with_capacity(self.in_dim + 1);
-        xa.extend_from_slice(x);
-        xa.push(1.0);
-        xa
-    }
+/// Checks out a scratch buffer holding `[x; 1]` — the bias-augmented
+/// input every backend drives its weight matrix with.
+///
+/// # Panics
+///
+/// Panics if `x.len() != in_dim`.
+pub(crate) fn augmented_scratch(x: &[f32], in_dim: usize) -> enw_parallel::scratch::ScratchF32 {
+    assert_eq!(x.len(), in_dim, "input dimension mismatch");
+    let mut xa = enw_parallel::scratch::take_f32(in_dim + 1);
+    xa[..in_dim].copy_from_slice(x);
+    xa[in_dim] = 1.0;
+    xa
 }
 
 impl LinearBackend for DigitalLinear {
@@ -131,18 +162,33 @@ impl LinearBackend for DigitalLinear {
     }
 
     fn forward(&mut self, x: &[f32]) -> Vec<f32> {
-        let xa = self.augmented(x);
-        self.weights.matvec(&xa)
+        let mut y = vec![0.0f32; self.weights.rows()];
+        self.forward_into(x, &mut y);
+        y
+    }
+
+    // enw:hot
+    fn forward_into(&mut self, x: &[f32], out: &mut [f32]) {
+        let xa = augmented_scratch(x, self.in_dim);
+        self.weights.matvec_into(&xa, out);
     }
 
     fn backward(&mut self, delta: &[f32]) -> Vec<f32> {
-        let mut dx = self.weights.matvec_t(delta);
-        dx.truncate(self.in_dim);
+        let mut dx = vec![0.0f32; self.in_dim];
+        self.backward_into(delta, &mut dx);
         dx
     }
 
+    // enw:hot
+    fn backward_into(&mut self, delta: &[f32], out: &mut [f32]) {
+        assert_eq!(out.len(), self.in_dim, "gradient output dimension mismatch");
+        let mut full = enw_parallel::scratch::take_f32(self.weights.cols());
+        self.weights.matvec_t_into(delta, &mut full);
+        out.copy_from_slice(&full[..self.in_dim]);
+    }
+
     fn update(&mut self, delta: &[f32], x: &[f32], lr: f32) {
-        let xa = self.augmented(x);
+        let xa = augmented_scratch(x, self.in_dim);
         // Gradient descent: W -= lr * dL/dz * x^T, so scale is -lr.
         self.weights.rank1_update(delta, &xa, -lr);
     }

@@ -74,6 +74,19 @@ impl<B: LinearBackend> DenseLayer<B> {
         a
     }
 
+    /// Inference-only forward pass into a caller-owned buffer (`out` is
+    /// fully overwritten; no caching, no allocation beyond what the
+    /// backend borrows from scratch pools).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim()` or `out.len() != out_dim()`.
+    // enw:hot
+    pub fn infer_into(&mut self, x: &[f32], out: &mut [f32]) {
+        self.backend.forward_into(x, out);
+        self.activation.apply_slice(out);
+    }
+
     /// Backward pass: converts the upstream gradient `dL/da` into `dL/dx`,
     /// caching the local delta `dL/dz` for the update cycle.
     ///

@@ -110,16 +110,44 @@ impl<B: LinearBackend> Mlp<B> {
 
     /// Inference forward pass returning raw logits.
     pub fn predict(&mut self, x: &[f32]) -> Vec<f32> {
-        let mut a = x.to_vec();
-        for layer in &mut self.layers {
-            a = layer.infer(&a);
+        let mut logits = vec![0.0f32; self.out_dim()];
+        self.predict_into(x, &mut logits);
+        logits
+    }
+
+    /// Inference forward pass into a caller-owned logits buffer (`out`
+    /// is fully overwritten). Per-layer activations ping-pong through
+    /// two persistent workspaces borrowed from the thread-local scratch
+    /// pool, so a warm steady-state call performs no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim()` or `out.len() != out_dim()`.
+    // enw:hot
+    pub fn predict_into(&mut self, x: &[f32], out: &mut [f32]) {
+        let last = self.layers.len() - 1;
+        if last == 0 {
+            return self.layers[0].infer_into(x, out);
         }
-        a
+        let widest = self.layers[..last].iter().map(|l| l.out_dim()).max().unwrap_or(1);
+        let mut cur = enw_parallel::scratch::take_f32(widest);
+        let mut nxt = enw_parallel::scratch::take_f32(widest);
+        let mut cur_len = self.layers[0].out_dim();
+        self.layers[0].infer_into(x, &mut cur[..cur_len]);
+        for i in 1..last {
+            let w = self.layers[i].out_dim();
+            self.layers[i].infer_into(&cur[..cur_len], &mut nxt[..w]);
+            std::mem::swap(&mut cur, &mut nxt);
+            cur_len = w;
+        }
+        self.layers[last].infer_into(&cur[..cur_len], out);
     }
 
     /// Predicted class label.
     pub fn classify(&mut self, x: &[f32]) -> usize {
-        argmax(&self.predict(x))
+        let mut logits = enw_parallel::scratch::take_f32(self.out_dim());
+        self.predict_into(x, &mut logits);
+        argmax(&logits)
     }
 
     /// One SGD step on a single `(x, label)` pair; returns the sample loss.

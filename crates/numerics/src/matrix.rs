@@ -53,11 +53,11 @@ fn axpy_row(out: &mut [f32], a: f32, b: &[f32]) {
 const MATMUL_KC: usize = 128;
 const MATMUL_NC: usize = 512;
 
-/// Fixed row/column chunk sizes for the parallel wrappers. Boundaries
-/// depend only on the problem shape — never the thread count — which is
-/// what makes the parallel results reproducible at any `ENW_THREADS`.
-const PAR_ROW_CHUNK: usize = 64;
-const PAR_COL_CHUNK: usize = 64;
+// Row/column chunks for the parallel wrappers are sized by
+// `enw_parallel::adaptive_chunk` from the per-row (or per-column) work
+// estimate. Boundaries depend only on the problem shape — never the
+// thread count — which is what makes the parallel results reproducible
+// at any `ENW_THREADS`.
 
 /// Dispatch thresholds: below these work sizes the simple serial loop
 /// beats blocking overhead (flops) or thread-spawn overhead (elements).
@@ -224,8 +224,22 @@ impl Matrix {
     ///
     /// Panics if `x.len() != cols`.
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut y = vec![0.0f32; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// [`matvec`](Matrix::matvec) into a caller-owned output buffer
+    /// (`y` is fully overwritten). This is the allocation-free form hot
+    /// loops use with `enw_parallel::scratch` workspaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `y.len() != rows`.
+    // enw:hot
+    pub fn matvec_into(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(y.len(), self.rows, "matvec output dimension mismatch");
         for (r, out) in y.iter_mut().enumerate() {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
             let mut acc = 0.0f32;
@@ -234,7 +248,6 @@ impl Matrix {
             }
             *out = acc;
         }
-        y
     }
 
     /// Transposed product `y = Wᵀ · d` (`d` has `rows` entries, `y` has
@@ -251,34 +264,62 @@ impl Matrix {
     ///
     /// Panics if `d.len() != rows`.
     pub fn matvec_t(&self, d: &[f32]) -> Vec<f32> {
-        assert_eq!(d.len(), self.rows, "matvec_t dimension mismatch");
         let mut y = vec![0.0f32; self.cols];
+        self.matvec_t_into(d, &mut y);
+        y
+    }
+
+    /// [`matvec_t`](Matrix::matvec_t) into a caller-owned output buffer
+    /// (`y` is fully overwritten, including skipped-term zeros).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d.len() != rows` or `y.len() != cols`.
+    // enw:hot
+    pub fn matvec_t_into(&self, d: &[f32], y: &mut [f32]) {
+        assert_eq!(d.len(), self.rows, "matvec_t dimension mismatch");
+        assert_eq!(y.len(), self.cols, "matvec_t output dimension mismatch");
+        y.fill(0.0);
         for (r, di) in d.iter().enumerate() {
             if skip_zero_coeff(*di) {
                 continue;
             }
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            axpy_row(&mut y, *di, row);
+            axpy_row(y, *di, row);
         }
-        y
     }
 
-    /// Parallel [`matvec`](Matrix::matvec): output rows are split into
-    /// fixed 64-row chunks across the `enw_parallel` pool. Each output
-    /// element is the same ascending-`k` dot product as the serial path,
-    /// so results are bit-identical at any thread count. Falls back to
-    /// the serial loop below the dispatch threshold or with one worker.
+    /// Parallel [`matvec`](Matrix::matvec): output rows are split at
+    /// work-estimate-sized chunk boundaries across the `enw_parallel`
+    /// pool. Each output element is the same ascending-`k` dot product
+    /// as the serial path, so results are bit-identical at any thread
+    /// count. Falls back to the serial loop below the dispatch threshold
+    /// or with one worker.
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != cols`.
     pub fn par_matvec(&self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
-        if !enw_parallel::should_parallelize(self.rows * self.cols, PAR_MIN_MATVEC_ELEMS) {
-            return self.matvec(x);
-        }
         let mut y = vec![0.0f32; self.rows];
-        enw_parallel::for_each_chunk_mut(&mut y, PAR_ROW_CHUNK, |start, window| {
+        self.par_matvec_into(x, &mut y);
+        y
+    }
+
+    /// [`par_matvec`](Matrix::par_matvec) into a caller-owned output
+    /// buffer (`y` is fully overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `y.len() != rows`.
+    // enw:hot
+    pub fn par_matvec_into(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(y.len(), self.rows, "matvec output dimension mismatch");
+        if !enw_parallel::should_parallelize(self.rows * self.cols, PAR_MIN_MATVEC_ELEMS) {
+            return self.matvec_into(x, y);
+        }
+        let chunk = enw_parallel::adaptive_chunk(self.rows, self.cols);
+        enw_parallel::for_each_chunk_mut(y, chunk, |start, window| {
             for (o, r) in window.iter_mut().zip(start..) {
                 let row = &self.data[r * self.cols..(r + 1) * self.cols];
                 let mut acc = 0.0f32;
@@ -288,26 +329,40 @@ impl Matrix {
                 *o = acc;
             }
         });
-        y
     }
 
     /// Parallel [`matvec_t`](Matrix::matvec_t): output *columns* are
-    /// split into fixed 64-column chunks; every worker walks the rows in
-    /// ascending order applying the same zero-skip rule, so each output
-    /// element sees the identical term sequence as the serial loop and
-    /// results are bit-identical at any thread count.
+    /// split at work-estimate-sized chunk boundaries; every worker walks
+    /// the rows in ascending order applying the same zero-skip rule, so
+    /// each output element sees the identical term sequence as the
+    /// serial loop and results are bit-identical at any thread count.
     ///
     /// # Panics
     ///
     /// Panics if `d.len() != rows`.
     pub fn par_matvec_t(&self, d: &[f32]) -> Vec<f32> {
+        let mut y = vec![0.0f32; self.cols];
+        self.par_matvec_t_into(d, &mut y);
+        y
+    }
+
+    /// [`par_matvec_t`](Matrix::par_matvec_t) into a caller-owned output
+    /// buffer (`y` is fully overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d.len() != rows` or `y.len() != cols`.
+    // enw:hot
+    pub fn par_matvec_t_into(&self, d: &[f32], y: &mut [f32]) {
         assert_eq!(d.len(), self.rows, "matvec_t dimension mismatch");
+        assert_eq!(y.len(), self.cols, "matvec_t output dimension mismatch");
         if !enw_parallel::should_parallelize(self.rows * self.cols, PAR_MIN_MATVEC_ELEMS) {
-            return self.matvec_t(d);
+            return self.matvec_t_into(d, y);
         }
         let cols = self.cols;
-        let mut y = vec![0.0f32; cols];
-        enw_parallel::for_each_chunk_mut(&mut y, PAR_COL_CHUNK, |c0, window| {
+        y.fill(0.0);
+        let chunk = enw_parallel::adaptive_chunk(cols, self.rows);
+        enw_parallel::for_each_chunk_mut(y, chunk, |c0, window| {
             let c1 = c0 + window.len();
             for (r, di) in d.iter().enumerate() {
                 if skip_zero_coeff(*di) {
@@ -316,7 +371,6 @@ impl Matrix {
                 axpy_row(window, *di, &self.data[r * cols + c0..r * cols + c1]);
             }
         });
-        y
     }
 
     /// Rank-1 update `W += scale · d xᵀ` (`d` per row, `x` per column).
@@ -356,39 +410,70 @@ impl Matrix {
     ///
     /// Panics if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`matmul`](Matrix::matmul) into a caller-owned output matrix
+    /// (`out` is fully overwritten). Shares the serial/blocked dispatch
+    /// with the allocating form, so results are bitwise equal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows` or `out` is not
+    /// `self.rows × other.cols`.
+    // enw:hot
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        assert_eq!((out.rows, out.cols), (self.rows, other.cols), "matmul output shape mismatch");
+        out.data.fill(0.0);
         let flops = self.rows * self.cols * other.cols;
         if flops < BLOCKED_MIN_FLOPS || other.cols < 8 {
             self.matmul_naive_into(other, &mut out.data);
         } else {
             self.matmul_block_rows(other, 0..self.rows, &mut out.data);
         }
-        out
     }
 
     /// Parallel [`matmul`](Matrix::matmul): rows of the output are split
-    /// into fixed 64-row chunks across the `enw_parallel` pool, each
-    /// chunk computed by the same cache-blocked kernel. Bit-identical to
-    /// the serial product at any thread count; falls back to the serial
-    /// dispatch below the flop threshold or with one worker.
+    /// at work-estimate-sized chunk boundaries across the `enw_parallel`
+    /// pool, each chunk computed by the same cache-blocked kernel.
+    /// Bit-identical to the serial product at any thread count; falls
+    /// back to the serial dispatch below the flop threshold or with one
+    /// worker.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols != other.rows`.
     pub fn par_matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.par_matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`par_matmul`](Matrix::par_matmul) into a caller-owned output
+    /// matrix (`out` is fully overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows` or `out` is not
+    /// `self.rows × other.cols`.
+    // enw:hot
+    pub fn par_matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
         let flops = self.rows * self.cols * other.cols;
         if !enw_parallel::should_parallelize(flops, PAR_MIN_MATMUL_FLOPS) {
-            return self.matmul(other);
+            return self.matmul_into(other, out);
         }
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        assert_eq!((out.rows, out.cols), (self.rows, other.cols), "matmul output shape mismatch");
+        out.data.fill(0.0);
         let n = other.cols;
-        enw_parallel::for_each_chunk_mut(&mut out.data, PAR_ROW_CHUNK * n, |start, window| {
+        let row_chunk = enw_parallel::adaptive_chunk(self.rows, self.cols * n);
+        enw_parallel::for_each_chunk_mut(&mut out.data, row_chunk * n, |start, window| {
             let r0 = start / n;
             self.matmul_block_rows(other, r0..r0 + window.len() / n, window);
         });
-        out
     }
 
     /// Reference triple loop (i, k, j ascending) with the shared

@@ -107,12 +107,32 @@ pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
 ///
 /// Panics if `logits` is empty or `beta` is not finite.
 pub fn softmax(logits: &[f32], beta: f32) -> Vec<f32> {
+    let mut out = vec![0.0f32; logits.len()];
+    softmax_into(logits, beta, &mut out);
+    out
+}
+
+/// [`softmax`] into a caller-owned buffer (`out` is fully overwritten):
+/// exponentials accumulate into `out`, then one in-order sum and divide —
+/// bit-identical to the allocating form.
+///
+/// # Panics
+///
+/// Panics if `logits` is empty, `beta` is not finite, or the lengths
+/// mismatch.
+// enw:hot
+pub fn softmax_into(logits: &[f32], beta: f32, out: &mut [f32]) {
     assert!(!logits.is_empty(), "softmax over empty slice");
     assert!(beta.is_finite(), "softmax temperature must be finite");
+    assert_eq!(out.len(), logits.len(), "softmax output length mismatch");
     let max = logits.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(beta * x));
-    let exps: Vec<f32> = logits.iter().map(|&x| (beta * x - max).exp()).collect();
-    let sum: f32 = exps.iter().sum();
-    exps.into_iter().map(|e| e / sum).collect()
+    for (e, &x) in out.iter_mut().zip(logits) {
+        *e = (beta * x - max).exp();
+    }
+    let sum: f32 = out.iter().sum();
+    for e in out.iter_mut() {
+        *e /= sum;
+    }
 }
 
 /// Index of the maximum element (first occurrence on ties).

@@ -23,6 +23,8 @@
 //! With one worker every entry point degenerates to the plain serial
 //! loop on the calling thread — no pool, no overhead.
 
+pub mod scratch;
+
 use std::cell::Cell;
 use std::ops::Range;
 use std::thread;
@@ -181,6 +183,29 @@ pub fn should_parallelize(work_items: usize, threshold: usize) -> bool {
     work_items >= threshold && max_threads() > 1
 }
 
+/// Abstract per-chunk work (≈ scalar operations) that [`adaptive_chunk`]
+/// aims for. Large enough to amortise chunk dispatch and the per-chunk
+/// result slot, small enough that a big kernel still splits into many
+/// chunks for load balancing.
+const TARGET_CHUNK_WORK: usize = 1 << 15;
+
+/// Sizes a chunk for `n` items that each cost roughly `work_per_item`
+/// abstract units (≈ scalar ops), targeting [`TARGET_CHUNK_WORK`] per
+/// chunk.
+///
+/// Earlier kernels used fixed chunk constants, which made cheap rows
+/// over-chunked (dispatch-bound — the flat 1→8 scaling visible in
+/// `BENCH_parallel_kernels.json`) and expensive rows under-split. The
+/// returned size depends only on the problem shape, never on the worker
+/// count, so chunk boundaries — and therefore reduction order — remain
+/// bit-deterministic at any `ENW_THREADS`.
+pub fn adaptive_chunk(n: usize, work_per_item: usize) -> usize {
+    if n == 0 {
+        return 1;
+    }
+    (TARGET_CHUNK_WORK / work_per_item.max(1)).clamp(1, n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +299,21 @@ mod tests {
         with_threads(1, || {
             assert!(!should_parallelize(1000, 100));
         });
+    }
+
+    #[test]
+    fn adaptive_chunk_tracks_work_estimate() {
+        // Cheap items coalesce into big chunks; expensive items split.
+        assert_eq!(adaptive_chunk(1 << 20, 1), TARGET_CHUNK_WORK);
+        assert_eq!(adaptive_chunk(1 << 20, TARGET_CHUNK_WORK), 1);
+        // Never exceeds the item count, never returns zero.
+        assert_eq!(adaptive_chunk(10, 1), 10);
+        assert_eq!(adaptive_chunk(0, 0), 1);
+        assert_eq!(adaptive_chunk(5, usize::MAX), 1);
+        // Independent of the worker count by construction.
+        let at1 = with_threads(1, || adaptive_chunk(4096, 100));
+        let at8 = with_threads(8, || adaptive_chunk(4096, 100));
+        assert_eq!(at1, at8);
     }
 
     #[test]

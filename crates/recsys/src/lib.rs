@@ -60,7 +60,5 @@ pub use model::{EmbeddingTable, Interaction, RecModel, RecModelConfig, RecModelC
 pub use quantize::QuantizedTable;
 pub use sequence::{InterestModel, InterestModelConfig};
 pub use serving::{batch_latency, throughput, try_max_batch_under_sla, try_sla_throughput};
-#[allow(deprecated)]
-pub use serving::{max_batch_under_sla, sla_throughput};
 pub use trace::{SparseQuery, TraceGenerator};
 pub use training::{retraining_time, step_breakdown, Cluster, StepBreakdown};

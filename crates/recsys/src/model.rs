@@ -93,10 +93,26 @@ impl EmbeddingTable {
     /// in index order, so the result is bit-identical to the plain
     /// one-row-at-a-time loop at any unroll factor.
     pub fn lookup_pool(&self, indices: &[usize]) -> Vec<f32> {
+        let mut pooled = vec![0.0f32; self.dim()];
+        self.gather_pool_into(indices, &mut pooled);
+        pooled
+    }
+
+    /// [`lookup_pool`](EmbeddingTable::lookup_pool) into a caller-owned
+    /// buffer (`pooled` is fully overwritten) — the allocation-free form
+    /// the batched predictors drive with scratch workspaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty, any index is out of range, or
+    /// `pooled.len() != dim()`.
+    // enw:hot
+    pub fn gather_pool_into(&self, indices: &[usize], pooled: &mut [f32]) {
         assert!(!indices.is_empty(), "empty multi-hot lookup");
         let dim = self.dim();
+        assert_eq!(pooled.len(), dim, "pooled output width mismatch");
         enw_trace::record_span("recsys/gather_pool", (indices.len() * dim) as u64);
-        let mut pooled = vec![0.0f32; dim];
+        pooled.fill(0.0);
         for &i in indices.iter().take(PF_DISTANCE) {
             self.prefetch_row(i);
         }
@@ -132,7 +148,6 @@ impl EmbeddingTable {
                 *p += v;
             }
         }
-        pooled
     }
 
     /// Hints the cache hierarchy to pull row `i` toward L1 (no-op on
@@ -390,50 +405,83 @@ impl RecModel {
     ///
     /// Panics if the feature counts don't match the configuration.
     pub fn predict(&mut self, dense: &[f32], sparse: &[Vec<usize>]) -> f32 {
-        assert_eq!(dense.len(), self.cfg.dense_features, "dense feature count mismatch");
-        assert_eq!(sparse.len(), self.tables.len(), "one index list per table");
-        let dense_latent = self.bottom.predict(dense);
-        let pooled = self.pool_tables(sparse);
-        let interacted = self.interact(&dense_latent, &pooled);
-        let logit = self.top.predict(&interacted)[0];
-        enw_trace::record_span("recsys/mlp", self.mlp_work());
-        1.0 / (1.0 + (-logit).exp())
+        let gathered: usize = sparse.iter().map(Vec::len).sum::<usize>() * self.cfg.embedding_dim;
+        let parallel_pool = enw_parallel::should_parallelize(gathered, PAR_MIN_GATHER_ELEMS);
+        Self::predict_core(
+            &self.cfg,
+            &self.tables,
+            &mut self.bottom,
+            &mut self.top,
+            dense,
+            sparse,
+            parallel_pool,
+        )
+    }
+
+    /// Shared inference core behind [`predict`](RecModel::predict) and
+    /// [`predict_batch`](RecModel::predict_batch). The dense latent, the
+    /// pooled embeddings (one flat `tables × dim` workspace) and the
+    /// interaction vector all live in thread-local scratch buffers, so a
+    /// warm steady-state call performs no heap allocation.
+    ///
+    /// With `parallel_pool` set, the per-table gathers fan out to worker
+    /// threads (the memory-bound regime: many tables, heavy pooling), one
+    /// table per disjoint window of the pooled workspace. Each table is
+    /// pooled by the same serial kernel either way, so the output is
+    /// bit-identical at any thread count.
+    // enw:hot
+    fn predict_core(
+        cfg: &RecModelConfig,
+        tables: &[EmbeddingTable],
+        bottom: &mut Mlp<DigitalLinear>,
+        top: &mut Mlp<DigitalLinear>,
+        dense: &[f32],
+        sparse: &[Vec<usize>],
+        parallel_pool: bool,
+    ) -> f32 {
+        assert_eq!(dense.len(), cfg.dense_features, "dense feature count mismatch");
+        assert_eq!(sparse.len(), tables.len(), "one index list per table");
+        let dim = cfg.embedding_dim;
+        let mut dense_latent = enw_parallel::scratch::take_f32(dim);
+        bottom.predict_into(dense, &mut dense_latent);
+        let mut pooled = enw_parallel::scratch::take_f32(tables.len() * dim);
+        if parallel_pool {
+            enw_parallel::for_each_chunk_mut(
+                &mut pooled,
+                PAR_TABLE_CHUNK * dim,
+                |start, window| {
+                    let t = start / dim;
+                    tables[t].gather_pool_into(&sparse[t], window);
+                },
+            );
+        } else {
+            for ((table, idx), window) in tables.iter().zip(sparse).zip(pooled.chunks_mut(dim)) {
+                table.gather_pool_into(idx, window);
+            }
+        }
+        let mut interacted = enw_parallel::scratch::take_f32(Self::interaction_width(cfg));
+        Self::interact_into(cfg, &dense_latent, &pooled, &mut interacted);
+        let mut logit = enw_parallel::scratch::take_f32(1);
+        top.predict_into(&interacted, &mut logit);
+        enw_trace::record_span("recsys/mlp", Self::mlp_work(cfg));
+        1.0 / (1.0 + (-logit[0]).exp())
     }
 
     /// Multiply–accumulates in one pass through both MLP stacks — the
     /// deterministic work units attributed to the dense-compute stage.
-    fn mlp_work(&self) -> u64 {
+    fn mlp_work(cfg: &RecModelConfig) -> u64 {
         let mut work = 0u64;
-        let mut prev = self.cfg.dense_features;
-        for &h in &self.cfg.bottom_mlp {
+        let mut prev = cfg.dense_features;
+        for &h in &cfg.bottom_mlp {
             work += (prev * h) as u64;
             prev = h;
         }
-        let mut prev = Self::interaction_width(&self.cfg);
-        for &h in &self.cfg.top_mlp {
+        let mut prev = Self::interaction_width(cfg);
+        for &h in &cfg.top_mlp {
             work += (prev * h) as u64;
             prev = h;
         }
         work + prev as u64 // final logit layer
-    }
-
-    /// Pools every table's sparse indices, fanning the per-table gathers
-    /// out to worker threads when the total gather is large (the
-    /// memory-bound regime: many tables, heavy pooling). Each table is
-    /// pooled by the same serial kernel either way, and results come back
-    /// in table order, so the output is bit-identical at any thread count.
-    fn pool_tables(&self, sparse: &[Vec<usize>]) -> Vec<Vec<f32>> {
-        let gathered: usize = sparse.iter().map(Vec::len).sum::<usize>() * self.cfg.embedding_dim;
-        if enw_parallel::should_parallelize(gathered, PAR_MIN_GATHER_ELEMS) {
-            enw_parallel::map_chunks(self.tables.len(), PAR_TABLE_CHUNK, |r| {
-                r.map(|t| self.tables[t].lookup_pool(&sparse[t])).collect::<Vec<_>>()
-            })
-            .into_iter()
-            .flatten()
-            .collect()
-        } else {
-            self.tables.iter().zip(sparse).map(|(t, idx)| t.lookup_pool(idx)).collect()
-        }
     }
 
     /// Convenience: predict from a generated [`SparseQuery`].
@@ -451,32 +499,51 @@ impl RecModel {
     ///
     /// Panics if any query's feature counts mismatch the configuration.
     pub fn predict_batch(&mut self, queries: &[SparseQuery]) -> Vec<f32> {
+        let mut out = vec![0.0f32; queries.len()];
+        self.predict_batch_into(queries, &mut out);
+        out
+    }
+
+    /// [`predict_batch`](RecModel::predict_batch) into a caller-owned
+    /// buffer (`out` is fully overwritten). Each worker clones the MLP
+    /// stacks once per chunk and reuses its thread-local scratch buffers
+    /// across every query in the chunk, so steady-state batched serving
+    /// allocates only the per-chunk stack clones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != queries.len()` or any query's feature
+    /// counts mismatch the configuration.
+    pub fn predict_batch_into(&mut self, queries: &[SparseQuery], out: &mut [f32]) {
+        assert_eq!(out.len(), queries.len(), "one output slot per query");
         if !enw_parallel::should_parallelize(queries.len(), PAR_MIN_BATCH) {
-            return queries.iter().map(|q| self.predict_query(q)).collect();
+            for (slot, q) in out.iter_mut().zip(queries) {
+                *slot = self.predict_query(q);
+            }
+            return;
         }
-        let model = &*self;
-        enw_parallel::map_chunks(queries.len(), PAR_BATCH_CHUNK, |r| {
-            let mut bottom = model.bottom.clone();
-            let mut top = model.top.clone();
-            r.map(|qi| {
-                let q = &queries[qi];
-                assert_eq!(q.dense.len(), model.cfg.dense_features, "dense feature count mismatch");
-                assert_eq!(q.sparse.len(), model.tables.len(), "one index list per table");
-                let dense_latent = bottom.predict(&q.dense);
+        let cfg = &self.cfg;
+        let tables = &self.tables;
+        let bottom = &self.bottom;
+        let top = &self.top;
+        enw_parallel::for_each_chunk_mut(out, PAR_BATCH_CHUNK, |start, window| {
+            let mut bottom = bottom.clone();
+            let mut top = top.clone();
+            for (k, slot) in window.iter_mut().enumerate() {
+                let q = &queries[start + k];
                 // Per-query gathers stay serial here: the batch dimension
                 // already saturates the workers.
-                let pooled: Vec<Vec<f32>> =
-                    model.tables.iter().zip(&q.sparse).map(|(t, idx)| t.lookup_pool(idx)).collect();
-                let interacted = model.interact(&dense_latent, &pooled);
-                let logit = top.predict(&interacted)[0];
-                enw_trace::record_span("recsys/mlp", model.mlp_work());
-                1.0 / (1.0 + (-logit).exp())
-            })
-            .collect::<Vec<f32>>()
-        })
-        .into_iter()
-        .flatten()
-        .collect()
+                *slot = Self::predict_core(
+                    cfg,
+                    tables,
+                    &mut bottom,
+                    &mut top,
+                    &q.dense,
+                    &q.sparse,
+                    false,
+                );
+            }
+        });
     }
 
     /// Predicts from externally supplied pooled embedding vectors (one per
@@ -490,35 +557,46 @@ impl RecModel {
     pub fn predict_with_pooled(&mut self, dense: &[f32], pooled: &[Vec<f32>]) -> f32 {
         assert_eq!(dense.len(), self.cfg.dense_features, "dense feature count mismatch");
         assert_eq!(pooled.len(), self.tables.len(), "one pooled vector per table");
-        for p in pooled {
-            assert_eq!(p.len(), self.cfg.embedding_dim, "pooled width mismatch");
+        let dim = self.cfg.embedding_dim;
+        let mut flat = enw_parallel::scratch::take_f32(pooled.len() * dim);
+        for (window, p) in flat.chunks_mut(dim).zip(pooled) {
+            assert_eq!(p.len(), dim, "pooled width mismatch");
+            window.copy_from_slice(p);
         }
-        let dense_latent = self.bottom.predict(dense);
-        let interacted = self.interact(&dense_latent, pooled);
-        let logit = self.top.predict(&interacted)[0];
-        enw_trace::record_span("recsys/mlp", self.mlp_work());
-        1.0 / (1.0 + (-logit).exp())
+        let mut dense_latent = enw_parallel::scratch::take_f32(dim);
+        self.bottom.predict_into(dense, &mut dense_latent);
+        let mut interacted = enw_parallel::scratch::take_f32(Self::interaction_width(&self.cfg));
+        Self::interact_into(&self.cfg, &dense_latent, &flat, &mut interacted);
+        let mut logit = enw_parallel::scratch::take_f32(1);
+        self.top.predict_into(&interacted, &mut logit);
+        enw_trace::record_span("recsys/mlp", Self::mlp_work(&self.cfg));
+        1.0 / (1.0 + (-logit[0]).exp())
     }
 
-    fn interact(&self, dense_latent: &[f32], pooled: &[Vec<f32>]) -> Vec<f32> {
-        match self.cfg.interaction {
+    /// The [`Interaction`] operator into a caller-owned buffer (`out` is
+    /// fully overwritten). `pooled` is the flat `tables × dim` pooled
+    /// workspace; pair order matches the original push order, so results
+    /// are bit-identical to the allocating formulation.
+    // enw:hot
+    fn interact_into(cfg: &RecModelConfig, dense_latent: &[f32], pooled: &[f32], out: &mut [f32]) {
+        let dim = cfg.embedding_dim;
+        match cfg.interaction {
             Interaction::Concat => {
-                let mut out = dense_latent.to_vec();
-                for p in pooled {
-                    out.extend_from_slice(p);
-                }
-                out
+                out[..dim].copy_from_slice(dense_latent);
+                out[dim..].copy_from_slice(pooled);
             }
             Interaction::DotPairwise => {
-                let mut vectors: Vec<&[f32]> = vec![dense_latent];
-                vectors.extend(pooled.iter().map(|p| p.as_slice()));
-                let mut out = dense_latent.to_vec();
-                for i in 0..vectors.len() {
-                    for j in (i + 1)..vectors.len() {
-                        out.push(enw_numerics::vector::dot(vectors[i], vectors[j]));
+                out[..dim].copy_from_slice(dense_latent);
+                let vectors = pooled.len() / dim + 1;
+                let vec_at =
+                    |v: usize| if v == 0 { dense_latent } else { &pooled[(v - 1) * dim..v * dim] };
+                let mut k = dim;
+                for i in 0..vectors {
+                    for j in (i + 1)..vectors {
+                        out[k] = enw_numerics::vector::dot(vec_at(i), vec_at(j));
+                        k += 1;
                     }
                 }
-                out
             }
         }
     }

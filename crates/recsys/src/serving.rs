@@ -54,20 +54,6 @@ pub fn try_max_batch_under_sla(
     Ok(lo)
 }
 
-/// Option-returning forerunner of [`try_max_batch_under_sla`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `try_max_batch_under_sla`, which distinguishes a zero cap from an infeasible SLA"
-)]
-pub fn max_batch_under_sla(
-    cfg: &RecModelConfig,
-    machine: &RooflineMachine,
-    sla_seconds: f64,
-    max_batch: u64,
-) -> Option<u64> {
-    try_max_batch_under_sla(cfg, machine, sla_seconds, max_batch).ok()
-}
-
 /// Peak throughput achievable under an SLA (QPS at the largest
 /// admissible batch); fails like [`try_max_batch_under_sla`].
 pub fn try_sla_throughput(
@@ -78,20 +64,6 @@ pub fn try_sla_throughput(
 ) -> Result<f64, RecsysError> {
     try_max_batch_under_sla(cfg, machine, sla_seconds, max_batch)
         .map(|b| throughput(cfg, b, machine))
-}
-
-/// Option-returning forerunner of [`try_sla_throughput`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `try_sla_throughput`, which distinguishes a zero cap from an infeasible SLA"
-)]
-pub fn sla_throughput(
-    cfg: &RecModelConfig,
-    machine: &RooflineMachine,
-    sla_seconds: f64,
-    max_batch: u64,
-) -> Option<f64> {
-    try_sla_throughput(cfg, machine, sla_seconds, max_batch).ok()
 }
 
 #[cfg(test)]
@@ -167,19 +139,5 @@ mod tests {
         assert!(qps > 0.0);
         let b = try_max_batch_under_sla(&cfg, &m, sla, 4096).expect("reachable");
         assert!((qps - throughput(&cfg, b, &m)).abs() < 1e-9);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_option_shims_match_try_apis() {
-        let cfg = RecModelConfig::compute_bound();
-        let m = machine();
-        let sla = 10.0 * batch_latency(&cfg, 1, &m);
-        assert_eq!(
-            max_batch_under_sla(&cfg, &m, sla, 4096),
-            try_max_batch_under_sla(&cfg, &m, sla, 4096).ok()
-        );
-        assert_eq!(max_batch_under_sla(&cfg, &m, sla, 0), None);
-        assert_eq!(sla_throughput(&cfg, &m, 1e-12, 1024), None);
     }
 }

@@ -26,6 +26,17 @@ pub trait Backend {
     /// only through `enw-parallel`'s fixed-chunk primitives).
     fn serve(&mut self, batch: &[Request]) -> Vec<Output>;
 
+    /// [`serve`](Backend::serve) into a caller-owned output buffer (`out`
+    /// is cleared, then filled with one output per request, in request
+    /// order). The default delegates to `serve` and moves the results;
+    /// allocation-disciplined backends override it so a warm buffer is
+    /// refilled in place and the scheduler's steady-state loop performs no
+    /// per-request heap allocation.
+    fn serve_into(&mut self, batch: &[Request], out: &mut Vec<Output>) {
+        out.clear();
+        out.append(&mut self.serve(batch));
+    }
+
     /// Draws a payload this backend understands — used by the load
     /// generator so traffic always matches its lane.
     fn make_payload(&self, rng: &mut Rng64) -> Payload;

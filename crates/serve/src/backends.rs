@@ -44,43 +44,57 @@ pub fn ideal_layers(dims: &[usize], rng: &mut Rng64) -> Vec<Matrix> {
 }
 
 /// Forward pass through `layers` with ReLU between hidden layers (linear
-/// output). Purely `&self` so batches can fan out across workers.
+/// output). Purely `&self` so batches can fan out across workers. The
+/// per-layer activations ping-pong through thread-local scratch, so the
+/// only allocation is the returned score vector itself.
 fn mlp_forward(layers: &[Matrix], x: &[f32]) -> Vec<f32> {
-    let mut h = x.to_vec();
+    let widest = layers.iter().map(Matrix::rows).max().unwrap_or(1).max(x.len());
+    let mut cur = parallel::scratch::take_f32(widest);
+    let mut nxt = parallel::scratch::take_f32(widest);
+    cur[..x.len()].copy_from_slice(x);
+    let mut len = x.len();
     let last = layers.len().saturating_sub(1);
     for (i, w) in layers.iter().enumerate() {
-        h = w.matvec(&h);
+        w.matvec_into(&cur[..len], &mut nxt[..w.rows()]);
+        len = w.rows();
         if i < last {
-            for v in h.iter_mut() {
+            for v in nxt[..len].iter_mut() {
                 *v = v.max(0.0);
             }
         }
+        std::mem::swap(&mut cur, &mut nxt);
     }
-    h
+    cur[..len].to_vec()
 }
 
 /// Serves a batch of feature-vector requests through shared read-only
-/// layers: fixed 8-request chunks fan out via `enw-parallel`, each chunk
-/// computed exactly as the serial loop would, so outputs are
+/// layers into a caller-owned output buffer (`out` is cleared, then
+/// refilled): fixed 8-request chunks fan out via `enw-parallel`, each
+/// chunk computed exactly as the serial loop would, so outputs are
 /// bit-identical at any thread count.
-fn mlp_serve(layers: &[Matrix], in_dim: usize, batch: &[Request]) -> Vec<Output> {
-    let features: Vec<&[f32]> = batch.iter().filter_map(|r| r.payload.features()).collect();
-    assert!(
-        features.len() == batch.len(),
-        "MLP lane got a non-feature payload: route requests to the station that generated them"
-    );
-    for f in &features {
-        assert!(f.len() == in_dim, "feature width {} does not match lane input {in_dim}", f.len());
+fn mlp_serve_into(layers: &[Matrix], in_dim: usize, batch: &[Request], out: &mut Vec<Output>) {
+    out.clear();
+    for r in batch {
+        let f = r.payload.features();
+        assert!(
+            f.is_some(),
+            "MLP lane got a non-feature payload: route requests to the station that generated them"
+        );
+        let w = f.map_or(0, <[f32]>::len);
+        assert!(w == in_dim, "feature width {w} does not match lane input {in_dim}");
     }
+    let feature = |i: usize| batch[i].payload.features().unwrap_or(&[]);
     if !parallel::should_parallelize(batch.len(), PAR_MIN_BATCH) {
-        return features.iter().map(|f| Output::Scores(mlp_forward(layers, f))).collect();
+        out.extend((0..batch.len()).map(|i| Output::Scores(mlp_forward(layers, feature(i)))));
+        return;
     }
-    parallel::map_chunks(features.len(), PAR_CHUNK, |r| {
-        r.map(|i| Output::Scores(mlp_forward(layers, features[i]))).collect::<Vec<_>>()
-    })
-    .into_iter()
-    .flatten()
-    .collect()
+    out.extend(
+        parallel::map_chunks(batch.len(), PAR_CHUNK, |r| {
+            r.map(|i| Output::Scores(mlp_forward(layers, feature(i)))).collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten(),
+    );
 }
 
 /// Exact FP32 MLP inference on provisioned digital logic — the reference
@@ -123,7 +137,13 @@ impl Backend for DigitalBackend {
     }
 
     fn serve(&mut self, batch: &[Request]) -> Vec<Output> {
-        mlp_serve(&self.layers, self.in_dim(), batch)
+        let mut out = Vec::new();
+        self.serve_into(batch, &mut out);
+        out
+    }
+
+    fn serve_into(&mut self, batch: &[Request], out: &mut Vec<Output>) {
+        mlp_serve_into(&self.layers, self.in_dim(), batch, out);
     }
 
     fn make_payload(&self, rng: &mut Rng64) -> Payload {
@@ -194,7 +214,13 @@ impl Backend for CrossbarBackend {
     }
 
     fn serve(&mut self, batch: &[Request]) -> Vec<Output> {
-        mlp_serve(&self.layers, self.in_dim(), batch)
+        let mut out = Vec::new();
+        self.serve_into(batch, &mut out);
+        out
+    }
+
+    fn serve_into(&mut self, batch: &[Request], out: &mut Vec<Output>) {
+        mlp_serve_into(&self.layers, self.in_dim(), batch, out);
     }
 
     fn make_payload(&self, rng: &mut Rng64) -> Payload {
@@ -291,14 +317,19 @@ impl Backend for TcamBackend {
     }
 
     fn serve(&mut self, batch: &[Request]) -> Vec<Output> {
-        let mut out = Vec::with_capacity(batch.len());
+        let mut out = Vec::new();
+        self.serve_into(batch, &mut out);
+        out
+    }
+
+    fn serve_into(&mut self, batch: &[Request], out: &mut Vec<Output>) {
+        out.clear();
         for r in batch {
             let q = r.payload.features();
             assert!(q.is_some(), "TCAM lane got a non-feature payload");
             let (hit, _cost) = self.mem.retrieve(q.unwrap_or(&[]));
             out.push(Output::Label(hit.map(|h| h.value)));
         }
-        out
     }
 
     fn make_payload(&self, rng: &mut Rng64) -> Payload {
@@ -361,9 +392,32 @@ impl Backend for RecsysBackend {
     }
 
     fn serve(&mut self, batch: &[Request]) -> Vec<Output> {
+        let mut out = Vec::new();
+        self.serve_into(batch, &mut out);
+        out
+    }
+
+    fn serve_into(&mut self, batch: &[Request], out: &mut Vec<Output>) {
+        out.clear();
+        // Small batches predict straight off the borrowed payloads — no
+        // query clones, and `predict` reuses thread-local scratch.
+        // Large batches clone the queries once into a contiguous slice so
+        // the batched predictor can fan chunks out to workers; both paths
+        // are bit-identical (the batched serial kernel is the same code).
+        if !parallel::should_parallelize(batch.len(), PAR_MIN_BATCH) {
+            for r in batch {
+                let q = r.payload.rec_query();
+                assert!(q.is_some(), "recsys lane got a non-recsys payload");
+                let Some(q) = q else { continue };
+                out.push(Output::Ctr(self.model.predict(&q.dense, &q.sparse)));
+            }
+            return;
+        }
         let queries: Vec<_> = batch.iter().filter_map(|r| r.payload.rec_query()).cloned().collect();
         assert!(queries.len() == batch.len(), "recsys lane got a non-recsys payload");
-        self.model.predict_batch(&queries).into_iter().map(Output::Ctr).collect()
+        let mut ctrs = parallel::scratch::take_f32(queries.len());
+        self.model.predict_batch_into(&queries, &mut ctrs);
+        out.extend(ctrs.iter().copied().map(Output::Ctr));
     }
 
     fn make_payload(&self, rng: &mut Rng64) -> Payload {

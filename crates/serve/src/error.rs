@@ -1,7 +1,7 @@
 //! Typed failures for the serving runtime.
 //!
-//! Everything that used to be a panic message, a `bool`, or an
-//! `Admission` sentinel on the public surface now has a variant here, so
+//! Everything that used to be a panic message, a `bool`, or an ad-hoc
+//! admission sentinel on the public surface now has a variant here, so
 //! callers can branch on the cause and error chains render through
 //! `std::error::Error`. Constructors that take already-validated inputs
 //! (builders' `build()`) return `Result<_, ServeError>` too.

@@ -15,7 +15,7 @@
 //! On top sits a deterministic micro-batching [`scheduler::Server`]:
 //! bounded per-station queues with explicit rejection (backpressure),
 //! size-or-timeout batch closing (the recsys lane's size limit comes
-//! from the paper's `max_batch_under_sla` binary search), per-request
+//! from the paper's `try_max_batch_under_sla` binary search), per-request
 //! deadlines with timeout shedding, and a degradation ladder that steps
 //! from the analog-noisy lane down to its digital fallback after
 //! repeated deadline misses (and back after clean batches).

@@ -4,7 +4,7 @@
 //! batch closes when it is *full* (`max_batch`) or when its oldest
 //! request has waited `max_wait_ns` — the classic size-or-timeout rule.
 //! For the recommendation lane the size limit is not hand-tuned: it comes
-//! from `enw_recsys::serving::max_batch_under_sla`, the paper's
+//! from `enw_recsys::serving::try_max_batch_under_sla`, the paper's
 //! binary-search for the largest batch whose modeled latency still fits
 //! the SLA.
 
@@ -68,21 +68,6 @@ impl BatchPolicy {
             .max_wait_ns(ns_from_secs(headroom))
             .queue_cap(queue_cap.max(max_batch))
             .build()
-    }
-
-    /// Option-returning forerunner of [`BatchPolicy::try_for_recsys_sla`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `try_for_recsys_sla`, which reports `ServeError::InfeasibleSla`"
-    )]
-    pub fn for_recsys_sla(
-        cfg: &RecModelConfig,
-        machine: &RooflineMachine,
-        sla_seconds: f64,
-        batch_cap: usize,
-        queue_cap: usize,
-    ) -> Option<Self> {
-        Self::try_for_recsys_sla(cfg, machine, sla_seconds, batch_cap, queue_cap).ok()
     }
 }
 
@@ -285,19 +270,6 @@ mod tests {
         assert_eq!(
             BatchPolicy::builder().max_batch(2).max_wait_ns(7).queue_cap(9).build(),
             Ok(BatchPolicy::new(2, 7, 9))
-        );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_option_shim_matches_try_api() {
-        let c = cfg();
-        let m = RooflineMachine::server_cpu();
-        assert!(BatchPolicy::for_recsys_sla(&c, &m, 1e-15, 1024, 2048).is_none());
-        let sla = 2.0 * batch_latency(&c, 64, &m);
-        assert_eq!(
-            BatchPolicy::for_recsys_sla(&c, &m, sla, 4096, 8192),
-            BatchPolicy::try_for_recsys_sla(&c, &m, sla, 4096, 8192).ok()
         );
     }
 }

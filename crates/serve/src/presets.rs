@@ -8,7 +8,7 @@
 //! | 0 | `crossbar` (analog, digital fallback) | 8-deep batches, 200 µs wait | 2 ms |
 //! | 1 | `digital` | 16-deep batches, 100 µs wait | 1 ms |
 //! | 2 | `tcam` | 4-deep batches, 50 µs wait | 500 µs |
-//! | 3 | `recsys` | SLA-derived via `max_batch_under_sla` | 1 ms |
+//! | 3 | `recsys` | SLA-derived via `try_max_batch_under_sla` | 1 ms |
 //!
 //! All parameters are representative serving numbers, not tuned claims;
 //! what the experiments measure is how *tails, shedding and degradation*

@@ -12,16 +12,6 @@ use crate::error::ServeError;
 use crate::request::Request;
 use std::collections::VecDeque;
 
-/// Result of offering a request to a station queue (legacy sentinel;
-/// [`BoundedQueue::try_offer`] reports the same thing as a `Result`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Admission {
-    /// Enqueued; will be served in FIFO order.
-    Accepted,
-    /// Queue full — rejected at the door.
-    Rejected,
-}
-
 /// A FIFO queue with a hard capacity.
 #[derive(Debug, Clone, Default)]
 pub struct BoundedQueue {
@@ -71,19 +61,21 @@ impl BoundedQueue {
         Ok(())
     }
 
-    /// Sentinel-returning forerunner of [`BoundedQueue::try_offer`].
-    #[deprecated(since = "0.2.0", note = "use `try_offer`, which reports `ServeError::QueueFull`")]
-    pub fn offer(&mut self, req: Request) -> Admission {
-        match self.try_offer(req) {
-            Ok(()) => Admission::Accepted,
-            Err(_) => Admission::Rejected,
-        }
-    }
-
     /// Removes and returns up to `n` oldest requests, in FIFO order.
     pub fn take(&mut self, n: usize) -> Vec<Request> {
+        let mut out = Vec::new();
+        self.take_into(n, &mut out);
+        out
+    }
+
+    /// [`take`](BoundedQueue::take) into a caller-owned buffer: `out` is
+    /// cleared, then filled with up to `n` oldest requests in FIFO order.
+    /// A warm buffer is refilled in place, so steady-state batch closes
+    /// perform no per-request allocation.
+    pub fn take_into(&mut self, n: usize, out: &mut Vec<Request>) {
+        out.clear();
         let k = n.min(self.items.len());
-        self.items.drain(..k).collect()
+        out.extend(self.items.drain(..k));
     }
 }
 
@@ -131,11 +123,18 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_offer_shim_matches_try_offer() {
-        let mut q = BoundedQueue::new(1);
-        assert_eq!(q.offer(req(1, 0)), Admission::Accepted);
-        assert_eq!(q.offer(req(2, 1)), Admission::Rejected);
+    fn take_into_reuses_the_buffer() {
+        let mut q = BoundedQueue::new(8);
+        for i in 0..6 {
+            let _ = q.try_offer(req(i, i));
+        }
+        let mut buf = Vec::new();
+        q.take_into(4, &mut buf);
+        assert_eq!(buf.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        let cap = buf.capacity();
+        q.take_into(4, &mut buf);
+        assert_eq!(buf.iter().map(|r| r.id).collect::<Vec<_>>(), vec![4, 5]);
+        assert_eq!(buf.capacity(), cap, "warm buffer must be reused, not reallocated");
     }
 
     #[test]

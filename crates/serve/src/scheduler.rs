@@ -53,6 +53,11 @@ struct Station {
     queue: BoundedQueue,
     busy_until: Option<u64>,
     pending: Vec<(Request, Output)>,
+    // Per-station arena: batch close and serve refill these warm buffers
+    // in place, so the steady-state event loop performs no per-request
+    // heap allocation (each grows once to `max_batch` and stays).
+    batch_buf: Vec<Request>,
+    outputs_buf: Vec<Output>,
     on_fallback: bool,
     miss_streak: u32,
     clean_streak: u32,
@@ -74,6 +79,8 @@ impl Station {
             policy: spec.policy,
             busy_until: None,
             pending: Vec::new(),
+            batch_buf: Vec::new(),
+            outputs_buf: Vec::new(),
             on_fallback: false,
             miss_streak: 0,
             clean_streak: 0,
@@ -144,18 +151,6 @@ impl Server {
         })
     }
 
-    /// Panicking forerunner of [`Server::try_new`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `specs` is empty.
-    #[deprecated(since = "0.2.0", note = "use `Server::try_new`, which reports `ServeError`")]
-    pub fn new(specs: Vec<StationSpec>) -> Self {
-        let result = Self::try_new(specs);
-        assert!(result.is_ok(), "a server needs at least one station");
-        result.unwrap_or_else(|_| Server { stations: Vec::new(), clock: VirtualClock::new() })
-    }
-
     /// Number of stations.
     pub fn station_count(&self) -> usize {
         self.stations.len()
@@ -209,7 +204,26 @@ impl Server {
     /// Runs the whole trace to completion and reports. Fails without
     /// serving anything if the trace is unsorted or names an unknown
     /// station.
-    pub fn try_run(mut self, trace_reqs: &[Request]) -> Result<RunReport, ServeError> {
+    ///
+    /// Each admitted request is cloned out of the borrowed trace; when the
+    /// caller owns the trace, [`Server::try_run_owned`] moves requests
+    /// into the loop instead and never clones a payload.
+    pub fn try_run(self, trace_reqs: &[Request]) -> Result<RunReport, ServeError> {
+        self.validate(trace_reqs)?;
+        Ok(self.run_loop(trace_reqs.len(), trace_reqs.iter().cloned()))
+    }
+
+    /// [`Server::try_run`] over an owned trace: requests (and their
+    /// payload buffers) move straight from the trace into the station
+    /// queues, so the steady-state event loop performs zero per-request
+    /// heap allocations.
+    pub fn try_run_owned(self, trace_reqs: Vec<Request>) -> Result<RunReport, ServeError> {
+        self.validate(&trace_reqs)?;
+        let n = trace_reqs.len();
+        Ok(self.run_loop(n, trace_reqs.into_iter()))
+    }
+
+    fn validate(&self, trace_reqs: &[Request]) -> Result<(), ServeError> {
         for (i, w) in trace_reqs.windows(2).enumerate() {
             if w[0].arrival_ns > w[1].arrival_ns {
                 return Err(ServeError::UnsortedTrace { position: i + 1 });
@@ -224,10 +238,14 @@ impl Server {
                 });
             }
         }
-        let mut responses: Vec<Response> = Vec::with_capacity(trace_reqs.len());
-        let mut next = 0usize;
+        Ok(())
+    }
+
+    fn run_loop(mut self, expected: usize, reqs: impl Iterator<Item = Request>) -> RunReport {
+        let mut reqs = reqs.peekable();
+        let mut responses: Vec<Response> = Vec::with_capacity(expected);
         loop {
-            let mut t_next: Option<u64> = trace_reqs.get(next).map(|r| r.arrival_ns);
+            let mut t_next: Option<u64> = reqs.peek().map(|r| r.arrival_ns);
             for st in &self.stations {
                 if let Some(cand) = st.next_event_ns() {
                     t_next = Some(t_next.map_or(cand, |t| t.min(cand)));
@@ -245,9 +263,8 @@ impl Server {
                 }
             }
             // 2. All arrivals at this instant are admitted (trace order).
-            while trace_reqs.get(next).is_some_and(|r| r.arrival_ns == t) {
-                self.admit(trace_reqs[next].clone(), t, &mut responses);
-                next += 1;
+            while let Some(r) = reqs.next_if(|r| r.arrival_ns == t) {
+                self.admit(r, t, &mut responses);
             }
             // 3. Idle stations close every batch that is now due; a close
             // may shed the entire batch and leave the station idle with a
@@ -265,32 +282,11 @@ impl Server {
                 }
             }
         }
-        Ok(RunReport {
+        RunReport {
             responses,
             duration_ns: self.clock.now_ns(),
             stations: self.stations.into_iter().map(|s| s.metrics).collect(),
-        })
-    }
-
-    /// Panicking forerunner of [`Server::try_run`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the trace is not sorted by arrival time or names an
-    /// unknown station.
-    #[deprecated(since = "0.2.0", note = "use `Server::try_run`, which reports `ServeError`")]
-    pub fn run(self, trace_reqs: &[Request]) -> RunReport {
-        let result = self.try_run(trace_reqs);
-        assert!(
-            result.is_ok(),
-            "trace must be sorted by arrival time and target known stations: {}",
-            result.as_ref().err().map(ServeError::to_string).unwrap_or_default()
-        );
-        result.unwrap_or_else(|_| RunReport {
-            responses: Vec::new(),
-            stations: Vec::new(),
-            duration_ns: 0,
-        })
+        }
     }
 
     fn admit(&mut self, req: Request, now_ns: u64, responses: &mut Vec<Response>) {
@@ -315,10 +311,13 @@ impl Server {
     fn close_batch(&mut self, i: usize, now_ns: u64, responses: &mut Vec<Response>) {
         let close_span = trace::span("serve/batch_close");
         let station = &mut self.stations[i];
-        let taken = station.queue.take(station.policy.max_batch);
-        close_span.add_work(taken.len() as u64);
-        let mut batch = Vec::with_capacity(taken.len());
-        for req in taken {
+        // Refill the station's warm batch buffer in place — the only
+        // allocations in a steady-state close are whatever the backend's
+        // outputs themselves need.
+        let mut batch = std::mem::take(&mut station.batch_buf);
+        station.queue.take_into(station.policy.max_batch, &mut batch);
+        close_span.add_work(batch.len() as u64);
+        batch.retain(|req| {
             trace::record_span("serve/queue_wait", now_ns.saturating_sub(req.arrival_ns));
             // Timeout shedding: a request already past its deadline gets
             // no service — answering it late helps no one and slows the
@@ -334,11 +333,12 @@ impl Server {
                     arrival_ns: req.arrival_ns,
                     finish_ns: now_ns,
                 });
-            } else {
-                batch.push(req);
+                return false;
             }
-        }
+            true
+        });
         if batch.is_empty() {
+            station.batch_buf = batch;
             return;
         }
         let on_fallback = station.on_fallback && station.fallback.is_some();
@@ -346,7 +346,8 @@ impl Server {
             (Some(f), true) => f.as_mut(),
             _ => station.backend.as_mut(),
         };
-        let outputs = backend.serve(&batch);
+        let mut outputs = std::mem::take(&mut station.outputs_buf);
+        backend.serve_into(&batch, &mut outputs);
         assert!(
             outputs.len() == batch.len(),
             "backend {} returned {} outputs for a batch of {}",
@@ -364,24 +365,27 @@ impl Server {
         if on_fallback {
             station.metrics.degraded_batches += 1;
         }
-        station.pending = batch.into_iter().zip(outputs).collect();
+        station.pending.clear();
+        station.pending.extend(batch.drain(..).zip(outputs.drain(..)));
+        station.batch_buf = batch;
+        station.outputs_buf = outputs;
     }
 
     fn complete_batch(&mut self, i: usize, now_ns: u64, responses: &mut Vec<Response>) {
         let station = &mut self.stations[i];
         station.busy_until = None;
-        let pending = std::mem::take(&mut station.pending);
+        let Station { pending, metrics, .. } = station;
         let mut any_miss = false;
-        for (req, out) in pending {
+        for (req, out) in pending.drain(..) {
             let late = now_ns > req.deadline_ns;
             if late {
-                station.metrics.deadline_misses += 1;
+                metrics.deadline_misses += 1;
                 any_miss = true;
             } else {
-                station.metrics.completed += 1;
+                metrics.completed += 1;
             }
             let latency = now_ns.saturating_sub(req.arrival_ns);
-            station.metrics.record_latency(latency);
+            metrics.record_latency(latency);
             trace::record_value("serve.latency_ns", latency);
             responses.push(Response {
                 id: req.id,
@@ -593,15 +597,23 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_run_shim_panics_like_the_old_api() {
-        let spec = StationSpec::simple(Toy::boxed("t", 100, 1.0), BatchPolicy::new(2, 500, 8));
-        let report = Server::new(vec![spec]).run(&[req(0, 10, u64::MAX), req(1, 10, u64::MAX)]);
-        assert_eq!(report.responses.len(), 2);
-        let result = std::panic::catch_unwind(|| {
-            let spec = StationSpec::simple(Toy::boxed("t", 1, 0.0), BatchPolicy::new(1, 0, 1));
-            Server::new(vec![spec]).run(&[req(0, 10, 20), req(1, 5, 20)])
-        });
-        assert!(result.is_err(), "old API must still panic on unsorted traces");
+    fn owned_run_matches_borrowed_run() {
+        let mk = || StationSpec::simple(Toy::boxed("t", 777, 0.5), BatchPolicy::new(3, 1_500, 6));
+        let trace: Vec<Request> = (0..40).map(|k| req(k, k * 400, k * 400 + 5_000)).collect();
+        let borrowed =
+            Server::try_new(vec![mk()]).and_then(|s| s.try_run(&trace)).expect("valid fixture");
+        let owned = Server::try_new(vec![mk()])
+            .and_then(|s| s.try_run_owned(trace))
+            .expect("valid fixture");
+        assert_eq!(borrowed.render(), owned.render());
+        assert_eq!(borrowed.duration_ns, owned.duration_ns);
+    }
+
+    #[test]
+    fn owned_run_validates_like_borrowed_run() {
+        let spec = StationSpec::simple(Toy::boxed("t", 1, 0.0), BatchPolicy::new(1, 0, 1));
+        let server = Server::try_new(vec![spec]).expect("one station");
+        let err = server.try_run_owned(vec![req(0, 10, 20), req(1, 5, 20)]);
+        assert_eq!(err.err(), Some(ServeError::UnsortedTrace { position: 1 }));
     }
 }

@@ -252,6 +252,15 @@ impl TraceReport {
                 ));
             }
         }
+        // Allocation counters are read at render time from the installed
+        // source (if any) rather than stored in the report, so report
+        // bytes stay deterministic while the console view shows them.
+        if let Some(a) = crate::alloc_stats() {
+            out.push_str(&format!(
+                "\n{:<32} {:>14} allocations {:>14} bytes\n",
+                "allocator", a.allocs, a.bytes
+            ));
+        }
         out
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::cost::{Cost, XmannCostParams};
 use enw_mann::memory::DifferentiableMemory;
-use enw_numerics::vector::softmax;
+use enw_numerics::vector::softmax_into;
 
 /// Geometry of the tile hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -199,14 +199,32 @@ impl Xmann {
     ///
     /// Panics if the query width mismatches.
     pub fn similarity(&mut self, query: &[f32]) -> OpResult<Vec<f32>> {
+        let mut value = vec![0.0f32; self.memory.slots()];
+        let cost = self.similarity_into(query, &mut value);
+        OpResult { value, cost }
+    }
+
+    /// [`similarity`](Xmann::similarity) into a caller-owned buffer of
+    /// `slots` scores (`out` is fully overwritten); returns the charged
+    /// cost. The dot-product intermediate lives in thread-local scratch,
+    /// so a warm call performs no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query width or output length mismatches.
+    // enw:hot
+    pub fn similarity_into(&mut self, query: &[f32], out: &mut [f32]) -> Cost {
         assert_eq!(query.len(), self.memory.dim(), "query width mismatch");
-        let dots = self.memory.matrix().matvec(query);
+        assert_eq!(out.len(), self.memory.slots(), "similarity output length mismatch");
+        let mut dots = enw_parallel::scratch::take_f32(self.memory.slots());
+        self.memory.matrix().matvec_into(query, &mut dots);
         // Second crossbar op: an all-ones column vector read against the
-        // magnitude array yields every row's L1 norm in parallel.
-        let l1: Vec<f32> = (0..self.memory.slots())
-            .map(|s| self.memory.slot(s).iter().map(|v| v.abs()).sum())
-            .collect();
-        let value: Vec<f32> = dots.iter().zip(&l1).map(|(d, n)| d / (n + 1e-6)).collect();
+        // magnitude array yields every row's L1 norm in parallel; the SFU
+        // divide consumes each norm as it is produced.
+        for (s, (o, &d)) in out.iter_mut().zip(dots.iter()).enumerate() {
+            let n: f32 = self.memory.slot(s).iter().map(|v| v.abs()).sum();
+            *o = d / (n + 1e-6);
+        }
         // Cost: two crossbar phases (dot + norm), inputs = dim per column
         // tile, outputs = rows per tile; SFU does one divide per slot.
         let phase = self.crossbar_phase(self.cfg.tile_cols, self.cfg.tile_rows);
@@ -218,18 +236,32 @@ impl Xmann {
             "xmann/similarity",
             2 * (self.memory.slots() * self.memory.dim()) as u64,
         );
-        OpResult { value, cost }
+        cost
     }
 
     /// Content addressing: similarity + softmax in the SFU.
     pub fn content_address(&mut self, query: &[f32], beta: f32) -> OpResult<Vec<f32>> {
-        let sim = self.similarity(query);
-        let value = softmax(&sim.value, beta);
+        let mut value = vec![0.0f32; self.memory.slots()];
+        let cost = self.content_address_into(query, beta, &mut value);
+        OpResult { value, cost }
+    }
+
+    /// [`content_address`](Xmann::content_address) into a caller-owned
+    /// buffer (`out` is fully overwritten); returns the charged cost. The
+    /// similarity scores stage through thread-local scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query width or output length mismatches.
+    // enw:hot
+    pub fn content_address_into(&mut self, query: &[f32], beta: f32, out: &mut [f32]) -> Cost {
+        let mut sim = enw_parallel::scratch::take_f32(self.memory.slots());
+        let sim_cost = self.similarity_into(query, &mut sim);
+        softmax_into(&sim, beta, out);
         // Softmax: ~3 SFU ops per slot (exp, sum contribution, divide).
         let sfu = self.sfu_phase(3 * self.memory.slots());
-        let cost = sim.cost + sfu;
         self.total += sfu;
-        OpResult { value, cost }
+        sim_cost + sfu
     }
 
     /// Soft read (paper Sec. III-A3): a *single* crossbar operation with
@@ -240,13 +272,26 @@ impl Xmann {
     ///
     /// Panics if `weights.len() != slots`.
     pub fn soft_read(&mut self, weights: &[f32]) -> OpResult<Vec<f32>> {
-        let value = self.memory.soft_read(weights);
+        let mut value = vec![0.0f32; self.memory.dim()];
+        let cost = self.soft_read_into(weights, &mut value);
+        OpResult { value, cost }
+    }
+
+    /// [`soft_read`](Xmann::soft_read) into a caller-owned buffer of `dim`
+    /// elements (`out` is fully overwritten); returns the charged cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != slots` or `out.len() != dim`.
+    // enw:hot
+    pub fn soft_read_into(&mut self, weights: &[f32], out: &mut [f32]) -> Cost {
+        self.memory.soft_read_into(weights, out);
         let phase = self.crossbar_phase(self.cfg.tile_rows, self.cfg.tile_cols);
         let reduce = self.reduce_phase(self.memory.dim(), self.row_tiles());
         let cost = phase + reduce;
         self.total += cost;
         enw_trace::record_span("xmann/soft_read", (self.memory.slots() * self.memory.dim()) as u64);
-        OpResult { value, cost }
+        cost
     }
 
     /// Soft write: a rank-1 parallel update of every tile (weights ×

@@ -28,6 +28,17 @@ test -s BENCH_stage_breakdown.json || { echo "exp17 did not emit BENCH_stage_bre
 python3 -c "import json; r = json.load(open('BENCH_stage_breakdown.json')); assert r['deterministic_rerun'] and len(r['lanes']) == 4, r" \
     || { echo "BENCH_stage_breakdown.json failed to parse or is incomplete"; exit 1; }
 
+echo "== exp18_alloc_audit --smoke (zero-allocation hot paths) =="
+cargo run --release -q -p enw-bench --bin exp18_alloc_audit -- --smoke
+test -s BENCH_alloc.json || { echo "exp18 did not emit BENCH_alloc.json"; exit 1; }
+python3 -c "
+import json
+r = json.load(open('BENCH_alloc.json'))
+assert len(r['lanes']) == 4, r
+assert all(l['meets_90pct_target'] for l in r['lanes']), r
+assert r['serve']['zero_alloc_steady_state'], r
+" || { echo "BENCH_alloc.json failed to parse or misses the alloc-reduction targets"; exit 1; }
+
 if [[ "${1:-}" == "--full" ]]; then
     echo "== cargo test -q --features proptest (property suites) =="
     cargo test -q --features proptest

@@ -1,0 +1,149 @@
+//! Allocating-vs-`_into` bit-exactness across crate boundaries: every
+//! output-parameter kernel variant must produce outputs bitwise identical
+//! to its allocating wrapper, at every worker count. This is the E18
+//! contract — the zero-allocation fast paths are drop-in replacements,
+//! not approximations.
+//!
+//! Per-crate unit tests cover each `_into` kernel in isolation; this
+//! suite checks the composed paths the experiment binaries and the
+//! serving runtime exercise, at the thread counts named by the
+//! memory-discipline acceptance criteria (1, 2, 8).
+
+use enw_core::crossbar::devices;
+use enw_core::crossbar::tile::{AnalogTile, TileConfig};
+use enw_core::mann::memory::{DifferentiableMemory, Similarity};
+use enw_core::nn::activation::Activation;
+use enw_core::nn::backend::LinearBackend;
+use enw_core::nn::mlp::Mlp;
+use enw_core::numerics::rng::Rng64;
+use enw_core::parallel;
+use enw_core::recsys::model::{Interaction, RecModel, RecModelConfig};
+use enw_core::recsys::trace::TraceGenerator;
+use enw_core::xmann::arch::{Xmann, XmannConfig};
+use enw_core::xmann::cost::XmannCostParams;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn crossbar_forward_and_backward_into_match_wrappers_across_threads() {
+    // Two tiles built from the same seed share weights, devices and RNG
+    // stream; the wrapper and the `_into` form must then stay in lockstep
+    // draw for draw, noise included.
+    let make = || {
+        let mut rng = Rng64::new(7);
+        AnalogTile::new(48, 40, &devices::rram(), TileConfig::default(), &mut rng)
+    };
+    let mut rng = Rng64::new(8);
+    let x: Vec<f32> = (0..40).map(|_| rng.uniform_f32() - 0.5).collect();
+    let d: Vec<f32> = (0..48).map(|_| rng.uniform_f32() - 0.5).collect();
+    let reference = parallel::with_threads(1, || {
+        let mut t = make();
+        (t.forward(&x), t.backward(&d))
+    });
+    for threads in THREAD_COUNTS {
+        let (y, dx) = parallel::with_threads(threads, || {
+            let mut t = make();
+            let mut y = vec![0.0f32; 48];
+            let mut dx = vec![0.0f32; 40];
+            t.forward_into(&x, &mut y);
+            t.backward_into(&d, &mut dx);
+            (y, dx)
+        });
+        assert_eq!(bits(&reference.0), bits(&y), "forward, threads = {threads}");
+        assert_eq!(bits(&reference.1), bits(&dx), "backward, threads = {threads}");
+    }
+}
+
+#[test]
+fn mlp_predict_into_matches_predict_across_threads() {
+    let mut rng = Rng64::new(9);
+    let mut mlp = Mlp::digital(&[24, 32, 6], Activation::Relu, &mut rng);
+    let x: Vec<f32> = (0..24).map(|_| rng.uniform_f32() - 0.5).collect();
+    let reference = parallel::with_threads(1, || mlp.predict(&x));
+    for threads in THREAD_COUNTS {
+        let out = parallel::with_threads(threads, || {
+            let mut out = vec![0.0f32; 6];
+            mlp.predict_into(&x, &mut out);
+            out
+        });
+        assert_eq!(bits(&reference), bits(&out), "threads = {threads}");
+    }
+}
+
+#[test]
+fn mann_memory_into_forms_match_across_threads() {
+    let mut rng = Rng64::new(10);
+    let mem = DifferentiableMemory::random(96, 24, &mut rng);
+    let q: Vec<f32> = (0..24).map(|_| rng.uniform_f32() - 0.5).collect();
+    let sims_ref = parallel::with_threads(1, || mem.similarities(&q, Similarity::Cosine));
+    let w_ref = parallel::with_threads(1, || mem.content_address(&q, Similarity::Cosine, 2.0));
+    let r_ref = parallel::with_threads(1, || mem.soft_read(&w_ref));
+    for threads in THREAD_COUNTS {
+        parallel::with_threads(threads, || {
+            let mut sims = vec![0.0f32; 96];
+            let mut w = vec![0.0f32; 96];
+            let mut r = vec![0.0f32; 24];
+            mem.similarities_into(&q, Similarity::Cosine, &mut sims);
+            mem.content_address_into(&q, Similarity::Cosine, 2.0, &mut w);
+            mem.soft_read_into(&w_ref, &mut r);
+            assert_eq!(bits(&sims_ref), bits(&sims), "similarities, threads = {threads}");
+            assert_eq!(bits(&w_ref), bits(&w), "content_address, threads = {threads}");
+            assert_eq!(bits(&r_ref), bits(&r), "soft_read, threads = {threads}");
+        });
+    }
+}
+
+#[test]
+fn xmann_into_forms_match_wrappers_and_costs_across_threads() {
+    let (slots, dim) = (80, 20);
+    let mut rng = Rng64::new(11);
+    let rows: Vec<Vec<f32>> =
+        (0..slots).map(|_| (0..dim).map(|_| rng.uniform_f32() - 0.5).collect()).collect();
+    let mut xm = Xmann::new(slots, dim, XmannConfig::default(), XmannCostParams::default());
+    xm.load_memory(&rows);
+    let q: Vec<f32> = (0..dim).map(|_| rng.uniform_f32() - 0.5).collect();
+    let w_ref = parallel::with_threads(1, || xm.content_address(&q, 1.5));
+    let r_ref = parallel::with_threads(1, || xm.soft_read(&w_ref.value));
+    for threads in THREAD_COUNTS {
+        parallel::with_threads(threads, || {
+            let mut w = vec![0.0f32; slots];
+            let mut r = vec![0.0f32; dim];
+            let w_cost = xm.content_address_into(&q, 1.5, &mut w);
+            let r_cost = xm.soft_read_into(&w_ref.value, &mut r);
+            assert_eq!(bits(&w_ref.value), bits(&w), "content_address, threads = {threads}");
+            assert_eq!(bits(&r_ref.value), bits(&r), "soft_read, threads = {threads}");
+            // The cost model must not depend on which variant ran.
+            assert_eq!(w_ref.cost, w_cost, "content_address cost, threads = {threads}");
+            assert_eq!(r_ref.cost, r_cost, "soft_read cost, threads = {threads}");
+        });
+    }
+}
+
+#[test]
+fn recsys_predict_batch_into_matches_wrapper_across_threads() {
+    let mut rng = Rng64::new(12);
+    let cfg = RecModelConfig {
+        dense_features: 12,
+        bottom_mlp: vec![24, 12],
+        tables: vec![(400, 6); 5],
+        embedding_dim: 12,
+        top_mlp: vec![16],
+        interaction: Interaction::DotPairwise,
+    };
+    let mut model = RecModel::new(&cfg, &mut rng);
+    let gen = TraceGenerator::new(&cfg, 1.0);
+    let queries: Vec<_> = (0..32).map(|_| gen.query(&mut rng)).collect();
+    let reference = parallel::with_threads(1, || model.predict_batch(&queries));
+    for threads in THREAD_COUNTS {
+        let out = parallel::with_threads(threads, || {
+            let mut out = vec![0.0f32; queries.len()];
+            model.predict_batch_into(&queries, &mut out);
+            out
+        });
+        assert_eq!(bits(&reference), bits(&out), "threads = {threads}");
+    }
+}
