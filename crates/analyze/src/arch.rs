@@ -17,8 +17,10 @@ use crate::report::{Finding, Severity};
 /// anywhere below them in the build graph anyway).
 pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
     ("trace", &[]),
-    ("parallel", &[]),
-    ("numerics", &["parallel"]),
+    // The persistent pool flushes worker-thread trace recorders after
+    // every job, so the runtime sits one rung above trace.
+    ("parallel", &["trace"]),
+    ("numerics", &["parallel", "trace"]),
     ("nn", &["numerics", "parallel"]),
     ("crossbar", &["numerics", "nn", "parallel", "trace"]),
     ("mann", &["numerics", "nn", "parallel", "trace"]),

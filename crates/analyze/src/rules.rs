@@ -12,6 +12,7 @@
 //! | ENW-P002 | deny     | no `.expect(…)` in non-test library code |
 //! | ENW-P003 | deny     | no `panic!`/`todo!`/`unimplemented!`/`unreachable!` in non-test library code |
 //! | ENW-P004 | warn     | no indexing by integer literal (`xs[0]`) in non-test library code |
+//! | ENW-P005 | deny     | no `thread::scope` outside `enw-parallel` (scoped spawn-join bypasses the persistent worker pool) |
 //! | ENW-A002 | deny     | only `crates/bench` may name `BENCH_*` report artifacts |
 //! | ENW-A004 | deny     | no public `*_unchecked`/`*unwrap*` constructors in kernel crates (validation belongs in builders / `try_*` APIs) |
 //! | ENW-M001 | deny     | no heap allocation (`vec!`, `Vec::with_capacity`, `.to_vec()`, `.clone()`) inside functions annotated `// enw:hot` in kernel crates |
@@ -162,6 +163,21 @@ pub fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
                         t.line,
                         "raw `thread::spawn` outside `enw-parallel`; use the deterministic \
                          runtime (`enw_parallel::map_chunks` and friends)"
+                            .to_string(),
+                    );
+                }
+                if !spawn_ok
+                    && name == "thread"
+                    && matches_seq(&toks, i + 1, &[":", ":"])
+                    && toks.get(i + 3).map(|t| t.is_ident("scope")) == Some(true)
+                {
+                    push(
+                        "ENW-P005",
+                        Severity::Deny,
+                        t.line,
+                        "`thread::scope` outside `enw-parallel`: scoped spawn-join pays \
+                         thread start-up on every call and bypasses the persistent worker \
+                         pool; use `enw_parallel::map_chunks`/`for_each_chunk_mut`"
                             .to_string(),
                     );
                 }

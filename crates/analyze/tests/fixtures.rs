@@ -76,6 +76,23 @@ fn d004_thread_spawn_outside_parallel() {
 }
 
 #[test]
+fn p005_thread_scope_outside_parallel() {
+    let src = "fn f() {\n    std::thread::scope(|s| { let _ = s; });\n}\n";
+    assert_eq!(hits("crates/numerics/src/foo.rs", src), vec![("ENW-P005".to_string(), 2)]);
+    let bare = "use std::thread;\nfn f() {\n    thread::scope(|s| { let _ = s; });\n}\n";
+    assert_eq!(hits("crates/cam/src/foo.rs", bare), vec![("ENW-P005".to_string(), 3)]);
+}
+
+#[test]
+fn p005_silent_in_parallel_and_test_code() {
+    let src = "fn f() {\n    std::thread::scope(|s| { let _ = s; });\n}\n";
+    assert!(hits("crates/parallel/src/foo.rs", src).is_empty());
+    let test_src =
+        "#[cfg(test)]\nmod tests {\n    fn t() { std::thread::scope(|s| { let _ = s; }); }\n}\n";
+    assert!(hits("crates/serve/src/foo.rs", test_src).is_empty());
+}
+
+#[test]
 fn p001_unwrap_in_lib_code() {
     let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
     assert_eq!(hits("crates/cam/src/foo.rs", src), vec![("ENW-P001".to_string(), 2)]);

@@ -12,7 +12,7 @@
 
 use crate::cells::CellTech;
 use enw_mann::encoding::TernaryWord;
-use enw_numerics::bits::BitVec;
+use enw_numerics::bits::{hamming_limbs, BitVec};
 use enw_xmann::cost::Cost;
 
 /// Geometry and segmentation of a TCAM array.
@@ -47,9 +47,16 @@ impl Default for TcamConfig {
 #[derive(Debug, Clone)]
 pub struct TcamArray {
     width: usize,
+    /// `u64` limbs per stored word (`width.div_ceil(64)`).
+    limbs_per_word: usize,
     tech: CellTech,
     cfg: TcamConfig,
-    words: Vec<BitVec>,
+    /// All stored words' limbs, contiguous (`len * limbs_per_word`).
+    /// One flat buffer instead of a `Vec<BitVec>` keeps a whole-array
+    /// search a single sequential sweep — no per-word pointer chase —
+    /// which is what lets the limb-wise match kernels stream.
+    limbs: Vec<u64>,
+    len: usize,
     writes: u64,
     total: Cost,
 }
@@ -73,7 +80,16 @@ impl TcamArray {
     pub fn new(width: usize, tech: CellTech, cfg: TcamConfig) -> Self {
         assert!(width > 0, "zero-width TCAM");
         assert!(cfg.segments > 0, "need at least one match-line segment");
-        TcamArray { width, tech, cfg, words: Vec::new(), writes: 0, total: Cost::zero() }
+        TcamArray {
+            width,
+            limbs_per_word: width.div_ceil(64),
+            tech,
+            cfg,
+            limbs: Vec::new(),
+            len: 0,
+            writes: 0,
+            total: Cost::zero(),
+        }
     }
 
     /// Word width in bits.
@@ -83,12 +99,12 @@ impl TcamArray {
 
     /// Stored word count.
     pub fn len(&self) -> usize {
-        self.words.len()
+        self.len
     }
 
     /// Returns `true` if nothing is stored.
     pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
+        self.len == 0
     }
 
     /// The cell technology in use.
@@ -112,7 +128,7 @@ impl TcamArray {
     pub fn endurance_exceeded(&self) -> bool {
         match self.tech.endurance {
             None => false,
-            Some(e) => self.words.is_empty() || self.writes / self.words.len().max(1) as u64 > e,
+            Some(e) => self.len == 0 || self.writes / self.len.max(1) as u64 > e,
         }
     }
 
@@ -123,11 +139,12 @@ impl TcamArray {
     /// Panics if the word width mismatches.
     pub fn write(&mut self, word: BitVec) -> (usize, Cost) {
         assert_eq!(word.len(), self.width, "word width mismatch");
-        self.words.push(word);
+        self.limbs.extend_from_slice(word.limbs());
+        self.len += 1;
         self.writes += 1;
         let cost = Cost::new(self.width as f64 * self.tech.write_bit_pj, self.tech.write_word_ns);
         self.total += cost;
-        (self.words.len() - 1, cost)
+        (self.len - 1, cost)
     }
 
     /// Overwrites a stored word in place.
@@ -136,9 +153,10 @@ impl TcamArray {
     ///
     /// Panics if the index is out of range or the width mismatches.
     pub fn rewrite(&mut self, index: usize, word: BitVec) -> Cost {
-        assert!(index < self.words.len(), "index out of range");
+        assert!(index < self.len, "index out of range");
         assert_eq!(word.len(), self.width, "word width mismatch");
-        self.words[index] = word;
+        let lpw = self.limbs_per_word;
+        self.limbs[index * lpw..(index + 1) * lpw].copy_from_slice(word.limbs());
         self.writes += 1;
         let cost = Cost::new(self.width as f64 * self.tech.write_bit_pj, self.tech.write_word_ns);
         self.total += cost;
@@ -152,7 +170,7 @@ impl TcamArray {
     /// the expected charged-cell count drops toward `1/s` of the array
     /// while latency grows by one sense stage per extra segment.
     fn search_cost(&self) -> Cost {
-        let cells = (self.words.len() * self.width) as f64;
+        let cells = (self.len * self.width) as f64;
         let s = self.cfg.segments as f64;
         let energy = cells * self.tech.search_bit_pj * (1.0 / s + 0.5 / s.max(1.0) * (s - 1.0) / s);
         let latency = self.tech.search_ns + (s - 1.0) * 0.5 * self.tech.search_ns;
@@ -175,9 +193,15 @@ impl TcamArray {
     /// # Panics
     ///
     /// Panics if the pattern width mismatches.
+    // enw:hot
     pub fn peek_ternary(&self, pattern: &TernaryWord) -> Vec<usize> {
         assert_eq!(pattern.len(), self.width, "pattern width mismatch");
-        self.words.iter().enumerate().filter(|(_, w)| pattern.matches(w)).map(|(i, _)| i).collect()
+        self.limbs
+            .chunks_exact(self.limbs_per_word)
+            .enumerate()
+            .filter(|(_, w)| pattern.matches_limbs(w))
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// Exact ternary match of `pattern` against every stored word — one
@@ -199,13 +223,21 @@ impl TcamArray {
     /// # Panics
     ///
     /// Panics if the query width mismatches.
+    // enw:hot
     pub fn peek_nearest(&self, query: &BitVec) -> Option<NearestHit> {
         assert_eq!(query.len(), self.width, "query width mismatch");
-        self.words
-            .iter()
-            .enumerate()
-            .map(|(i, w)| NearestHit { index: i, distance: w.hamming(query) })
-            .min_by_key(|h| (h.distance, h.index))
+        let q = query.limbs();
+        let mut best: Option<NearestHit> = None;
+        // Ascending scan with strict `<` keeps the lowest index on ties —
+        // the priority-encoder rule the old `min_by_key((dist, index))`
+        // expressed.
+        for (i, w) in self.limbs.chunks_exact(self.limbs_per_word).enumerate() {
+            let distance = hamming_limbs(q, w) as usize;
+            if best.is_none_or(|b| distance < b.distance) {
+                best = Some(NearestHit { index: i, distance });
+            }
+        }
+        best
     }
 
     /// Nearest-match search by match-line discharge-rate sensing: returns

@@ -14,9 +14,9 @@ use enw_xmann::cost::Cost;
 /// whole-array Hamming scan.
 const PAR_ARRAY_CHUNK: usize = 1;
 
-/// Minimum total stored bits (`len * width`) before a bank search fans
-/// out to worker threads. Below this a serial sweep wins.
-const PAR_MIN_SEARCH_BITS: usize = 1 << 15;
+/// Work units charged per stored bit when gating a bank search through
+/// `enw_parallel::plan_chunks` (XOR + popcount both touch every bit).
+const SEARCH_WORK_PER_BIT: usize = 2;
 
 /// A bank of equally sized TCAM arrays behaving as one large memory.
 ///
@@ -111,9 +111,25 @@ impl TcamBank {
 
     /// True when this search is large enough to fan out to worker
     /// threads (simulation-host parallelism; the modeled hardware always
-    /// searches arrays concurrently).
+    /// searches arrays concurrently). Gated through the shared
+    /// `plan_chunks` work model with the average per-array bit count as
+    /// the per-item work; chunking stays at [`PAR_ARRAY_CHUNK`] arrays.
     fn parallel_search(&self) -> bool {
-        enw_parallel::should_parallelize(self.len() * self.width(), PAR_MIN_SEARCH_BITS)
+        let per_array = SEARCH_WORK_PER_BIT * self.len() * self.width() / self.arrays.len().max(1);
+        enw_parallel::plan_chunks(self.arrays.len(), per_array).is_some()
+    }
+
+    /// Books the deterministic host-side traffic of one whole-bank
+    /// search: every stored limb is read once, plus the query/pattern
+    /// words; the write side is the per-word match-line readout.
+    fn record_search_traffic(&self, name: &'static str, query_words: u64) {
+        let bits = (self.len() * self.width()) as u64;
+        enw_trace::record_span_io(
+            name,
+            bits,
+            bits / 8 + query_words * (self.width() as u64).div_ceil(8),
+            (self.len() as u64).div_ceil(8),
+        );
     }
 
     /// Per-array pure nearest hits, in array order. The match computation
@@ -135,7 +151,7 @@ impl TcamBank {
     /// Nearest-Hamming search across every array in parallel; ties break
     /// toward the lowest global index (the global priority encoder).
     pub fn search_nearest(&mut self, query: &BitVec) -> (Option<NearestHit>, Cost) {
-        enw_trace::record_span("cam/search_nearest", (self.len() * self.width()) as u64);
+        self.record_search_traffic("cam/search_nearest", 1);
         let hits = self.nearest_per_array(query);
         let mut best: Option<NearestHit> = None;
         let mut energy = 0.0;
@@ -163,7 +179,8 @@ impl TcamBank {
 
     /// Ternary match across all arrays; returns global indices.
     pub fn search_ternary(&mut self, pattern: &TernaryWord) -> (Vec<usize>, Cost) {
-        enw_trace::record_span("cam/search_ternary", (self.len() * self.width()) as u64);
+        // A ternary pattern ships two words (bits + care mask).
+        self.record_search_traffic("cam/search_ternary", 2);
         let per_array: Vec<Vec<usize>> = if self.parallel_search() {
             enw_parallel::map_chunks(self.arrays.len(), PAR_ARRAY_CHUNK, |r| {
                 r.map(|b| self.arrays[b].peek_ternary(pattern)).collect::<Vec<_>>()
@@ -267,9 +284,10 @@ mod tests {
 
     #[test]
     fn parallel_bank_search_matches_serial_exactly() {
-        // 600 words x 64 bits comfortably clears PAR_MIN_SEARCH_BITS, so
-        // the multi-threaded runs exercise the map_chunks path; results
-        // and booked costs must not depend on the thread count.
+        // 600 words x 64 bits x 2 work units comfortably clears the
+        // `plan_chunks` gate, so the multi-threaded runs exercise the
+        // map_chunks path; results and booked costs must not depend on
+        // the thread count.
         let mut rng = Rng64::new(5);
         let mut bank = TcamBank::new(64, 32, cells::cmos_16t(), TcamConfig::default());
         for _ in 0..600 {

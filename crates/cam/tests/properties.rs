@@ -1,0 +1,121 @@
+//! Property-based tests for the limb-packed TCAM search path.
+//!
+//! Compiled only with `--features proptest` so the default tier-1 run
+//! stays lean; enable it in CI sweeps via `scripts/verify.sh --full`.
+#![cfg(feature = "proptest")]
+
+use enw_cam::array::{NearestHit, TcamConfig};
+use enw_cam::bank::TcamBank;
+use enw_cam::cells;
+use enw_mann::encoding::TernaryWord;
+use enw_numerics::bits::BitVec;
+use enw_numerics::rng::Rng64;
+use proptest::prelude::*;
+
+/// Draws `len` words of `width` random bits (both packed and unpacked
+/// forms, for the naive per-bit reference).
+fn random_words(len: usize, width: usize, rng: &mut Rng64) -> Vec<Vec<bool>> {
+    (0..len).map(|_| (0..width).map(|_| rng.below(2) == 1).collect()).collect()
+}
+
+/// The naive software CAM: per-bit Hamming scan with the lowest-index
+/// tie rule — the behavioural reference for the packed `u64` search.
+fn naive_nearest(words: &[Vec<bool>], query: &[bool]) -> Option<NearestHit> {
+    let mut best: Option<NearestHit> = None;
+    for (i, w) in words.iter().enumerate() {
+        let distance = w.iter().zip(query).filter(|(a, b)| a != b).count();
+        if best.is_none_or(|b| distance < b.distance) {
+            best = Some(NearestHit { index: i, distance });
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32 })]
+
+    /// The limb-packed bank search returns exactly what the per-bit scan
+    /// returns — same index (lowest on ties, the priority-encoder rule)
+    /// and same distance — for widths straddling the u64 limb boundary.
+    #[test]
+    fn bank_search_matches_naive_per_bit_scan(
+        width in 1usize..140, len in 1usize..400, rows_per_array in 1usize..65,
+        seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        let words = random_words(len, width, &mut rng);
+        let mut bank = TcamBank::new(width, rows_per_array, cells::fefet_2t(), TcamConfig::default());
+        for w in &words {
+            bank.write(BitVec::from_bools(w));
+        }
+        for _ in 0..4 {
+            let q: Vec<bool> = (0..width).map(|_| rng.below(2) == 1).collect();
+            let (hit, _) = bank.search_nearest(&BitVec::from_bools(&q));
+            prop_assert_eq!(hit, naive_nearest(&words, &q));
+        }
+    }
+
+    /// Bank search results are identical at ENW_THREADS=1/2/8; sizes are
+    /// chosen so roughly half the cases cross the `plan_chunks` gate and
+    /// actually fan out across the pool.
+    #[test]
+    fn bank_search_bit_identical_at_any_thread_count(
+        width in 32usize..129, len in 1usize..900, seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        let words = random_words(len, width, &mut rng);
+        let queries: Vec<BitVec> = (0..4)
+            .map(|_| BitVec::from_bools(&(0..width).map(|_| rng.below(2) == 1).collect::<Vec<_>>()))
+            .collect();
+        let hits_at = |threads: usize| {
+            enw_parallel::with_threads(threads, || {
+                let mut bank =
+                    TcamBank::new(width, 32, cells::fefet_2t(), TcamConfig::default());
+                for w in &words {
+                    bank.write(BitVec::from_bools(w));
+                }
+                queries.iter().map(|q| bank.search_nearest(q).0).collect::<Vec<_>>()
+            })
+        };
+        let serial = hits_at(1);
+        for t in [2usize, 8] {
+            prop_assert_eq!(hits_at(t), serial.clone(), "thread count {}", t);
+        }
+    }
+
+    /// `TernaryWord::matches` (the limb-wise masked compare) agrees with
+    /// the per-bit model: every cared bit equal, don't-care bits free.
+    #[test]
+    fn ternary_match_agrees_with_per_bit_model(
+        width in 1usize..140, seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        let bits: Vec<bool> = (0..width).map(|_| rng.below(2) == 1).collect();
+        let care: Vec<bool> = (0..width).map(|_| rng.below(4) != 0).collect();
+        let pattern = TernaryWord::new(BitVec::from_bools(&bits), BitVec::from_bools(&care));
+        for _ in 0..8 {
+            // Mix exact copies, near-misses, and random words.
+            let stored: Vec<bool> = match rng.below(3) {
+                0 => bits.clone(),
+                1 => {
+                    let mut s = bits.clone();
+                    let flip = rng.below(width);
+                    s[flip] = !s[flip];
+                    s
+                }
+                _ => (0..width).map(|_| rng.below(2) == 1).collect(),
+            };
+            let reference = bits
+                .iter()
+                .zip(&care)
+                .zip(&stored)
+                .all(|((b, c), s)| !c || b == s);
+            let mismatches = bits
+                .iter()
+                .zip(&care)
+                .zip(&stored)
+                .filter(|((b, c), s)| **c && b != s)
+                .count();
+            let packed = BitVec::from_bools(&stored);
+            prop_assert_eq!(pattern.matches(&packed), reference);
+            prop_assert_eq!(pattern.mismatches(&packed), mismatches);
+        }
+    }
+}

@@ -11,14 +11,11 @@ use crate::device::{DeviceSpec, PulseDir, PulsedDevice};
 use enw_numerics::matrix::Matrix;
 use enw_numerics::rng::Rng64;
 
-// Chunks for the parallel read kernels are sized by
-// `enw_parallel::adaptive_chunk` from the per-line crosspoint count;
+// The parallel read kernels are gated and chunked by
+// `enw_parallel::plan_chunks` from the per-line crosspoint count;
 // boundaries depend only on the array shape, so results are
 // bit-identical at any `ENW_THREADS` (each output line is one
 // independent reduction).
-
-/// Minimum crosspoint count before the parallel reads pay for spawning.
-const PAR_MIN_CROSSPOINTS: usize = 1 << 14;
 
 /// How a defective device fails (paper Sec. II-B2: imperfect yield).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -227,10 +224,9 @@ impl AnalogArray {
     pub fn par_matvec_into(&self, x: &[f32], ir_drop: f32, y: &mut [f32]) {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         assert_eq!(y.len(), self.rows, "matvec output dimension mismatch");
-        if !enw_parallel::should_parallelize(self.rows * self.cols, PAR_MIN_CROSSPOINTS) {
+        let Some(chunk) = enw_parallel::plan_chunks(self.rows, self.cols) else {
             return self.matvec_into(x, ir_drop, y);
-        }
-        let chunk = enw_parallel::adaptive_chunk(self.rows, self.cols);
+        };
         enw_parallel::for_each_chunk_mut(y, chunk, |start, window| {
             for (out, r) in window.iter_mut().zip(start..) {
                 let row = &self.weights[r * self.cols..(r + 1) * self.cols];
@@ -276,12 +272,11 @@ impl AnalogArray {
     pub fn par_matvec_t_into(&self, d: &[f32], ir_drop: f32, y: &mut [f32]) {
         assert_eq!(d.len(), self.rows, "matvec_t dimension mismatch");
         assert_eq!(y.len(), self.cols, "matvec_t output dimension mismatch");
-        if !enw_parallel::should_parallelize(self.rows * self.cols, PAR_MIN_CROSSPOINTS) {
+        let Some(chunk) = enw_parallel::plan_chunks(self.cols, self.rows) else {
             return self.matvec_t_into(d, ir_drop, y);
-        }
+        };
         let cols = self.cols;
         y.fill(0.0);
-        let chunk = enw_parallel::adaptive_chunk(cols, self.rows);
         enw_parallel::for_each_chunk_mut(y, chunk, |c0, window| {
             for (r, di) in d.iter().enumerate() {
                 if *di == 0.0 {

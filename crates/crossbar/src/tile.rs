@@ -214,7 +214,9 @@ impl AnalogTile {
         };
         let mut rng = self.rng.fork();
         self.array.program(&physical, self.dw_avg * 0.6, 4000, &mut rng);
-        enw_trace::record_span("crossbar/program", (self.array.rows() * self.array.cols()) as u64);
+        let cells = (self.array.rows() * self.array.cols()) as u64;
+        // Program reads the full target image and rewrites every device.
+        enw_trace::record_span_io("crossbar/program", cells, 4 * cells, 4 * cells);
     }
 
     /// Zero-shift calibration \[30\]: drives every device to its symmetry
@@ -408,7 +410,8 @@ impl LinearBackend for AnalogTile {
         self.sub_reference_matvec(&xa, out);
         self.cfg.noise.apply_output(out, &mut self.rng);
         self.stats.forward_ops += 1;
-        enw_trace::record_span("crossbar/mvm", (self.array.rows() * self.array.cols()) as u64);
+        let (rows, cols) = (self.array.rows() as u64, self.array.cols() as u64);
+        enw_trace::record_span_io("crossbar/mvm", rows * cols, 4 * (rows * cols + cols), 4 * rows);
     }
 
     fn backward(&mut self, delta: &[f32]) -> Vec<f32> {
@@ -430,7 +433,13 @@ impl LinearBackend for AnalogTile {
         self.cfg.noise.apply_output(&mut y, &mut self.rng);
         out.copy_from_slice(&y[..self.in_dim]);
         self.stats.backward_ops += 1;
-        enw_trace::record_span("crossbar/mvm_t", (self.array.rows() * self.array.cols()) as u64);
+        let (rows, cols) = (self.array.rows() as u64, self.array.cols() as u64);
+        enw_trace::record_span_io(
+            "crossbar/mvm_t",
+            rows * cols,
+            4 * (rows * cols + rows),
+            4 * cols,
+        );
     }
 
     fn update(&mut self, delta: &[f32], x: &[f32], lr: f32) {

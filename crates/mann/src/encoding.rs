@@ -74,7 +74,23 @@ impl TernaryWord {
     /// Panics if the stored word has a different length.
     pub fn matches(&self, stored: &BitVec) -> bool {
         assert_eq!(stored.len(), self.len(), "word length mismatch");
-        (0..self.len()).all(|i| !self.care.get(i) || self.bits.get(i) == stored.get(i))
+        self.matches_limbs(stored.limbs())
+    }
+
+    /// [`matches`](TernaryWord::matches) against a word given as packed
+    /// limbs (as stored in a flat TCAM array). One XOR + AND per 64 bits:
+    /// a don't-care position is masked off by the `care` limb, so only
+    /// specified bits can produce a set difference bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the limb count differs from this pattern's.
+    // enw:hot
+    pub fn matches_limbs(&self, stored: &[u64]) -> bool {
+        let bits = self.bits.limbs();
+        let care = self.care.limbs();
+        assert_eq!(stored.len(), bits.len(), "word length mismatch");
+        bits.iter().zip(care).zip(stored).all(|((b, c), s)| (b ^ s) & c == 0)
     }
 
     /// Hamming distance over the specified bits only (what a TCAM
@@ -85,7 +101,13 @@ impl TernaryWord {
     /// Panics if the stored word has a different length.
     pub fn mismatches(&self, stored: &BitVec) -> usize {
         assert_eq!(stored.len(), self.len(), "word length mismatch");
-        (0..self.len()).filter(|&i| self.care.get(i) && self.bits.get(i) != stored.get(i)).count()
+        let bits = self.bits.limbs();
+        let care = self.care.limbs();
+        bits.iter()
+            .zip(care)
+            .zip(stored.limbs())
+            .map(|((b, c), s)| ((b ^ s) & c).count_ones() as usize)
+            .sum()
     }
 }
 

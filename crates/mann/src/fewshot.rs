@@ -115,10 +115,6 @@ pub fn evaluate<E: Embedder>(
 /// costs are even, so fine chunks balance best.
 const PAR_EPISODE_CHUNK: usize = 1;
 
-/// Minimum episode count before [`evaluate_par`] fans out (cloning the
-/// embedder per worker has a fixed cost worth amortizing).
-const PAR_MIN_EPISODES: usize = 4;
-
 /// Parallel variant of [`evaluate`]: episodes are drawn serially up front
 /// on the caller's RNG — the exact stream the serial loop consumes — then
 /// embedded and classified concurrently on clones of the (pure-inference)
@@ -166,8 +162,16 @@ pub fn evaluate_par<E: Embedder + Clone + Send + Sync>(
         }
         tally
     };
+    // Per-episode work estimate for the shared `plan_chunks` gate: every
+    // sample is embedded (a network forward — at least `embed_dim` work
+    // per sample, usually far more) and every query is scored against
+    // every support embedding. Derived from the sampler configuration
+    // only, so the gate is deterministic for a given evaluation setup.
+    let samples = sampler.n_way * (sampler.k_shot + sampler.n_query);
+    let compares = sampler.n_way * sampler.n_query * sampler.n_way * sampler.k_shot;
+    let per_episode = (samples + compares) * net.embed_dim();
     let tallies: Vec<(usize, usize, u64)> =
-        if enw_parallel::should_parallelize(drawn.len(), PAR_MIN_EPISODES) {
+        if enw_parallel::plan_chunks(drawn.len(), per_episode).is_some() {
             let proto: &E = net;
             enw_parallel::map_chunks(drawn.len(), PAR_EPISODE_CHUNK, |r| {
                 let mut worker_net = proto.clone();

@@ -130,7 +130,13 @@ impl DifferentiableMemory {
     pub fn similarities_into(&self, query: &[f32], sim: Similarity, out: &mut [f32]) {
         assert_eq!(query.len(), self.dim(), "query width mismatch");
         assert_eq!(out.len(), self.slots(), "similarity output length mismatch");
-        enw_trace::record_span("mann/similarity_scan", (self.slots() * self.dim()) as u64);
+        let (slots, dim) = (self.slots() as u64, self.dim() as u64);
+        enw_trace::record_span_io(
+            "mann/similarity_scan",
+            slots * dim,
+            4 * (slots * dim + dim),
+            4 * slots,
+        );
         for (s, o) in out.iter_mut().enumerate() {
             *o = sim.score(query, self.data.row(s));
         }

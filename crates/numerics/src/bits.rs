@@ -88,13 +88,52 @@ impl BitVec {
     /// Panics if lengths differ.
     pub fn hamming(&self, other: &BitVec) -> usize {
         assert_eq!(self.len, other.len, "hamming length mismatch");
-        self.limbs.iter().zip(&other.limbs).map(|(a, b)| (a ^ b).count_ones() as usize).sum()
+        hamming_limbs(&self.limbs, &other.limbs) as usize
+    }
+
+    /// The packed `u64` limbs (little-endian bit order; bits at positions
+    /// `>= len()` are always zero). Lets word stores keep many vectors'
+    /// limbs contiguous and run limb-wise kernels like [`hamming_limbs`]
+    /// without going through per-bit accessors.
+    #[inline]
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
     }
 
     /// Iterator over the bits as booleans.
     pub fn iter(&self) -> Iter<'_> {
         Iter { vec: self, pos: 0 }
     }
+}
+
+/// Hamming distance between two packed limb slices: XOR + `count_ones`
+/// per 64-bit word, unrolled four wide so the popcounts form independent
+/// dependency chains (and vectorize where the target has a packed
+/// popcount). This is the match-line model of a CAM search: every stored
+/// word's distance is a handful of word-wide operations, not a per-bit
+/// walk.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+// enw:hot
+#[inline]
+pub fn hamming_limbs(a: &[u64], b: &[u64]) -> u32 {
+    assert_eq!(a.len(), b.len(), "hamming length mismatch");
+    let mut quads_a = a.chunks_exact(4);
+    let mut quads_b = b.chunks_exact(4);
+    let (mut d0, mut d1, mut d2, mut d3) = (0u32, 0u32, 0u32, 0u32);
+    for (qa, qb) in (&mut quads_a).zip(&mut quads_b) {
+        d0 += (qa[0] ^ qb[0]).count_ones();
+        d1 += (qa[1] ^ qb[1]).count_ones();
+        d2 += (qa[2] ^ qb[2]).count_ones();
+        d3 += (qa[3] ^ qb[3]).count_ones();
+    }
+    let mut d = d0 + d1 + d2 + d3;
+    for (la, lb) in quads_a.remainder().iter().zip(quads_b.remainder()) {
+        d += (la ^ lb).count_ones();
+    }
+    d
 }
 
 impl FromIterator<bool> for BitVec {
@@ -196,5 +235,28 @@ mod tests {
         let v = BitVec::zeros(0);
         assert!(v.is_empty());
         assert_eq!(v.count_ones(), 0);
+        assert!(v.limbs().is_empty());
+    }
+
+    #[test]
+    fn hamming_limbs_matches_per_bit_count() {
+        // 9 limbs: exercises both the 4-wide unrolled body and the
+        // remainder loop.
+        let mut a = BitVec::zeros(9 * 64);
+        let mut b = BitVec::zeros(9 * 64);
+        let mut expected = 0;
+        for i in 0..(9 * 64) {
+            if i % 3 == 0 {
+                a.set(i, true);
+            }
+            if i % 5 == 0 {
+                b.set(i, true);
+            }
+            if (i % 3 == 0) != (i % 5 == 0) {
+                expected += 1;
+            }
+        }
+        assert_eq!(hamming_limbs(a.limbs(), b.limbs()), expected);
+        assert_eq!(a.hamming(&b), expected as usize);
     }
 }

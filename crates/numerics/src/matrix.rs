@@ -53,17 +53,38 @@ fn axpy_row(out: &mut [f32], a: f32, b: &[f32]) {
 const MATMUL_KC: usize = 128;
 const MATMUL_NC: usize = 512;
 
+/// Register-tile shape of the matmul microkernel: `MATMUL_MR` output
+/// rows × `MATMUL_NR` output columns are accumulated in locals across a
+/// whole k-panel, so each `B` row load feeds `MATMUL_MR` rows' FMAs and
+/// the output is touched once per panel instead of once per `k` step.
+/// 4×16 keeps the accumulator tile at 8 eight-lane vectors — within the
+/// 16 architectural AVX2 registers with room for the `B` row — and the
+/// fixed-size inner loops are what lets the autovectorizer emit packed
+/// fma without a gather.
+const MATMUL_MR: usize = 4;
+const MATMUL_NR: usize = 16;
+
+/// `matvec` interleave depth: this many rows' dot products advance
+/// together so their (sequential, order-preserving) accumulator chains
+/// overlap in the FMA pipeline and each `x` load is reused across rows.
+const MATVEC_MR: usize = 4;
+
+/// Cap on parallel `matmul` row chunks. Every chunk streams the whole
+/// `B` panel set once, so chunk count is a direct multiplier on `B`
+/// memory traffic; 16 chunks bound that re-streaming at 16× while still
+/// dealing the widest supported fan-out (8 slots) two chunks deep for
+/// load balance.
+const MATMUL_MAX_CHUNKS: usize = 16;
+
 // Row/column chunks for the parallel wrappers are sized by
-// `enw_parallel::adaptive_chunk` from the per-row (or per-column) work
+// `enw_parallel::plan_chunks` from the per-row (or per-column) work
 // estimate. Boundaries depend only on the problem shape — never the
 // thread count — which is what makes the parallel results reproducible
 // at any `ENW_THREADS`.
 
-/// Dispatch thresholds: below these work sizes the simple serial loop
-/// beats blocking overhead (flops) or thread-spawn overhead (elements).
+/// Dispatch threshold: below this flop count the simple serial loop
+/// beats cache-blocking overhead.
 const BLOCKED_MIN_FLOPS: usize = 1 << 17;
-const PAR_MIN_MATVEC_ELEMS: usize = 1 << 14;
-const PAR_MIN_MATMUL_FLOPS: usize = 1 << 20;
 
 /// A dense, row-major `f32` matrix.
 ///
@@ -240,14 +261,75 @@ impl Matrix {
     pub fn matvec_into(&self, x: &[f32], y: &mut [f32]) {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         assert_eq!(y.len(), self.rows, "matvec output dimension mismatch");
-        for (r, out) in y.iter_mut().enumerate() {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+        self.record_matvec_traffic("numerics/matvec");
+        self.matvec_rows(x, y, 0);
+    }
+
+    /// Dot products for the row window `row0..row0 + y.len()`, written
+    /// into `y` — the shared inner kernel of [`matvec_into`] and the
+    /// parallel chunks.
+    ///
+    /// Rows advance [`MATVEC_MR`] at a time: each row's accumulator is
+    /// still a single sequential ascending-`k` chain (bit-identical to
+    /// the one-row loop), but the chains are independent, so they
+    /// overlap in the FMA pipeline instead of serializing on one
+    /// accumulator's latency, and every `x[i]` load feeds `MATVEC_MR`
+    /// rows.
+    // enw:hot
+    fn matvec_rows(&self, x: &[f32], y: &mut [f32], row0: usize) {
+        let k = self.cols;
+        let mut r = 0;
+        while r + MATVEC_MR <= y.len() {
+            let base = (row0 + r) * k;
+            let r0 = &self.data[base..base + k];
+            let r1 = &self.data[base + k..base + 2 * k];
+            let r2 = &self.data[base + 2 * k..base + 3 * k];
+            let r3 = &self.data[base + 3 * k..base + 4 * k];
+            let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for (i, xi) in x.iter().enumerate() {
+                a0 += r0[i] * xi;
+                a1 += r1[i] * xi;
+                a2 += r2[i] * xi;
+                a3 += r3[i] * xi;
+            }
+            y[r] = a0;
+            y[r + 1] = a1;
+            y[r + 2] = a2;
+            y[r + 3] = a3;
+            r += MATVEC_MR;
+        }
+        for out in y[r..].iter_mut() {
+            let row = &self.data[(row0 + r) * k..(row0 + r + 1) * k];
             let mut acc = 0.0f32;
             for (w, xi) in row.iter().zip(x) {
                 acc += w * xi;
             }
             *out = acc;
+            r += 1;
         }
+    }
+
+    /// Records the shape-derived span for one matvec-family call:
+    /// 2 flops per crosspoint, operand reads (weights + input vector),
+    /// output writes. Deterministic — pure function of the shape.
+    fn record_matvec_traffic(&self, name: &'static str) {
+        let f = std::mem::size_of::<f32>() as u64;
+        let (rows, cols) = (self.rows as u64, self.cols as u64);
+        enw_trace::record_span_io(name, 2 * rows * cols, f * (rows * cols + cols), f * rows);
+    }
+
+    /// As [`record_matvec_traffic`](Matrix::record_matvec_traffic) for
+    /// the transposed product (reads the `rows`-long drive vector,
+    /// writes the `cols`-long output).
+    fn record_matvec_t_traffic(&self) {
+        let f = std::mem::size_of::<f32>() as u64;
+        let (rows, cols) = (self.rows as u64, self.cols as u64);
+        enw_trace::record_span_io(
+            "numerics/matvec_t",
+            2 * rows * cols,
+            f * (rows * cols + rows),
+            f * cols,
+        );
     }
 
     /// Transposed product `y = Wᵀ · d` (`d` has `rows` entries, `y` has
@@ -279,6 +361,7 @@ impl Matrix {
     pub fn matvec_t_into(&self, d: &[f32], y: &mut [f32]) {
         assert_eq!(d.len(), self.rows, "matvec_t dimension mismatch");
         assert_eq!(y.len(), self.cols, "matvec_t output dimension mismatch");
+        self.record_matvec_t_traffic();
         y.fill(0.0);
         for (r, di) in d.iter().enumerate() {
             if skip_zero_coeff(*di) {
@@ -315,19 +398,14 @@ impl Matrix {
     pub fn par_matvec_into(&self, x: &[f32], y: &mut [f32]) {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         assert_eq!(y.len(), self.rows, "matvec output dimension mismatch");
-        if !enw_parallel::should_parallelize(self.rows * self.cols, PAR_MIN_MATVEC_ELEMS) {
+        let Some(chunk) = enw_parallel::plan_chunks(self.rows, self.cols) else {
             return self.matvec_into(x, y);
-        }
-        let chunk = enw_parallel::adaptive_chunk(self.rows, self.cols);
+        };
+        // Keep MATVEC_MR-row interleave groups intact within a chunk.
+        let chunk = chunk.next_multiple_of(MATVEC_MR);
+        self.record_matvec_traffic("numerics/matvec");
         enw_parallel::for_each_chunk_mut(y, chunk, |start, window| {
-            for (o, r) in window.iter_mut().zip(start..) {
-                let row = &self.data[r * self.cols..(r + 1) * self.cols];
-                let mut acc = 0.0f32;
-                for (w, xi) in row.iter().zip(x) {
-                    acc += w * xi;
-                }
-                *o = acc;
-            }
+            self.matvec_rows(x, window, start);
         });
     }
 
@@ -356,12 +434,12 @@ impl Matrix {
     pub fn par_matvec_t_into(&self, d: &[f32], y: &mut [f32]) {
         assert_eq!(d.len(), self.rows, "matvec_t dimension mismatch");
         assert_eq!(y.len(), self.cols, "matvec_t output dimension mismatch");
-        if !enw_parallel::should_parallelize(self.rows * self.cols, PAR_MIN_MATVEC_ELEMS) {
+        let Some(chunk) = enw_parallel::plan_chunks(self.cols, self.rows) else {
             return self.matvec_t_into(d, y);
-        }
+        };
+        self.record_matvec_t_traffic();
         let cols = self.cols;
         y.fill(0.0);
-        let chunk = enw_parallel::adaptive_chunk(cols, self.rows);
         enw_parallel::for_each_chunk_mut(y, chunk, |c0, window| {
             let c1 = c0 + window.len();
             for (r, di) in d.iter().enumerate() {
@@ -427,6 +505,7 @@ impl Matrix {
     pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
         assert_eq!((out.rows, out.cols), (self.rows, other.cols), "matmul output shape mismatch");
+        self.record_matmul_traffic(other);
         out.data.fill(0.0);
         let flops = self.rows * self.cols * other.cols;
         if flops < BLOCKED_MIN_FLOPS || other.cols < 8 {
@@ -434,6 +513,14 @@ impl Matrix {
         } else {
             self.matmul_block_rows(other, 0..self.rows, &mut out.data);
         }
+    }
+
+    /// Shape-derived span for one matmul call: 2 flops per `m·k·n`
+    /// product term, operand reads (`A` + `B`), output writes.
+    fn record_matmul_traffic(&self, other: &Matrix) {
+        let f = std::mem::size_of::<f32>() as u64;
+        let (m, k, n) = (self.rows as u64, self.cols as u64, other.cols as u64);
+        enw_trace::record_span_io("numerics/matmul", 2 * m * k * n, f * (m * k + k * n), f * m * n);
     }
 
     /// Parallel [`matmul`](Matrix::matmul): rows of the output are split
@@ -462,14 +549,21 @@ impl Matrix {
     // enw:hot
     pub fn par_matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
-        let flops = self.rows * self.cols * other.cols;
-        if !enw_parallel::should_parallelize(flops, PAR_MIN_MATMUL_FLOPS) {
-            return self.matmul_into(other, out);
-        }
-        assert_eq!((out.rows, out.cols), (self.rows, other.cols), "matmul output shape mismatch");
-        out.data.fill(0.0);
         let n = other.cols;
-        let row_chunk = enw_parallel::adaptive_chunk(self.rows, self.cols * n);
+        let Some(row_chunk) = enw_parallel::plan_chunks(self.rows, self.cols * n) else {
+            return self.matmul_into(other, out);
+        };
+        // Chunks must keep MR-row groups intact or every chunk lands in
+        // the microkernel's row-remainder (per-term axpy) path, and each
+        // chunk streams the whole `B` panel set once, so the chunk count
+        // is capped to bound `B` re-streaming (16 chunks still deal 8
+        // slots two-deep). Both adjustments depend only on the problem
+        // size, so determinism holds.
+        let row_chunk =
+            row_chunk.max(self.rows.div_ceil(MATMUL_MAX_CHUNKS)).next_multiple_of(MATMUL_MR);
+        assert_eq!((out.rows, out.cols), (self.rows, other.cols), "matmul output shape mismatch");
+        self.record_matmul_traffic(other);
+        out.data.fill(0.0);
         enw_parallel::for_each_chunk_mut(&mut out.data, row_chunk * n, |start, window| {
             let r0 = start / n;
             self.matmul_block_rows(other, r0..r0 + window.len() / n, window);
@@ -493,78 +587,133 @@ impl Matrix {
         }
     }
 
-    /// Cache-blocked, k-unrolled product over a row range of `self`,
+    /// Cache-blocked, register-tiled product over a row range of `self`,
     /// writing into `out_rows` (the row-major window for those rows).
     ///
     /// Walks `B` in `MATMUL_KC × MATMUL_NC` panels so a panel stays
-    /// cache-resident while every output row reuses it, and unrolls the
-    /// k-loop by 8 to amortize output-row traffic. Both the fused
-    /// 8-term path and the per-term fallback accumulate in ascending-`k`
-    /// order with the shared zero-skip rule, so the result is bitwise
-    /// equal to [`matmul_naive_into`](Matrix::matmul_naive_into). (A
-    /// packed-`Bᵀ` dot-product formulation was measured ~2.5× *slower*
-    /// here: the per-term zero-skip branch defeats autovectorization of
-    /// dot products, while the axpy form keeps vectorizable j-loops.)
+    /// cache-resident, and computes each panel through the
+    /// [`MATMUL_MR`]`×`[`MATMUL_NR`] register microkernel
+    /// ([`matmul_microkernel_mr_nr`](Matrix::matmul_microkernel_mr_nr)):
+    /// the accumulator tile lives in locals across the whole k-panel, so
+    /// output traffic drops from once per `k` step to once per panel and
+    /// every `B` row load is reused by `MATMUL_MR` output rows. Row and
+    /// column remainders fall back to the per-term axpy path. Every path
+    /// accumulates each output element in ascending-`k` order with the
+    /// shared zero-skip rule, so the result is bitwise equal to
+    /// [`matmul_naive_into`](Matrix::matmul_naive_into). (A packed-`Bᵀ`
+    /// dot-product formulation was measured ~2.5× *slower* here: the
+    /// per-term zero-skip branch defeats autovectorization of dot
+    /// products, while the axpy/tile forms keep vectorizable j-loops.)
     fn matmul_block_rows(&self, other: &Matrix, rows: Range<usize>, out_rows: &mut [f32]) {
         let k = self.cols;
         let n = other.cols;
-        debug_assert_eq!(out_rows.len(), (rows.end - rows.start) * n);
+        let nrows = rows.end - rows.start;
+        debug_assert_eq!(out_rows.len(), nrows * n);
         let b = &other.data;
         let mut jb = 0;
         while jb < n {
             let je = (jb + MATMUL_NC).min(n);
-            let w = je - jb;
             let mut kb = 0;
             while kb < k {
                 let ke = (kb + MATMUL_KC).min(k);
-                for (oi, i) in rows.clone().enumerate() {
-                    let arow = &self.data[i * k..(i + 1) * k];
+                let mut oi = 0;
+                while oi + MATMUL_MR <= nrows {
+                    let i = rows.start + oi;
+                    self.matmul_microkernel_mr_nr(b, out_rows, i, oi, kb..ke, jb..je, n);
+                    oi += MATMUL_MR;
+                }
+                // Row remainder (< MR rows): per-term axpy, same
+                // ascending-k order per output element.
+                while oi < nrows {
+                    let arow = &self.data[(rows.start + oi) * k..(rows.start + oi + 1) * k];
                     let orow = &mut out_rows[oi * n + jb..oi * n + je];
-                    let mut kk = kb;
-                    while kk + 8 <= ke {
-                        let al = &arow[kk..kk + 8];
-                        if al.iter().all(|&v| !skip_zero_coeff(v)) {
-                            let b0 = &b[kk * n + jb..kk * n + jb + w];
-                            let b1 = &b[(kk + 1) * n + jb..(kk + 1) * n + jb + w];
-                            let b2 = &b[(kk + 2) * n + jb..(kk + 2) * n + jb + w];
-                            let b3 = &b[(kk + 3) * n + jb..(kk + 3) * n + jb + w];
-                            let b4 = &b[(kk + 4) * n + jb..(kk + 4) * n + jb + w];
-                            let b5 = &b[(kk + 5) * n + jb..(kk + 5) * n + jb + w];
-                            let b6 = &b[(kk + 6) * n + jb..(kk + 6) * n + jb + w];
-                            let b7 = &b[(kk + 7) * n + jb..(kk + 7) * n + jb + w];
-                            for j in 0..w {
-                                let mut acc = orow[j];
-                                acc += al[0] * b0[j];
-                                acc += al[1] * b1[j];
-                                acc += al[2] * b2[j];
-                                acc += al[3] * b3[j];
-                                acc += al[4] * b4[j];
-                                acc += al[5] * b5[j];
-                                acc += al[6] * b6[j];
-                                acc += al[7] * b7[j];
-                                orow[j] = acc;
-                            }
-                        } else {
-                            for (q, &av) in al.iter().enumerate() {
-                                if skip_zero_coeff(av) {
-                                    continue;
-                                }
-                                axpy_row(orow, av, &b[(kk + q) * n + jb..(kk + q) * n + jb + w]);
-                            }
-                        }
-                        kk += 8;
-                    }
-                    while kk < ke {
+                    for kk in kb..ke {
                         let av = arow[kk];
                         if !skip_zero_coeff(av) {
-                            axpy_row(orow, av, &b[kk * n + jb..kk * n + jb + w]);
+                            axpy_row(orow, av, &b[kk * n + jb..kk * n + je]);
                         }
-                        kk += 1;
                     }
+                    oi += 1;
                 }
                 kb = ke;
             }
             jb = je;
+        }
+    }
+
+    /// The register microkernel: accumulates the `MATMUL_MR × MATMUL_NR`
+    /// output tile at `(global row `i`, window row `oi`)` over the
+    /// k-panel `ks`, one `MATMUL_NR`-wide column strip of `js` at a
+    /// time. The accumulator tile is loaded from the output once per
+    /// strip, updated in locals for the whole panel (fixed-size inner
+    /// loops the autovectorizer turns into packed fma), and stored back
+    /// once. Per output element the term order is ascending `k` with the
+    /// per-coefficient zero skip — exactly the naive kernel's fold, so
+    /// the bits match.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn matmul_microkernel_mr_nr(
+        &self,
+        b: &[f32],
+        out_rows: &mut [f32],
+        i: usize,
+        oi: usize,
+        ks: Range<usize>,
+        js: Range<usize>,
+        n: usize,
+    ) {
+        let k = self.cols;
+        let a0 = &self.data[i * k..(i + 1) * k];
+        let a1 = &self.data[(i + 1) * k..(i + 2) * k];
+        let a2 = &self.data[(i + 2) * k..(i + 3) * k];
+        let a3 = &self.data[(i + 3) * k..(i + 4) * k];
+        let mut j = js.start;
+        while j + MATMUL_NR <= js.end {
+            let mut acc = [[0.0f32; MATMUL_NR]; MATMUL_MR];
+            for (r, accr) in acc.iter_mut().enumerate() {
+                accr.copy_from_slice(&out_rows[(oi + r) * n + j..(oi + r) * n + j + MATMUL_NR]);
+            }
+            for kk in ks.clone() {
+                let bk = &b[kk * n + j..kk * n + j + MATMUL_NR];
+                let (c0, c1, c2, c3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+                if !skip_zero_coeff(c0) {
+                    for (av, bv) in acc[0].iter_mut().zip(bk) {
+                        *av += c0 * bv;
+                    }
+                }
+                if !skip_zero_coeff(c1) {
+                    for (av, bv) in acc[1].iter_mut().zip(bk) {
+                        *av += c1 * bv;
+                    }
+                }
+                if !skip_zero_coeff(c2) {
+                    for (av, bv) in acc[2].iter_mut().zip(bk) {
+                        *av += c2 * bv;
+                    }
+                }
+                if !skip_zero_coeff(c3) {
+                    for (av, bv) in acc[3].iter_mut().zip(bk) {
+                        *av += c3 * bv;
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                out_rows[(oi + r) * n + j..(oi + r) * n + j + MATMUL_NR].copy_from_slice(accr);
+            }
+            j += MATMUL_NR;
+        }
+        // Column remainder (< NR wide): per-term axpy on the tail strip,
+        // still ascending k per element.
+        if j < js.end {
+            for (r, arow) in [a0, a1, a2, a3].into_iter().enumerate() {
+                let orow = &mut out_rows[(oi + r) * n + j..(oi + r) * n + js.end];
+                for kk in ks.clone() {
+                    let av = arow[kk];
+                    if !skip_zero_coeff(av) {
+                        axpy_row(orow, av, &b[kk * n + j..kk * n + js.end]);
+                    }
+                }
+            }
         }
     }
 

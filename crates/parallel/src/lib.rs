@@ -2,17 +2,28 @@
 //!
 //! Every hot loop in the workspace — crossbar MVM rows, TCAM arrays in a
 //! bank, embedding tables, few-shot episodes — is data-parallel over an
-//! index range. This module runs such loops on a scoped worker pool
-//! (`std::thread::scope`, no unsafe, no external crates) while keeping a
-//! guarantee the numeric code depends on:
+//! index range. This module runs such loops on a **persistent, lazily
+//! started worker pool** ([`pool`]): workers are spawned once on first
+//! use, park on a condvar between jobs, and keep their thread-local
+//! scratch pools warm, so the steady-state cost of a parallel section is
+//! an enqueue and an unpark — no thread spawn/join on the hot path. The
+//! runtime keeps a guarantee the numeric code depends on:
 //!
 //! **Determinism.** Work is split at *fixed chunk boundaries* derived
 //! only from the problem size and a caller-chosen chunk length — never
-//! from the thread count. Each chunk is computed exactly as the serial
-//! code would compute it, and per-chunk results are handed back in chunk
-//! order. A caller that folds them left-to-right therefore performs the
+//! from the thread count. Chunk *i* is always owned by participant slot
+//! `i % slots` (a static deal, no work stealing), computed exactly as
+//! the serial code would compute it, and handed back in chunk order. A
+//! caller that folds the results left-to-right therefore performs the
 //! same floating-point operations in the same order as the serial loop,
 //! so results are bit-identical for 1, 3, or 64 threads.
+//!
+//! **One work-estimate model.** [`plan_chunks`] is the single gate for
+//! "should this call go parallel, and at what granularity": it sizes
+//! chunks for [`TARGET_CHUNK_WORK`] abstract units and only returns a
+//! plan when the problem yields at least two such chunks. Kernels either
+//! get `None` (run serial) or a chunk size that is guaranteed to split —
+//! the gate and the granularity can no longer disagree.
 //!
 //! The worker count comes from, in priority order:
 //! 1. a thread-local override installed by [`with_threads`] (used by
@@ -21,9 +32,14 @@
 //! 3. [`std::thread::available_parallelism`].
 //!
 //! With one worker every entry point degenerates to the plain serial
-//! loop on the calling thread — no pool, no overhead.
+//! loop on the calling thread — no pool interaction, no overhead. The
+//! same degeneration applies to parallel sections reached from *inside*
+//! a pool worker (nested parallelism runs serial inline; see [`pool`]).
 
+pub mod pool;
 pub mod scratch;
+
+pub use pool::prewarm;
 
 use std::cell::Cell;
 use std::ops::Range;
@@ -49,7 +65,16 @@ pub fn max_threads() -> usize {
             }
         }
     }
-    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    machine_parallelism()
+}
+
+/// [`std::thread::available_parallelism`], resolved once per process.
+/// The raw call re-reads cgroup quota files on Linux — several heap
+/// allocations and microseconds of syscalls — far too heavy for a
+/// per-kernel-dispatch gate.
+fn machine_parallelism() -> usize {
+    static MACHINE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *MACHINE.get_or_init(|| thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
 }
 
 /// Runs `f` with the worker count pinned to `n` on this thread.
@@ -68,14 +93,60 @@ pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
-/// Splits `0..n` at fixed `chunk`-sized boundaries.
-fn chunk_ranges(n: usize, chunk: usize) -> Vec<Range<usize>> {
-    let chunk = chunk.max(1);
-    (0..n.div_ceil(chunk)).map(|c| c * chunk..((c + 1) * chunk).min(n)).collect()
+/// Raw-pointer writer for per-chunk result slots. Sound because the
+/// static chunk deal gives every index to exactly one participant, and
+/// the owning `Vec` outlives the job (the pool blocks until all slots
+/// finish).
+struct SlotWriter<R>(*mut Option<R>);
+
+// SAFETY: distinct job slots write distinct indices; R crosses threads.
+unsafe impl<R: Send> Send for SlotWriter<R> {}
+unsafe impl<R: Send> Sync for SlotWriter<R> {}
+
+impl<R> SlotWriter<R> {
+    /// # Safety
+    ///
+    /// `idx` must be in bounds of the backing `Vec` and owned by exactly
+    /// one job slot, and the `Vec` must outlive the job.
+    unsafe fn write(&self, idx: usize, value: R) {
+        *self.0.add(idx) = Some(value);
+    }
 }
 
-/// Applies `f` to each fixed-boundary chunk of `0..n`, in parallel, and
-/// returns the per-chunk results **in chunk order**.
+/// Raw-pointer base for handing disjoint `&mut` windows of one slice to
+/// different job slots (the pointer equivalent of `chunks_mut`).
+struct DataPtr<T>(*mut T);
+
+// SAFETY: windows derived from this pointer are disjoint per the static
+// chunk deal; sending &mut access of T across threads needs T: Send.
+unsafe impl<T: Send> Send for DataPtr<T> {}
+unsafe impl<T: Send> Sync for DataPtr<T> {}
+
+impl<T> DataPtr<T> {
+    /// # Safety
+    ///
+    /// `start..start + len` must be in bounds of the backing slice,
+    /// disjoint from every other live window, and the slice must outlive
+    /// the job.
+    #[allow(clippy::mut_from_ref)] // windows are disjoint per the chunk deal
+    unsafe fn window(&self, start: usize, len: usize) -> &mut [T] {
+        std::slice::from_raw_parts_mut(self.0.add(start), len)
+    }
+}
+
+/// Participant count for a problem with `nchunks` chunks: 1 (serial)
+/// unless multiple threads are available, we are not already inside a
+/// pool worker, and there is more than one chunk to hand out.
+fn job_slots(nchunks: usize) -> usize {
+    if pool::is_pool_worker() {
+        return 1;
+    }
+    max_threads().min(nchunks).max(1)
+}
+
+/// Applies `f` to each fixed-boundary chunk of `0..n`, in parallel on
+/// the persistent pool, and returns the per-chunk results **in chunk
+/// order**.
 ///
 /// Chunk boundaries depend only on `n` and `chunk`, so the result vector
 /// is identical for any worker count; fold it left-to-right for a
@@ -85,48 +156,32 @@ where
     R: Send,
     F: Fn(Range<usize>) -> R + Sync,
 {
-    let ranges = chunk_ranges(n, chunk);
-    let workers = max_threads().min(ranges.len());
-    if workers <= 1 {
-        return ranges.into_iter().map(f).collect();
+    let chunk = chunk.max(1);
+    let nchunks = n.div_ceil(chunk);
+    let range = move |c: usize| c * chunk..((c + 1) * chunk).min(n);
+    let slots = job_slots(nchunks);
+    if slots <= 1 {
+        return (0..nchunks).map(|c| f(range(c))).collect();
     }
-    let nchunks = ranges.len();
-    let ranges = &ranges;
-    let f = &f;
     let mut results: Vec<Option<R>> = (0..nchunks).map(|_| None).collect();
-    thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                s.spawn(move || {
-                    // Round-robin chunk claim: static, no work stealing.
-                    let mut out = Vec::new();
-                    let mut c = w;
-                    while c < nchunks {
-                        out.push((c, f(ranges[c].clone())));
-                        c += workers;
-                    }
-                    out
-                })
-            })
-            .collect();
-        for h in handles {
-            // Re-raise a worker panic with its original payload rather
-            // than wrapping it in a second panic message.
-            let chunk_results = match h.join() {
-                Ok(rs) => rs,
-                Err(payload) => std::panic::resume_unwind(payload),
-            };
-            for (c, r) in chunk_results {
-                results[c] = Some(r);
-            }
+    let out = SlotWriter(results.as_mut_ptr());
+    let f = &f;
+    pool::run_job(slots, &move |slot| {
+        let mut c = slot;
+        while c < nchunks {
+            let r = f(range(c));
+            // SAFETY: chunk c belongs to this slot alone (c % slots ==
+            // slot), and `results` outlives the job.
+            unsafe { out.write(c, r) };
+            c += slots;
         }
     });
     results.into_iter().map(|r| r.expect("chunk not computed")).collect()
 }
 
-/// Like [`map_chunks`], but hands each worker a disjoint `&mut` window
-/// of `data` (split at fixed `chunk` boundaries) plus the window's start
-/// offset. Per-chunk results come back in chunk order.
+/// Like [`map_chunks`], but hands each participant a disjoint `&mut`
+/// window of `data` (split at fixed `chunk` boundaries) plus the
+/// window's start offset. Per-chunk results come back in chunk order.
 pub fn for_each_chunk_mut<T, R, F>(data: &mut [T], chunk: usize, f: F) -> Vec<R>
 where
     T: Send,
@@ -134,76 +189,97 @@ where
     F: Fn(usize, &mut [T]) -> R + Sync,
 {
     let chunk = chunk.max(1);
-    let nchunks = data.len().div_ceil(chunk);
-    let workers = max_threads().min(nchunks);
-    if workers <= 1 {
+    let len = data.len();
+    let nchunks = len.div_ceil(chunk);
+    let slots = job_slots(nchunks);
+    if slots <= 1 {
         return data
             .chunks_mut(chunk)
             .enumerate()
             .map(|(c, window)| f(c * chunk, window))
             .collect();
     }
-    // Deal the disjoint windows round-robin onto per-worker queues.
-    let mut queues: Vec<Vec<(usize, usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
-    for (c, window) in data.chunks_mut(chunk).enumerate() {
-        queues[c % workers].push((c, c * chunk, window));
-    }
-    let f = &f;
     let mut results: Vec<Option<R>> = (0..nchunks).map(|_| None).collect();
-    thread::scope(|s| {
-        let handles: Vec<_> = queues
-            .into_iter()
-            .map(|q| {
-                s.spawn(move || {
-                    q.into_iter()
-                        .map(|(c, start, window)| (c, f(start, window)))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            // Re-raise a worker panic with its original payload rather
-            // than wrapping it in a second panic message.
-            let chunk_results = match h.join() {
-                Ok(rs) => rs,
-                Err(payload) => std::panic::resume_unwind(payload),
-            };
-            for (c, r) in chunk_results {
-                results[c] = Some(r);
-            }
+    let out = SlotWriter(results.as_mut_ptr());
+    let base = DataPtr(data.as_mut_ptr());
+    let f = &f;
+    pool::run_job(slots, &move |slot| {
+        let mut c = slot;
+        while c < nchunks {
+            let start = c * chunk;
+            let end = ((c + 1) * chunk).min(len);
+            // SAFETY: fixed chunk boundaries make the windows disjoint,
+            // each chunk index belongs to exactly one slot, and `data`
+            // outlives the job.
+            let window = unsafe { base.window(start, end - start) };
+            let r = f(start, window);
+            // SAFETY: as in `map_chunks`.
+            unsafe { out.write(c, r) };
+            c += slots;
         }
     });
     results.into_iter().map(|r| r.expect("chunk not computed")).collect()
 }
 
-/// True when a parallel entry point should bother spawning: more than
-/// one worker is available *and* the problem clears the caller's
-/// serial-dispatch threshold.
-pub fn should_parallelize(work_items: usize, threshold: usize) -> bool {
-    work_items >= threshold && max_threads() > 1
-}
-
-/// Abstract per-chunk work (≈ scalar operations) that [`adaptive_chunk`]
+/// Abstract per-chunk work (≈ scalar operations) that [`plan_chunks`]
 /// aims for. Large enough to amortise chunk dispatch and the per-chunk
 /// result slot, small enough that a big kernel still splits into many
 /// chunks for load balancing.
-const TARGET_CHUNK_WORK: usize = 1 << 15;
+pub const TARGET_CHUNK_WORK: usize = 1 << 15;
 
 /// Sizes a chunk for `n` items that each cost roughly `work_per_item`
 /// abstract units (≈ scalar ops), targeting [`TARGET_CHUNK_WORK`] per
-/// chunk.
+/// chunk. The granularity half of [`plan_chunks`]; use that instead
+/// unless the call site has already decided to go parallel.
 ///
-/// Earlier kernels used fixed chunk constants, which made cheap rows
-/// over-chunked (dispatch-bound — the flat 1→8 scaling visible in
-/// `BENCH_parallel_kernels.json`) and expensive rows under-split. The
-/// returned size depends only on the problem shape, never on the worker
-/// count, so chunk boundaries — and therefore reduction order — remain
-/// bit-deterministic at any `ENW_THREADS`.
+/// The returned size depends only on the problem shape, never on the
+/// worker count, so chunk boundaries — and therefore reduction order —
+/// remain bit-deterministic at any `ENW_THREADS`.
 pub fn adaptive_chunk(n: usize, work_per_item: usize) -> usize {
     if n == 0 {
         return 1;
     }
     (TARGET_CHUNK_WORK / work_per_item.max(1)).clamp(1, n)
+}
+
+/// The single go-parallel decision for a loop of `n` items costing
+/// `work_per_item` abstract units (≈ scalar ops) each: `Some(chunk)`
+/// when the loop should run on the pool split at `chunk`-item
+/// boundaries, `None` when it should stay serial.
+///
+/// The gate and the granularity share one model, so they cannot
+/// disagree: a plan is returned only when the total estimated work fills
+/// at least two [`TARGET_CHUNK_WORK`]-sized chunks, and the returned
+/// chunk size is exactly [`adaptive_chunk`]'s — by construction a `Some`
+/// always splits into ≥ 2 chunks. (The previous pair of independent
+/// heuristics, `should_parallelize` + `adaptive_chunk`, could pass the
+/// parallelize threshold yet produce a single chunk, paying dispatch for
+/// no split.) `None` also covers single-thread configurations and calls
+/// made from inside a pool worker (nested sections run serial inline).
+///
+/// The *decision* may depend on the thread count; the chunk *size* never
+/// does, so outputs stay bit-identical whichever branch runs.
+pub fn plan_chunks(n: usize, work_per_item: usize) -> Option<usize> {
+    if n == 0 || pool::is_pool_worker() {
+        return None;
+    }
+    // Work check before the thread-count check: small loops bail out on
+    // shape arithmetic alone, so sub-threshold hot paths (single-query
+    // inference, small tiles) never pay an env-var or `OnceLock` read.
+    let total = n.saturating_mul(work_per_item.max(1));
+    if total < 2 * TARGET_CHUNK_WORK {
+        return None;
+    }
+    if max_threads() <= 1 {
+        return None;
+    }
+    let chunk = adaptive_chunk(n, work_per_item);
+    // Defensive: the gate above already implies >= 2 chunks except at
+    // saturation edges (e.g. n == 1 with work_per_item == usize::MAX).
+    if n.div_ceil(chunk) < 2 {
+        return None;
+    }
+    Some(chunk)
 }
 
 #[cfg(test)]
@@ -212,10 +288,10 @@ mod tests {
 
     #[test]
     fn chunk_boundaries_are_fixed() {
-        assert_eq!(chunk_ranges(10, 4), vec![0..4, 4..8, 8..10]);
-        assert_eq!(chunk_ranges(4, 4), vec![0..4]);
-        assert_eq!(chunk_ranges(0, 4), Vec::<Range<usize>>::new());
-        assert_eq!(chunk_ranges(3, 0), vec![0..1, 1..2, 2..3]);
+        assert_eq!(map_chunks(10, 4, |r| r), vec![0..4, 4..8, 8..10]);
+        assert_eq!(map_chunks(4, 4, |r| r), vec![0..4]);
+        assert_eq!(map_chunks(0, 4, |r| r), Vec::<Range<usize>>::new());
+        assert_eq!(map_chunks(3, 0, |r| r), vec![0..1, 1..2, 2..3]);
     }
 
     #[test]
@@ -260,6 +336,23 @@ mod tests {
     }
 
     #[test]
+    fn nested_parallel_sections_run_serial_inline() {
+        // An inner map_chunks reached from inside a pool job must not
+        // re-enter the pool (deadlock) — it runs serial and still
+        // produces chunk-ordered results.
+        let outer = with_threads(4, || {
+            map_chunks(4, 1, |r| {
+                let inner = map_chunks(6, 2, |ir| ir.start);
+                (r.start, inner)
+            })
+        });
+        for (c, (start, inner)) in outer.iter().enumerate() {
+            assert_eq!(*start, c);
+            assert_eq!(*inner, vec![0, 2, 4]);
+        }
+    }
+
+    #[test]
     fn with_threads_overrides_and_restores() {
         let inner = with_threads(3, || {
             let nested = with_threads(5, max_threads);
@@ -291,17 +384,6 @@ mod tests {
     }
 
     #[test]
-    fn should_parallelize_respects_threshold_and_override() {
-        with_threads(8, || {
-            assert!(should_parallelize(1000, 100));
-            assert!(!should_parallelize(10, 100));
-        });
-        with_threads(1, || {
-            assert!(!should_parallelize(1000, 100));
-        });
-    }
-
-    #[test]
     fn adaptive_chunk_tracks_work_estimate() {
         // Cheap items coalesce into big chunks; expensive items split.
         assert_eq!(adaptive_chunk(1 << 20, 1), TARGET_CHUNK_WORK);
@@ -314,6 +396,68 @@ mod tests {
         let at1 = with_threads(1, || adaptive_chunk(4096, 100));
         let at8 = with_threads(8, || adaptive_chunk(4096, 100));
         assert_eq!(at1, at8);
+    }
+
+    #[test]
+    fn plan_chunks_gate_and_granularity_agree() {
+        with_threads(8, || {
+            // Any Some(chunk) must split into at least two chunks and
+            // must equal the adaptive size — the two halves of the model
+            // cannot disagree.
+            for (n, wpi) in [
+                (1usize, 1usize),
+                (2, TARGET_CHUNK_WORK),
+                (3, TARGET_CHUNK_WORK - 1),
+                (1 << 16, 1),
+                (65, 1 << 10),
+                (1000, 64),
+                (7, usize::MAX), // saturating total must not wrap to a refusal
+            ] {
+                match plan_chunks(n, wpi) {
+                    Some(chunk) => {
+                        assert_eq!(chunk, adaptive_chunk(n, wpi), "n={n} wpi={wpi}");
+                        assert!(n.div_ceil(chunk) >= 2, "single-chunk plan for n={n} wpi={wpi}");
+                    }
+                    None => {
+                        let total = n.saturating_mul(wpi.max(1));
+                        assert!(total < 2 * TARGET_CHUNK_WORK, "refused big job n={n} wpi={wpi}");
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn plan_chunks_boundary_cases() {
+        with_threads(8, || {
+            // Exactly at the two-chunk threshold: 2 items of exactly
+            // TARGET_CHUNK_WORK each parallelize with chunk == 1 ...
+            assert_eq!(plan_chunks(2, TARGET_CHUNK_WORK), Some(1));
+            // ... one unit below the threshold stays serial.
+            assert_eq!(plan_chunks(2, TARGET_CHUNK_WORK - 1), None);
+            // Cheap items: the first Some appears once two full chunks
+            // of TARGET_CHUNK_WORK singles exist.
+            assert_eq!(plan_chunks(2 * TARGET_CHUNK_WORK - 1, 1), None);
+            assert_eq!(plan_chunks(2 * TARGET_CHUNK_WORK, 1), Some(TARGET_CHUNK_WORK));
+            // Degenerate shapes never plan.
+            assert_eq!(plan_chunks(0, 1000), None);
+            assert_eq!(plan_chunks(0, 0), None);
+            // One giant item cannot split: chunk would be 1 == n.
+            assert_eq!(plan_chunks(1, usize::MAX), None);
+        });
+        // Single-thread configurations never plan, whatever the size.
+        with_threads(1, || {
+            assert_eq!(plan_chunks(1 << 20, 1 << 10), None);
+        });
+    }
+
+    #[test]
+    fn plan_chunks_is_none_inside_pool_workers() {
+        let plans: Vec<Option<usize>> =
+            with_threads(4, || pool::broadcast(|| plan_chunks(1 << 20, 64)));
+        assert!(plans[0].is_some(), "caller thread should plan");
+        assert!(plans.len() >= 2, "pool should have spawned workers");
+        assert!(plans[1..].iter().all(|p| p.is_none()), "workers must run nested loops serial");
     }
 
     #[test]

@@ -20,16 +20,15 @@ use enw_numerics::rng::Rng64;
 /// across tables (lookup counts differ), so fine chunks balance best.
 const PAR_TABLE_CHUNK: usize = 1;
 
-/// Minimum gathered elements (`total lookups x embedding_dim`) before a
-/// multi-table pool fans out to worker threads.
-const PAR_MIN_GATHER_ELEMS: usize = 1 << 14;
+/// Work units charged per gathered element (`lookups × embedding_dim`)
+/// when gating the multi-table pool through
+/// `enw_parallel::plan_chunks`: index decode, row load, accumulate and
+/// store are all memory-bound, so one element costs a few units, not
+/// one.
+const GATHER_WORK_PER_ELEM: usize = 4;
 
 /// Queries handled per parallel chunk in [`RecModel::predict_batch`].
 const PAR_BATCH_CHUNK: usize = 8;
-
-/// Minimum batch size before `predict_batch` fans out (cloning the MLP
-/// stacks per worker has a fixed cost worth amortizing).
-const PAR_MIN_BATCH: usize = 2 * PAR_BATCH_CHUNK;
 
 /// How many lookups ahead [`EmbeddingTable::lookup_pool`] prefetches.
 /// Swept on the reference host: 8 hides most of the random-row DRAM
@@ -111,7 +110,12 @@ impl EmbeddingTable {
         assert!(!indices.is_empty(), "empty multi-hot lookup");
         let dim = self.dim();
         assert_eq!(pooled.len(), dim, "pooled output width mismatch");
-        enw_trace::record_span("recsys/gather_pool", (indices.len() * dim) as u64);
+        enw_trace::record_span_io(
+            "recsys/gather_pool",
+            (indices.len() * dim) as u64,
+            (4 * indices.len() * dim) as u64,
+            (4 * dim) as u64,
+        );
         pooled.fill(0.0);
         for &i in indices.iter().take(PF_DISTANCE) {
             self.prefetch_row(i);
@@ -119,21 +123,28 @@ impl EmbeddingTable {
         let mut octs = indices.chunks_exact(8);
         let mut seen = 0usize;
         for oct in &mut octs {
-            for (k, _) in oct.iter().enumerate() {
+            // Software pipeline: issue this iteration's look-ahead
+            // prefetches before touching the current rows, so their DRAM
+            // fetches overlap the summation below.
+            for k in 0..8 {
                 if let Some(&ahead) = indices.get(seen + k + PF_DISTANCE) {
                     self.prefetch_row(ahead);
                 }
             }
             seen += 8;
+            // Pre-slice every row to `dim` so the inner loop indexes
+            // eight slices whose lengths provably match `pooled` — the
+            // per-element bounds checks hoist out and the d-loop
+            // vectorizes.
             let rows: [&[f32]; 8] = [
-                self.weights.row(oct[0]),
-                self.weights.row(oct[1]),
-                self.weights.row(oct[2]),
-                self.weights.row(oct[3]),
-                self.weights.row(oct[4]),
-                self.weights.row(oct[5]),
-                self.weights.row(oct[6]),
-                self.weights.row(oct[7]),
+                &self.weights.row(oct[0])[..dim],
+                &self.weights.row(oct[1])[..dim],
+                &self.weights.row(oct[2])[..dim],
+                &self.weights.row(oct[3])[..dim],
+                &self.weights.row(oct[4])[..dim],
+                &self.weights.row(oct[5])[..dim],
+                &self.weights.row(oct[6])[..dim],
+                &self.weights.row(oct[7])[..dim],
             ];
             for (d, p) in pooled.iter_mut().enumerate() {
                 let mut acc = *p;
@@ -406,7 +417,12 @@ impl RecModel {
     /// Panics if the feature counts don't match the configuration.
     pub fn predict(&mut self, dense: &[f32], sparse: &[Vec<usize>]) -> f32 {
         let gathered: usize = sparse.iter().map(Vec::len).sum::<usize>() * self.cfg.embedding_dim;
-        let parallel_pool = enw_parallel::should_parallelize(gathered, PAR_MIN_GATHER_ELEMS);
+        // Gate through the shared work-estimate model (per-item work =
+        // average gathered elements per table); chunking stays at
+        // `PAR_TABLE_CHUNK` tables because pooling work is uneven across
+        // tables and fine chunks balance best.
+        let per_table = GATHER_WORK_PER_ELEM * gathered / self.tables.len().max(1);
+        let parallel_pool = enw_parallel::plan_chunks(self.tables.len(), per_table).is_some();
         Self::predict_core(
             &self.cfg,
             &self.tables,
@@ -463,8 +479,19 @@ impl RecModel {
         Self::interact_into(cfg, &dense_latent, &pooled, &mut interacted);
         let mut logit = enw_parallel::scratch::take_f32(1);
         top.predict_into(&interacted, &mut logit);
-        enw_trace::record_span("recsys/mlp", Self::mlp_work(cfg));
+        let work = Self::mlp_work(cfg);
+        // Weight traffic dominates MLP reads (one f32 per MAC); writes
+        // are the per-layer activation vectors.
+        enw_trace::record_span_io("recsys/mlp", work, 4 * work, 4 * Self::mlp_out_elems(cfg));
         1.0 / (1.0 + (-logit[0]).exp())
+    }
+
+    /// Elements written across both MLP stacks (per-layer activations
+    /// plus the final logit) — the deterministic write traffic paired
+    /// with [`mlp_work`](RecModel::mlp_work).
+    fn mlp_out_elems(cfg: &RecModelConfig) -> u64 {
+        let hidden: usize = cfg.bottom_mlp.iter().chain(&cfg.top_mlp).sum();
+        (hidden + 1) as u64
     }
 
     /// Multiply–accumulates in one pass through both MLP stacks — the
@@ -482,6 +509,16 @@ impl RecModel {
             prev = h;
         }
         work + prev as u64 // final logit layer
+    }
+
+    /// Deterministic per-query work estimate (the MLP multiply–
+    /// accumulates of [`mlp_work`](RecModel::mlp_work)) — the unit
+    /// [`predict_batch_into`](RecModel::predict_batch_into) feeds
+    /// `enw_parallel::plan_chunks`. Exposed so callers staging batches
+    /// for this model can consult the same gate before paying batch
+    /// set-up costs.
+    pub fn query_work(&self) -> u64 {
+        Self::mlp_work(&self.cfg)
     }
 
     /// Convenience: predict from a generated [`SparseQuery`].
@@ -516,7 +553,10 @@ impl RecModel {
     /// counts mismatch the configuration.
     pub fn predict_batch_into(&mut self, queries: &[SparseQuery], out: &mut [f32]) {
         assert_eq!(out.len(), queries.len(), "one output slot per query");
-        if !enw_parallel::should_parallelize(queries.len(), PAR_MIN_BATCH) {
+        // Per-query work is dominated by the MLP stacks; the estimate is
+        // config-derived so the gate (and thus the execution schedule) is
+        // deterministic for a given model and batch size.
+        if enw_parallel::plan_chunks(queries.len(), Self::mlp_work(&self.cfg) as usize).is_none() {
             for (slot, q) in out.iter_mut().zip(queries) {
                 *slot = self.predict_query(q);
             }

@@ -33,9 +33,6 @@ use enw_recsys::trace::TraceGenerator;
 /// Requests per parallel chunk when an MLP lane fans a batch out.
 const PAR_CHUNK: usize = 8;
 
-/// Minimum batch size before an MLP lane bothers spawning workers.
-const PAR_MIN_BATCH: usize = 2 * PAR_CHUNK;
-
 /// Random post-training-like MLP weights for `dims` (values in
 /// `[-0.5, 0.5]`, inside the PCM programmable range), shared by the
 /// digital lane and the crossbar lane so both serve the *same* model.
@@ -84,7 +81,10 @@ fn mlp_serve_into(layers: &[Matrix], in_dim: usize, batch: &[Request], out: &mut
         assert!(w == in_dim, "feature width {w} does not match lane input {in_dim}");
     }
     let feature = |i: usize| batch[i].payload.features().unwrap_or(&[]);
-    if !parallel::should_parallelize(batch.len(), PAR_MIN_BATCH) {
+    // Per-request work = the lane's MLP multiply–accumulates, so the
+    // shared `plan_chunks` gate sees the real batch cost.
+    let per_req: usize = layers.iter().map(|w| w.rows() * w.cols()).sum();
+    if parallel::plan_chunks(batch.len(), per_req).is_none() {
         out.extend((0..batch.len()).map(|i| Output::Scores(mlp_forward(layers, feature(i)))));
         return;
     }
@@ -404,7 +404,7 @@ impl Backend for RecsysBackend {
         // Large batches clone the queries once into a contiguous slice so
         // the batched predictor can fan chunks out to workers; both paths
         // are bit-identical (the batched serial kernel is the same code).
-        if !parallel::should_parallelize(batch.len(), PAR_MIN_BATCH) {
+        if parallel::plan_chunks(batch.len(), self.model.query_work() as usize).is_none() {
             for r in batch {
                 let q = r.payload.rec_query();
                 assert!(q.is_some(), "recsys lane got a non-recsys payload");

@@ -242,6 +242,9 @@ impl Server {
     }
 
     fn run_loop(mut self, expected: usize, reqs: impl Iterator<Item = Request>) -> RunReport {
+        // Spin up the shared worker pool before the first batch closes,
+        // so no serving-path latency sample pays thread start-up cost.
+        enw_parallel::prewarm(enw_parallel::max_threads());
         let mut reqs = reqs.peekable();
         let mut responses: Vec<Response> = Vec::with_capacity(expected);
         loop {

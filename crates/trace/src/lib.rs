@@ -75,7 +75,8 @@ pub mod report;
 
 pub use histogram::Histogram;
 pub use recorder::{
-    counter_add, record_span, record_value, reset, span, take_report, Span, SpanStat,
+    counter_add, flush_local, record_span, record_span_io, record_value, reset, span, take_report,
+    Span, SpanStat,
 };
 pub use report::{CounterEntry, HistEntry, SpanEntry, TraceEvent, TraceReport};
 

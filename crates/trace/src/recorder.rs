@@ -28,6 +28,13 @@ pub struct SpanStat {
     /// [`record_span`] (element counts, modeled nanoseconds — the
     /// deterministic attribution currency).
     pub work: u64,
+    /// Total bytes the instrumented kernel read, attributed via
+    /// [`Span::add_io`] / [`record_span_io`]. A pure function of the
+    /// operand shapes (rows × cols × element size), never of the memory
+    /// system, so it is deterministic like `work`.
+    pub bytes_read: u64,
+    /// Total bytes the instrumented kernel wrote (see `bytes_read`).
+    pub bytes_written: u64,
 }
 
 /// One recorder's worth of data (also the global merge target).
@@ -56,6 +63,8 @@ impl Sink {
             t.count += s.count;
             t.clock_ns += s.clock_ns;
             t.work += s.work;
+            t.bytes_read += s.bytes_read;
+            t.bytes_written += s.bytes_written;
         }
         for (name, v) in self.counters {
             *target.counters.entry(name).or_default() += v;
@@ -102,6 +111,8 @@ pub struct Span {
     name: &'static str,
     start_ns: u64,
     work: Cell<u64>,
+    bytes_read: Cell<u64>,
+    bytes_written: Cell<u64>,
     live: bool,
 }
 
@@ -118,6 +129,17 @@ impl Span {
             self.work.set(self.work.get().saturating_add(units));
         }
     }
+
+    /// Attributes deterministic data traffic to this span entry: bytes
+    /// the kernel read from its operands and bytes it wrote to its
+    /// outputs, computed from the operand shapes (so reruns record the
+    /// same figures bit for bit).
+    pub fn add_io(&self, read: u64, written: u64) {
+        if self.live {
+            self.bytes_read.set(self.bytes_read.get().saturating_add(read));
+            self.bytes_written.set(self.bytes_written.get().saturating_add(written));
+        }
+    }
 }
 
 impl Drop for Span {
@@ -127,6 +149,7 @@ impl Drop for Span {
         }
         let dur_ns = now_ns().saturating_sub(self.start_ns);
         let work = self.work.get();
+        let (bytes_read, bytes_written) = (self.bytes_read.get(), self.bytes_written.get());
         let full = mode() == TraceMode::Full;
         let (name, start_ns) = (self.name, self.start_ns);
         with_local(|sink| {
@@ -134,6 +157,8 @@ impl Drop for Span {
             stat.count += 1;
             stat.clock_ns += dur_ns;
             stat.work += work;
+            stat.bytes_read += bytes_read;
+            stat.bytes_written += bytes_written;
             if full {
                 sink.events.push(TraceEvent { name, start_ns, dur_ns, work });
             }
@@ -143,15 +168,29 @@ impl Drop for Span {
 
 /// Opens a named span; the returned guard records when it drops.
 pub fn span(name: &'static str) -> Span {
-    if !enabled() {
-        return Span { name, start_ns: 0, work: Cell::new(0), live: false };
+    let live = enabled();
+    Span {
+        name,
+        start_ns: if live { now_ns() } else { 0 },
+        work: Cell::new(0),
+        bytes_read: Cell::new(0),
+        bytes_written: Cell::new(0),
+        live,
     }
-    Span { name, start_ns: now_ns(), work: Cell::new(0), live: true }
 }
 
 /// One-shot span: records a single entry of `name` carrying `work`
 /// units and no clock time. The cheap form kernel hot paths use.
 pub fn record_span(name: &'static str, work: u64) {
+    record_span_io(name, work, 0, 0);
+}
+
+/// One-shot span carrying `work` units plus deterministic byte traffic
+/// (`bytes_read` from operands, `bytes_written` to outputs). The figures
+/// must derive from operand shapes only, so the recorded traffic — and
+/// the arithmetic-intensity column in the summary table — is identical
+/// on every rerun.
+pub fn record_span_io(name: &'static str, work: u64, bytes_read: u64, bytes_written: u64) {
     if !enabled() {
         return;
     }
@@ -161,6 +200,8 @@ pub fn record_span(name: &'static str, work: u64) {
         let stat = sink.spans.entry(name).or_default();
         stat.count += 1;
         stat.work += work;
+        stat.bytes_read += bytes_read;
+        stat.bytes_written += bytes_written;
         if full {
             sink.events.push(TraceEvent { name, start_ns, dur_ns: 0, work });
         }
@@ -184,6 +225,18 @@ pub fn record_value(name: &'static str, v: u64) {
 }
 
 /// Merges the calling thread's sink into the global one.
+///
+/// Threads that exit do this automatically (merge-on-join). Threads that
+/// *never* exit — the persistent `enw-parallel` pool workers — must call
+/// this explicitly when a parallel job finishes, or their recordings
+/// would sit invisible in thread-local state forever. The merge is
+/// commutative (`u64` sums, histogram bucket adds, sorted events), so
+/// flushing per job instead of per thread-lifetime changes nothing in
+/// the totals.
+pub fn flush_local() {
+    flush_thread();
+}
+
 fn flush_thread() {
     let _ = LOCAL.try_with(|l| {
         if let Ok(mut guard) = l.try_borrow_mut() {
@@ -257,6 +310,42 @@ mod tests {
     }
 
     #[test]
+    fn span_io_accumulates_and_merges() {
+        let report = with_summary_mode(|| {
+            {
+                let s = span("test/io");
+                s.add_work(64);
+                s.add_io(1024, 256);
+                s.add_io(1024, 256);
+            }
+            record_span_io("test/io", 64, 512, 128);
+            // Worker-thread recordings of the same span must merge in.
+            std::thread::scope(|scope| {
+                scope.spawn(|| record_span_io("test/io", 0, 100, 10));
+            });
+            take_report()
+        });
+        let io = report.spans.iter().find(|s| s.name == "test/io").copied().unwrap_or_default();
+        assert_eq!(io.count, 3);
+        assert_eq!(io.work, 128);
+        assert_eq!(io.bytes_read, 1024 + 1024 + 512 + 100);
+        assert_eq!(io.bytes_written, 256 + 256 + 128 + 10);
+    }
+
+    #[test]
+    fn flush_local_is_idempotent_and_preserves_totals() {
+        let report = with_summary_mode(|| {
+            record_span("test/flush", 5);
+            flush_local();
+            flush_local(); // nothing left locally; must not double-count
+            record_span("test/flush", 7);
+            take_report()
+        });
+        let f = report.spans.iter().find(|s| s.name == "test/flush").copied();
+        assert_eq!(f.map(|s| (s.count, s.work)), Some((2, 12)));
+    }
+
+    #[test]
     fn off_mode_records_nothing() {
         let _guard = test_lock::hold();
         set_mode(TraceMode::Off);
@@ -264,8 +353,10 @@ mod tests {
         {
             let s = span("test/ignored");
             s.add_work(10);
+            s.add_io(10, 10);
         }
         record_span("test/ignored", 1);
+        record_span_io("test/ignored", 1, 1, 1);
         counter_add("test.ignored", 1);
         record_value("test.ignored", 1);
         let report = take_report();

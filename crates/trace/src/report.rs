@@ -21,6 +21,30 @@ pub struct SpanEntry {
     pub clock_ns: u64,
     /// Total attributed work units.
     pub work: u64,
+    /// Total bytes read from operands (shape-derived, deterministic).
+    pub bytes_read: u64,
+    /// Total bytes written to outputs (shape-derived, deterministic).
+    pub bytes_written: u64,
+}
+
+impl SpanEntry {
+    /// Total bytes moved (reads plus writes) by this span.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_read.saturating_add(self.bytes_written)
+    }
+
+    /// Arithmetic intensity: attributed work units per byte moved, or
+    /// `None` when the span recorded no traffic. The optimization target
+    /// the kernel rework steers by — raising it means more compute per
+    /// byte of memory traffic.
+    pub fn work_per_byte(&self) -> Option<f64> {
+        let bytes = self.bytes_moved();
+        if bytes == 0 {
+            None
+        } else {
+            Some(self.work as f64 / bytes as f64)
+        }
+    }
 }
 
 /// One named monotone counter.
@@ -89,8 +113,8 @@ pub(crate) fn build(mode: TraceMode, sink: Sink) -> TraceReport {
         .spans
         .iter()
         .map(|(&name, s)| {
-            let SpanStat { count, clock_ns, work } = *s;
-            SpanEntry { name, count, clock_ns, work }
+            let SpanStat { count, clock_ns, work, bytes_read, bytes_written } = *s;
+            SpanEntry { name, count, clock_ns, work, bytes_read, bytes_written }
         })
         .collect();
     let counters: Vec<CounterEntry> =
@@ -136,6 +160,11 @@ impl TraceReport {
         self.spans.iter().map(|s| s.clock_ns).sum()
     }
 
+    /// Total bytes moved (reads plus writes) across all spans.
+    pub fn total_bytes_moved(&self) -> u64 {
+        self.spans.iter().map(|s| s.bytes_moved()).sum()
+    }
+
     /// Chrome-trace-compatible JSON (load in `chrome://tracing` or
     /// Perfetto): a `traceEvents` array of complete (`"ph": "X"`) events
     /// plus a `summary` object with the aggregates. In summary mode the
@@ -148,12 +177,14 @@ impl TraceReport {
         let total_work = self.total_work().max(1);
         for (i, s) in self.spans.iter().enumerate() {
             out.push_str(&format!(
-                "      {{\"name\": \"{}\", \"count\": {}, \"clock_ns\": {}, \"work\": {}, \"work_share\": {:.6}}}{}\n",
+                "      {{\"name\": \"{}\", \"count\": {}, \"clock_ns\": {}, \"work\": {}, \"work_share\": {:.6}, \"bytes_read\": {}, \"bytes_written\": {}}}{}\n",
                 s.name,
                 s.count,
                 s.clock_ns,
                 s.work,
                 s.work as f64 / total_work as f64,
+                s.bytes_read,
+                s.bytes_written,
                 comma(i, self.spans.len())
             ));
         }
@@ -220,17 +251,24 @@ impl TraceReport {
         if !self.spans.is_empty() {
             let total_work = self.total_work().max(1);
             out.push_str(&format!(
-                "{:<32} {:>10} {:>14} {:>14} {:>7}\n",
-                "span", "count", "clock_ns", "work", "work%"
+                "{:<32} {:>10} {:>14} {:>14} {:>7} {:>12} {:>12} {:>9}\n",
+                "span", "count", "clock_ns", "work", "work%", "bytes_rd", "bytes_wr", "work/B"
             ));
             for s in &self.spans {
+                let intensity = match s.work_per_byte() {
+                    Some(i) => format!("{i:.3}"),
+                    None => "-".to_string(),
+                };
                 out.push_str(&format!(
-                    "{:<32} {:>10} {:>14} {:>14} {:>6.1}%\n",
+                    "{:<32} {:>10} {:>14} {:>14} {:>6.1}% {:>12} {:>12} {:>9}\n",
                     s.name,
                     s.count,
                     s.clock_ns,
                     s.work,
-                    100.0 * s.work as f64 / total_work as f64
+                    100.0 * s.work as f64 / total_work as f64,
+                    s.bytes_read,
+                    s.bytes_written,
+                    intensity
                 ));
             }
         }
@@ -276,7 +314,7 @@ fn comma(i: usize, len: usize) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::recorder::{counter_add, record_span, record_value, reset, span, take_report};
+    use crate::recorder::{counter_add, record_value, reset, span, take_report};
     use crate::{set_mode, set_virtual_ns, test_lock};
 
     fn sample_report(mode: TraceMode) -> TraceReport {
@@ -289,7 +327,7 @@ mod tests {
             s.add_work(30);
             set_virtual_ns(40);
         }
-        record_span("report/stage-b", 70);
+        crate::record_span_io("report/stage-b", 70, 560, 140);
         counter_add("report.count", 9);
         record_value("report.lat", 1234);
         set_virtual_ns(0);
@@ -306,9 +344,30 @@ mod tests {
         assert!(json.contains("\"ph\": \"X\""));
         assert!(json.contains("\"report/stage-a\""));
         assert!(json.contains("\"work_share\": 0.300000"));
+        assert!(json.contains("\"bytes_read\": 560"), "{json}");
+        assert!(json.contains("\"bytes_written\": 140"), "{json}");
         assert!(json.contains("\"p50\": 1234") || json.contains("\"p50\": 12"), "{json}");
         assert_eq!(r.total_work(), 100);
         assert_eq!(r.total_clock_ns(), 30);
+        assert_eq!(r.total_bytes_moved(), 700);
+    }
+
+    #[test]
+    fn summary_table_reports_bytes_and_intensity() {
+        let r = sample_report(TraceMode::Summary);
+        let t = r.summary_table();
+        assert!(t.contains("bytes_rd"), "{t}");
+        assert!(t.contains("560"), "{t}");
+        assert!(t.contains("140"), "{t}");
+        // stage-b: 70 work over 700 bytes = 0.100 work/B; stage-a moved
+        // no bytes and must render a dash, not a division by zero.
+        assert!(t.contains("0.100"), "{t}");
+        assert!(t.contains(" -\n") || t.contains(" - "), "{t}");
+        let b = r.spans.iter().find(|s| s.name == "report/stage-b").unwrap();
+        assert_eq!(b.bytes_moved(), 700);
+        assert_eq!(b.work_per_byte(), Some(0.1));
+        let a = r.spans.iter().find(|s| s.name == "report/stage-a").unwrap();
+        assert_eq!(a.work_per_byte(), None);
     }
 
     #[test]

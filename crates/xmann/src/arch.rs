@@ -232,9 +232,14 @@ impl Xmann {
         let sfu = self.sfu_phase(self.memory.slots());
         let cost = phase.repeat(2) + reduce + sfu;
         self.total += cost;
-        enw_trace::record_span(
+        let (slots, dim) = (self.memory.slots() as u64, self.memory.dim() as u64);
+        // Two passes over the memory (dot + norm), one query vector in,
+        // one score per slot out.
+        enw_trace::record_span_io(
             "xmann/similarity",
-            2 * (self.memory.slots() * self.memory.dim()) as u64,
+            2 * slots * dim,
+            4 * (2 * slots * dim + dim),
+            4 * slots,
         );
         cost
     }
@@ -290,7 +295,13 @@ impl Xmann {
         let reduce = self.reduce_phase(self.memory.dim(), self.row_tiles());
         let cost = phase + reduce;
         self.total += cost;
-        enw_trace::record_span("xmann/soft_read", (self.memory.slots() * self.memory.dim()) as u64);
+        let (slots, dim) = (self.memory.slots() as u64, self.memory.dim() as u64);
+        enw_trace::record_span_io(
+            "xmann/soft_read",
+            slots * dim,
+            4 * (slots * dim + slots),
+            4 * dim,
+        );
         cost
     }
 
@@ -311,9 +322,13 @@ impl Xmann {
         let sfu = self.sfu_phase(2 * self.memory.dim());
         let cost = update + sfu;
         self.total += cost;
-        enw_trace::record_span(
+        let (slots, dim) = (self.memory.slots() as u64, self.memory.dim() as u64);
+        // Rank-1 update: reads the weight/erase/add vectors, rewrites M.
+        enw_trace::record_span_io(
             "xmann/soft_write",
-            (self.memory.slots() * self.memory.dim()) as u64,
+            slots * dim,
+            4 * (slots * dim + slots + 2 * dim),
+            4 * slots * dim,
         );
         OpResult { value: (), cost }
     }

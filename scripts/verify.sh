@@ -39,6 +39,12 @@ assert all(l['meets_90pct_target'] for l in r['lanes']), r
 assert r['serve']['zero_alloc_steady_state'], r
 " || { echo "BENCH_alloc.json failed to parse or misses the alloc-reduction targets"; exit 1; }
 
+echo "== exp15_parallel_scaling --smoke (thread-scaling gate) =="
+# Exits nonzero if any kernel's 2-thread speedup drops below 1.0x or any
+# lane loses bit-identity across thread counts.
+cargo run --release -q -p enw-bench --bin exp15_parallel_scaling -- --smoke
+test -s BENCH_parallel_kernels.json || { echo "exp15 did not emit BENCH_parallel_kernels.json"; exit 1; }
+
 if [[ "${1:-}" == "--full" ]]; then
     echo "== cargo test -q --features proptest (property suites) =="
     cargo test -q --features proptest

@@ -20,7 +20,7 @@ use proptest::prelude::*;
 
 proptest! {
     // Keep case counts moderate: several of these build arrays per case.
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 32 })]
 
     /// TCAM nearest search == brute-force Hamming argmin for any stored
     /// set and any query.
@@ -135,7 +135,7 @@ use enw_core::nn::rnn::RnnClassifier;
 use enw_core::recsys::sequence::{InterestModel, InterestModelConfig};
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 24 })]
 
     /// PCM pair weights stay in [-1, 1] under arbitrary signed update
     /// sequences, with or without noise, and refresh preserves the weight.
