@@ -67,46 +67,46 @@ pub fn check_manifest(crate_dir: &str, rel_path: &str, contents: &str) -> Vec<Fi
             continue;
         }
         if GATED_SHIMS.contains(&dep) && !line.contains("optional = true") {
-            out.push(Finding {
-                rule: "ENW-A003",
-                severity: Severity::Deny,
-                path: rel_path.to_string(),
-                line: lineno,
-                message: format!(
+            out.push(Finding::new(
+                "ENW-A003",
+                Severity::Deny,
+                rel_path,
+                lineno,
+                format!(
                     "vendored shim `{dep}` must be `optional = true` behind a feature so \
                      tier-1 builds never compile it"
                 ),
-                snippet: line.to_string(),
-            });
+                line.to_string(),
+            ));
         }
         if let Some(internal) = dep.strip_prefix("enw-") {
             match allowed {
                 None => {
-                    out.push(Finding {
-                        rule: "ENW-A001",
-                        severity: Severity::Deny,
-                        path: rel_path.to_string(),
-                        line: lineno,
-                        message: format!(
+                    out.push(Finding::new(
+                        "ENW-A001",
+                        Severity::Deny,
+                        rel_path,
+                        lineno,
+                        format!(
                             "crate `{crate_dir}` has no entry in the layering table \
                              (crates/analyze/src/arch.rs); declare its allowed dependencies"
                         ),
-                        snippet: line.to_string(),
-                    });
+                        line.to_string(),
+                    ));
                 }
                 Some(deps) if !deps.contains(&internal) => {
-                    out.push(Finding {
-                        rule: "ENW-A001",
-                        severity: Severity::Deny,
-                        path: rel_path.to_string(),
-                        line: lineno,
-                        message: format!(
+                    out.push(Finding::new(
+                        "ENW-A001",
+                        Severity::Deny,
+                        rel_path,
+                        lineno,
+                        format!(
                             "`{crate_dir}` may not depend on `enw-{internal}` \
                              (allowed: {})",
                             if deps.is_empty() { "none".to_string() } else { deps.join(", ") }
                         ),
-                        snippet: line.to_string(),
-                    });
+                        line.to_string(),
+                    ));
                 }
                 Some(_) => {}
             }

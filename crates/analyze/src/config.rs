@@ -122,19 +122,24 @@ pub fn apply_allowlist(raw: Vec<Finding>, allow: &[AllowEntry], analysis: &mut A
             None => analysis.findings.push(f),
         }
     }
+    let first_stale = analysis.findings.len();
     for (a, was_used) in allow.iter().zip(&used) {
         if !*was_used {
-            analysis.findings.push(Finding {
-                rule: "ENW-C001",
-                severity: crate::report::Severity::Warn,
-                path: "lint.toml".to_string(),
-                line: 0,
-                message: format!(
+            analysis.findings.push(Finding::new(
+                "ENW-C001",
+                crate::report::Severity::Warn,
+                "lint.toml",
+                0,
+                format!(
                     "stale allowlist entry: {} at {} (contains {:?}) matches nothing; remove it",
                     a.rule, a.path, a.contains
                 ),
-                snippet: String::new(),
-            });
+                String::new(),
+            ));
         }
     }
+    // Stale-waiver findings are synthesized here, after the main
+    // fingerprint pass; give them fingerprints of their own (the key
+    // includes the rule id, so they cannot collide with source findings).
+    crate::report::assign_fingerprints(&mut analysis.findings[first_stale..]);
 }

@@ -1,0 +1,343 @@
+//! Workspace call graph: links the call sites extracted by
+//! [`crate::parse`] to function definitions across crates, and runs the
+//! transitive hot-path rule (ENW-M002) as a graph query.
+//!
+//! Resolution is name-based and deliberately conservative — a deny rule
+//! must not fire on guesses:
+//!
+//! - **Free and path calls** (`helper(…)`, `scratch::take_f32(…)`,
+//!   `Matrix::matvec_into(…)`) resolve through qualifiers: an `enw_x`
+//!   path segment or a `use enw_x::…` import pins the crate, an
+//!   upper-case segment pins the impl type, `Self::` resolves to the
+//!   caller's own impl type. Unqualified names prefer the caller's file,
+//!   then its crate, then its dependency closure.
+//! - **Method calls** (`recv.forward_into(…)`) link to *every* impl
+//!   method of that name in the caller's crate or dependency closure —
+//!   without type inference the receiver is unknown, and for a
+//!   transitive purity rule over-linking is the sound direction (every
+//!   candidate impl must be clean). Names on
+//!   [`parse::STD_METHOD_NAMES`] never resolve: they would cross-link
+//!   slice/iterator/Option methods to unrelated workspace impls.
+//! - Unresolved calls (std, operators, closures) produce no edge.
+//!
+//! The dependency closure comes from the layering table in
+//! [`crate::arch`], so the resolver can never invent an edge the
+//! architecture rules would forbid.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::arch::ALLOWED_DEPS;
+use crate::parse::{CallKind, EffectKind, FileKind, FnItem, SourceFile, STD_METHOD_NAMES};
+use crate::report::{Finding, Severity};
+
+/// Crates the hot-path traversal treats as trusted leaves: the
+/// deterministic runtime's combinators and scratch pools are the
+/// *sanctioned* way for hot code to obtain buffers and parallelism, so
+/// the traversal neither descends into them nor reports their internals.
+pub const TRUSTED_CRATES: &[&str] = &["parallel"];
+
+/// One node of the call graph.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Index of the owning file in the parsed file list.
+    pub file: usize,
+    /// Index of the fn item within that file.
+    pub item: usize,
+    /// Crate directory name.
+    pub crate_name: String,
+    /// Display name (`Type::name` for methods, `name` for free fns).
+    pub display: String,
+}
+
+/// The resolved workspace call graph.
+pub struct CallGraph<'a> {
+    files: &'a [SourceFile],
+    /// Graph nodes, one per library fn item, in deterministic order.
+    pub nodes: Vec<FnNode>,
+    /// `edges[n]` = resolved callees of node `n` as (node index, call
+    /// line in the caller).
+    pub edges: Vec<Vec<(usize, u32)>>,
+    /// Nodes whose fn carries a `// enw:hot` annotation.
+    pub hot_roots: Vec<usize>,
+}
+
+impl<'a> CallGraph<'a> {
+    /// Builds the graph over every parsed library file. Test-region fns,
+    /// non-`Lib` targets, and the analyzer itself are excluded: the graph
+    /// models the shipped library surface.
+    pub fn build(files: &'a [SourceFile]) -> CallGraph<'a> {
+        let mut nodes: Vec<FnNode> = Vec::new();
+        // (crate, name) → node indices, plus name → node indices.
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            if file.kind != FileKind::Lib || file.crate_name.is_empty() {
+                continue;
+            }
+            if file.crate_name == "analyze" || file.crate_name == "bench" {
+                continue;
+            }
+            for (ii, f) in file.fns.iter().enumerate() {
+                if f.in_test {
+                    continue;
+                }
+                let display = match &f.owner {
+                    Some(t) => format!("{t}::{}", f.name),
+                    None => f.name.clone(),
+                };
+                let idx = nodes.len();
+                nodes.push(FnNode {
+                    file: fi,
+                    item: ii,
+                    crate_name: file.crate_name.clone(),
+                    display,
+                });
+                by_name.entry(file.fns[ii].name.as_str()).or_default().push(idx);
+            }
+        }
+
+        let mut edges: Vec<Vec<(usize, u32)>> = vec![Vec::new(); nodes.len()];
+        for (n, node) in nodes.iter().enumerate() {
+            let file = &files[node.file];
+            let item = &file.fns[node.item];
+            let deps = dep_closure(&node.crate_name);
+            for call in &item.calls {
+                let mut targets = resolve(call, node, file, &nodes, &by_name, &deps);
+                targets.sort_unstable();
+                targets.dedup();
+                for t in targets {
+                    edges[n].push((t, call.line));
+                }
+            }
+        }
+
+        let hot_roots = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| files[n.file].fns[n.item].hot)
+            .map(|(i, _)| i)
+            .collect();
+        CallGraph { files, nodes, edges, hot_roots }
+    }
+
+    /// The fn item behind a node.
+    pub fn item(&self, n: usize) -> &FnItem {
+        &self.files[self.nodes[n].file].fns[self.nodes[n].item]
+    }
+
+    /// The file behind a node.
+    pub fn file(&self, n: usize) -> &SourceFile {
+        &self.files[self.nodes[n].file]
+    }
+
+    /// ENW-M002: transitive hot-path purity. From every `// enw:hot`
+    /// root, walk resolved callees; any reachable fn that allocates,
+    /// locks, or does I/O is a finding carrying the resolved call chain.
+    /// Direct-body *allocations* of the root are ENW-M001's job and are
+    /// not re-reported here; direct-body locks and I/O are (M001 is
+    /// allocation-specific). Trusted crates are skipped entirely, and a
+    /// given effect site is reported once even when several hot roots
+    /// reach it.
+    pub fn check_hot_paths(&self, lines_of: impl Fn(usize, u32) -> String) -> Vec<Finding> {
+        let mut out = Vec::new();
+        let mut reported: BTreeSet<(usize, u32, &str)> = BTreeSet::new();
+        for &root in &self.hot_roots {
+            // BFS recording the predecessor chain for diagnostics —
+            // breadth-first so reported chains are shortest.
+            let mut prev: BTreeMap<usize, (usize, u32)> = BTreeMap::new();
+            let mut seen: BTreeSet<usize> = BTreeSet::new();
+            let mut queue = vec![root];
+            let mut head = 0usize;
+            seen.insert(root);
+            while head < queue.len() {
+                let n = queue[head];
+                head += 1;
+                let depth0 = n == root;
+                let node = &self.nodes[n];
+                if TRUSTED_CRATES.contains(&node.crate_name.as_str()) {
+                    continue;
+                }
+                let item = self.item(n);
+                for e in &item.effects {
+                    // Root allocations belong to ENW-M001; everything
+                    // else (root locks/IO, all callee effects) is M002.
+                    if depth0 && e.kind == EffectKind::Alloc {
+                        continue;
+                    }
+                    // Hot callees' own allocations are also M001 findings
+                    // (their own body scan) — skip the duplicate.
+                    if !depth0 && item.hot && e.kind == EffectKind::Alloc {
+                        continue;
+                    }
+                    if !reported.insert((n, e.line, &e.what)) {
+                        continue;
+                    }
+                    let chain = self.chain(root, n, &prev);
+                    out.push(Finding {
+                        rule: "ENW-M002",
+                        severity: Severity::Deny,
+                        path: self.file(n).rel_path.clone(),
+                        line: e.line,
+                        message: format!(
+                            "`{}` {} on the hot path: reachable from `// enw:hot` `{}` via {}; \
+                             use caller buffers / `enw_parallel::scratch`, or waive with a \
+                             justification in lint.toml",
+                            e.what,
+                            e.kind.label(),
+                            self.nodes[root].display,
+                            chain.join(" → "),
+                        ),
+                        snippet: lines_of(self.nodes[n].file, e.line),
+                        chain,
+                        fingerprint: String::new(),
+                    });
+                }
+                for &(callee, line) in &self.edges[n] {
+                    if seen.insert(callee) {
+                        prev.insert(callee, (n, line));
+                        queue.push(callee);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Display chain `root → … → n` recovered from BFS predecessors.
+    fn chain(&self, root: usize, n: usize, prev: &BTreeMap<usize, (usize, u32)>) -> Vec<String> {
+        let mut rev = vec![self.nodes[n].display.clone()];
+        let mut cur = n;
+        while cur != root {
+            let Some(&(p, _)) = prev.get(&cur) else {
+                break;
+            };
+            rev.push(self.nodes[p].display.clone());
+            cur = p;
+        }
+        rev.reverse();
+        rev
+    }
+}
+
+/// Transitive dependency closure of a crate (itself included), from the
+/// layering table.
+pub fn dep_closure(crate_name: &str) -> BTreeSet<String> {
+    let mut out: BTreeSet<String> = BTreeSet::new();
+    let mut frontier = vec![crate_name.to_string()];
+    while let Some(c) = frontier.pop() {
+        if !out.insert(c.clone()) {
+            continue;
+        }
+        if let Some((_, deps)) = ALLOWED_DEPS.iter().find(|(name, _)| *name == c) {
+            for d in *deps {
+                frontier.push((*d).to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Resolves one call site to candidate node indices.
+fn resolve(
+    call: &crate::parse::CallSite,
+    caller: &FnNode,
+    caller_file: &SourceFile,
+    nodes: &[FnNode],
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    deps: &BTreeSet<String>,
+) -> Vec<usize> {
+    let Some(candidates) = by_name.get(call.name.as_str()) else {
+        return Vec::new();
+    };
+    match call.kind {
+        CallKind::Method => {
+            if STD_METHOD_NAMES.contains(&call.name.as_str()) {
+                return Vec::new();
+            }
+            // Every impl method of this name in the dependency closure.
+            candidates
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    let n = &nodes[i];
+                    deps.contains(&n.crate_name) && n.display.contains("::")
+                })
+                .collect()
+        }
+        CallKind::Free => {
+            // Qualifier analysis: crate pin, type pin, or none.
+            let mut crate_pin: Option<String> = None;
+            let mut type_pin: Option<String> = None;
+            for seg in &call.path {
+                if let Some(c) = seg.strip_prefix("enw_") {
+                    crate_pin = Some(c.to_string());
+                } else if seg == "Self" {
+                    type_pin = caller
+                        .display
+                        .split("::")
+                        .next()
+                        .map(str::to_string)
+                        .filter(|_| caller.display.contains("::"));
+                } else if seg == "self" || seg == "crate" || seg == "super" {
+                    crate_pin = Some(caller.crate_name.clone());
+                } else if seg.chars().next().is_some_and(char::is_uppercase) {
+                    type_pin = Some(seg.clone());
+                } else if let Some(u) = caller_file.uses.iter().find(|u| &u.name == seg) {
+                    crate_pin = Some(u.from_crate.clone());
+                }
+            }
+            // An unqualified name may also be a direct `use` import.
+            if call.path.is_empty() {
+                if let Some(u) = caller_file.uses.iter().find(|u| u.name == call.name) {
+                    crate_pin = Some(u.from_crate.clone());
+                }
+            }
+            let matches_type = |i: usize| -> bool {
+                match &type_pin {
+                    Some(t) => nodes[i].display.starts_with(&format!("{t}::")),
+                    // No type qualifier: only free fns and `Self`-less
+                    // associated calls via imports; restrict to free fns
+                    // to avoid linking same-named methods.
+                    None => !nodes[i].display.contains("::"),
+                }
+            };
+            let in_crate = |i: usize, c: &str| nodes[i].crate_name == c;
+            if let Some(c) = &crate_pin {
+                return candidates
+                    .iter()
+                    .copied()
+                    .filter(|&i| in_crate(i, c) && (type_pin.is_none() || matches_type(i)))
+                    .collect();
+            }
+            if type_pin.is_some() {
+                // `Type::name(…)`: any crate in the closure with that impl.
+                return candidates
+                    .iter()
+                    .copied()
+                    .filter(|&i| deps.contains(&nodes[i].crate_name) && matches_type(i))
+                    .collect();
+            }
+            // Bare name: same file first, then same crate, then closure.
+            let same_file: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&i| nodes[i].file == caller.file && matches_type(i))
+                .collect();
+            if !same_file.is_empty() {
+                return same_file;
+            }
+            let same_crate: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&i| in_crate(i, &caller.crate_name) && matches_type(i))
+                .collect();
+            if !same_crate.is_empty() {
+                return same_crate;
+            }
+            candidates
+                .iter()
+                .copied()
+                .filter(|&i| deps.contains(&nodes[i].crate_name) && matches_type(i))
+                .collect()
+        }
+    }
+}

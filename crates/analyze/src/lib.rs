@@ -3,12 +3,28 @@
 //!
 //! PR 1's parallel runtime guarantees bit-identical outputs at any thread
 //! count; this crate is the mechanical gate that keeps that property from
-//! rotting: no hash-order iteration in kernel crates, no ambient time or
-//! entropy outside the bench harness, no raw thread spawns outside
-//! `enw-parallel`, no panicking combinators in library code, and a
-//! dependency graph that matches the declared layering. See the module
-//! docs of [`rules`] and [`arch`] for the full rule catalogue, and
-//! `lint.toml` at the workspace root for the justified-waiver allowlist.
+//! rotting. It runs three rule layers over a shared syntactic item model:
+//!
+//! 1. **Token rules** ([`rules`]) — per-line invariants: no hash
+//!    collections or ambient time/entropy in kernel crates, no raw thread
+//!    spawns outside `enw-parallel`, no panicking combinators in library
+//!    code, artifact-naming and API-shape checks.
+//! 2. **Item rules** ([`rules`] over [`parse`]) — function-scoped
+//!    invariants: no allocation inside `// enw:hot` bodies (ENW-M001), no
+//!    hash-order iteration feeding returned data or float reductions
+//!    (ENW-D006/D007).
+//! 3. **Graph rules** ([`graph`]) — whole-workspace invariants: the
+//!    resolver links call sites to definitions across crates and
+//!    ENW-M002 walks the closure of every `// enw:hot` fn, flagging any
+//!    reachable callee that allocates, locks, or does I/O, with the
+//!    resolved call chain in the report.
+//!
+//! Findings carry content-stable fingerprints; `--baseline` diffs a run
+//! against a committed `analyze-baseline.json` so CI fails only on *new*
+//! findings, and `--audit-waivers` fails on `lint.toml` entries that no
+//! longer match anything. See the module docs of [`rules`] and [`arch`]
+//! for the rule catalogue, and `lint.toml` at the workspace root for the
+//! justified-waiver allowlist.
 //!
 //! Run the gate with `cargo run -p enw-analyze`; it prints human-readable
 //! diagnostics, writes `analyze-report.json`, and exits non-zero on any
@@ -16,19 +32,47 @@
 
 pub mod arch;
 pub mod config;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod report;
 pub mod rules;
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
-pub use report::{Analysis, Finding, Severity};
+pub use report::{assign_fingerprints, baseline_fingerprints, Analysis, Finding, Severity};
 pub use rules::scan_source;
 
 /// Directories never scanned: build output and the vendored shims (the
 /// shims exist to satisfy external APIs and are exempt by construction).
 const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", ".github"];
+
+/// Runs every rule layer over a set of in-memory `(rel_path, source)`
+/// pairs: token rules and item rules per file, then the call-graph rules
+/// over the whole set. Fingerprints are assigned in scan order. This is
+/// the core of [`analyze_workspace`], exposed so tests can analyze
+/// synthetic multi-file workspaces without touching the filesystem.
+pub fn analyze_sources(sources: &[(String, String)]) -> Vec<Finding> {
+    let files: Vec<parse::SourceFile> =
+        sources.iter().map(|(rel, src)| parse::parse_source(rel, src)).collect();
+    let mut out = Vec::new();
+    for ((rel, src), file) in sources.iter().zip(&files) {
+        out.extend(rules::scan_tokens(rel, src));
+        out.extend(rules::scan_items(file, src));
+    }
+    let cg = graph::CallGraph::build(&files);
+    out.extend(cg.check_hot_paths(|fi, line| {
+        sources[fi]
+            .1
+            .lines()
+            .nth(line as usize - 1)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }));
+    report::assign_fingerprints(&mut out);
+    out
+}
 
 /// Runs the full analysis over a workspace root: every `.rs` file under
 /// `crates/`, `tests/`, and `examples/`, plus every `crates/*/Cargo.toml`,
@@ -38,7 +82,6 @@ pub fn analyze_workspace(root: &Path) -> Result<Analysis, String> {
         Ok(contents) => config::parse_allowlist(&contents)?,
         Err(_) => Vec::new(),
     };
-    let mut raw: Vec<Finding> = Vec::new();
     let mut analysis = Analysis::default();
 
     let mut files: Vec<PathBuf> = Vec::new();
@@ -46,13 +89,15 @@ pub fn analyze_workspace(root: &Path) -> Result<Analysis, String> {
         collect_rs_files(&root.join(top), &mut files);
     }
     files.sort();
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for path in &files {
         let rel = rel_path(root, path);
         let src = fs::read_to_string(path)
             .map_err(|e| format!("failed to read {}: {e}", path.display()))?;
-        raw.extend(rules::scan_source(&rel, &src));
+        sources.push((rel, src));
         analysis.files_scanned += 1;
     }
+    let mut raw = analyze_sources(&sources);
 
     let mut manifests: Vec<PathBuf> = Vec::new();
     if let Ok(entries) = fs::read_dir(root.join("crates")) {
@@ -77,6 +122,10 @@ pub fn analyze_workspace(root: &Path) -> Result<Analysis, String> {
         raw.extend(arch::check_manifest(&crate_dir, &rel, &contents));
         analysis.manifests_checked += 1;
     }
+    // Re-assigning is cheap and gives the manifest findings fingerprints
+    // without disturbing the ordinals of the source findings (they come
+    // first in the same order).
+    report::assign_fingerprints(&mut raw);
 
     config::apply_allowlist(raw, &allow, &mut analysis);
     analysis.findings.sort_by(|a, b| {

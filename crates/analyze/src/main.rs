@@ -1,13 +1,19 @@
 //! CLI for the workspace lint gate.
 //!
 //! ```text
-//! cargo run -p enw-analyze                # lint the workspace, write analyze-report.json
-//! cargo run -p enw-analyze -- --root X    # lint a different tree
-//! cargo run -p enw-analyze -- --warnings  # also list warn-level findings
+//! cargo run -p enw-analyze                         # lint, write analyze-report.json
+//! cargo run -p enw-analyze -- --root X             # lint a different tree
+//! cargo run -p enw-analyze -- --warnings           # also list warn-level findings
+//! cargo run -p enw-analyze -- --baseline FILE      # additionally fail on findings
+//!                                                  # absent from the baseline report
+//! cargo run -p enw-analyze -- --write-baseline F   # snapshot the current report as
+//!                                                  # a baseline and exit 0
+//! cargo run -p enw-analyze -- --audit-waivers      # fail on stale lint.toml entries
 //! cargo run -p enw-analyze -- --no-report
 //! ```
 //!
-//! Exit codes: 0 clean (warns allowed), 1 deny findings, 2 usage/config
+//! Exit codes: 0 clean (warns allowed), 1 deny findings / baseline
+//! regressions / stale waivers under `--audit-waivers`, 2 usage/config
 //! error.
 
 use std::path::PathBuf;
@@ -16,6 +22,9 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
+    let mut audit_waivers = false;
     let mut write_report = true;
     let mut show_warnings = false;
     let mut args = std::env::args().skip(1);
@@ -23,11 +32,15 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--root" => root = args.next().map(PathBuf::from),
             "--json" => json = args.next().map(PathBuf::from),
+            "--baseline" => baseline = args.next().map(PathBuf::from),
+            "--write-baseline" => write_baseline = args.next().map(PathBuf::from),
+            "--audit-waivers" => audit_waivers = true,
             "--no-report" => write_report = false,
             "--warnings" => show_warnings = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: enw-analyze [--root DIR] [--json FILE] [--no-report] [--warnings]"
+                    "usage: enw-analyze [--root DIR] [--json FILE] [--baseline FILE] \
+                     [--write-baseline FILE] [--audit-waivers] [--no-report] [--warnings]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -52,6 +65,21 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if let Some(path) = write_baseline {
+        if let Err(e) = std::fs::write(&path, analysis.to_json()) {
+            eprintln!("enw-analyze: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "enw-analyze: wrote baseline {} ({} findings, {} waived)",
+            path.display(),
+            analysis.findings.len(),
+            analysis.waived.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
     for f in &analysis.findings {
         if f.severity == enw_analyze::Severity::Warn && !show_warnings {
             continue;
@@ -61,15 +89,49 @@ fn main() -> ExitCode {
             println!("    {}", f.snippet);
         }
     }
+
+    // Baseline diff: a committed baseline accepts existing warn-level
+    // debt; anything whose fingerprint is not in it is a regression.
+    let mut regressions = 0usize;
+    if let Some(path) = &baseline {
+        let contents = match std::fs::read_to_string(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("enw-analyze: failed to read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let accepted = enw_analyze::baseline_fingerprints(&contents);
+        for f in analysis.new_vs_baseline(&accepted) {
+            println!("new vs baseline: {f}");
+            if !f.snippet.is_empty() {
+                println!("    {}", f.snippet);
+            }
+            regressions += 1;
+        }
+    }
+
+    let stale = if audit_waivers {
+        let stale = analysis.stale_waivers();
+        for f in &stale {
+            println!("waiver audit: {f}");
+        }
+        stale.len()
+    } else {
+        0
+    };
+
     let denies = analysis.deny_count();
     let warns = analysis.warn_count();
     println!(
-        "enw-analyze: {} files, {} manifests; {} deny, {} warn, {} waived",
+        "enw-analyze: {} files, {} manifests; {} deny, {} warn, {} waived{}{}",
         analysis.files_scanned,
         analysis.manifests_checked,
         denies,
         warns,
-        analysis.waived.len()
+        analysis.waived.len(),
+        if baseline.is_some() { format!(", {regressions} new vs baseline") } else { String::new() },
+        if audit_waivers { format!(", {stale} stale waivers") } else { String::new() },
     );
     if warns > 0 && !show_warnings {
         println!("enw-analyze: rerun with --warnings (or read the JSON report) for warn details");
@@ -81,7 +143,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
-    if denies > 0 {
+    if denies > 0 || regressions > 0 || stale > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -1,0 +1,808 @@
+//! Syntactic item model: a std-only parser pass over the token stream.
+//!
+//! The line-lexer rules in [`crate::rules`] can only see one line at a
+//! time; the item model gives the analyzer *shape*: which functions exist
+//! (free fns, inherent and trait-impl methods), which of them carry a
+//! `// enw:hot` annotation, what each body *calls* (free-fn, path, and
+//! method call sites), what each body *does* (heap allocation, locking,
+//! I/O — the effect classes the hot-path and determinism rules care
+//! about), and which names a file imports from which workspace crate.
+//! [`crate::graph`] links the call sites to definitions across the
+//! workspace and runs the transitive rules on top.
+//!
+//! The parser is deliberately syntactic: brace matching over the
+//! comment-stripped token stream, no type inference. Rules built on it
+//! are written to under-approximate (skip what cannot be resolved) so a
+//! deny finding is always actionable.
+
+use crate::lexer::{self, TokKind, Token};
+
+/// What kind of compilation target a file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code: all rules apply.
+    Lib,
+    /// Binary target (`src/bin/…`, `src/main.rs`): panic rules off.
+    Bin,
+    /// Test or bench target: panic rules off.
+    Test,
+    /// Example: panic rules off.
+    Example,
+}
+
+/// Classifies a workspace-relative path into its owning crate (the
+/// directory name under `crates/`) and target kind. Workspace-level
+/// `tests/` and `examples/` are targets of the bench crate.
+pub fn classify(rel_path: &str) -> (Option<String>, FileKind) {
+    let p = rel_path.replace('\\', "/");
+    if let Some(rest) = p.strip_prefix("crates/") {
+        let crate_name = rest.split('/').next().unwrap_or("").to_string();
+        let kind = if rest.contains("/src/bin/") || rest.ends_with("src/main.rs") {
+            FileKind::Bin
+        } else if rest.contains("/tests/") || rest.contains("/benches/") {
+            FileKind::Test
+        } else if rest.contains("/examples/") {
+            FileKind::Example
+        } else {
+            FileKind::Lib
+        };
+        (Some(crate_name), kind)
+    } else if p.starts_with("tests/") {
+        (Some("bench".to_string()), FileKind::Test)
+    } else if p.starts_with("examples/") {
+        (Some("bench".to_string()), FileKind::Example)
+    } else {
+        (None, FileKind::Lib)
+    }
+}
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// `foo(…)` or `path::to::foo(…)`.
+    Free,
+    /// `receiver.foo(…)`.
+    Method,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name (last path segment / method name).
+    pub name: String,
+    /// Qualifying path segments before the name (`["enw_parallel",
+    /// "scratch"]` for `enw_parallel::scratch::take_f32(…)`, `["Self"]`
+    /// for `Self::helper(…)`); empty for bare and method calls.
+    pub path: Vec<String>,
+    /// Free/path call or method call.
+    pub kind: CallKind,
+    /// 1-indexed source line of the callee name.
+    pub line: u32,
+}
+
+/// Effect classes the hot-path rules deny transitively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EffectKind {
+    /// Heap allocation (`vec!`, `Vec::new`, `Box::new`, `format!`,
+    /// `.collect()`, `.clone()`, …).
+    Alloc,
+    /// Lock acquisition or lock-type mention (`Mutex`, `RwLock`,
+    /// `.lock()`).
+    Lock,
+    /// I/O (`println!`, `std::fs`, `File`, stdio handles).
+    Io,
+}
+
+impl EffectKind {
+    /// Human label used in diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            EffectKind::Alloc => "allocates",
+            EffectKind::Lock => "locks",
+            EffectKind::Io => "does I/O",
+        }
+    }
+}
+
+/// One effect found in a function body.
+#[derive(Debug, Clone)]
+pub struct Effect {
+    /// Which class of effect.
+    pub kind: EffectKind,
+    /// The construct that triggered it (`"vec!"`, `".clone()"`, …).
+    pub what: String,
+    /// 1-indexed source line.
+    pub line: u32,
+}
+
+/// One function item (free fn, inherent method, or trait-impl method).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Impl type name when the fn lives in an `impl` block.
+    pub owner: Option<String>,
+    /// Trait name when the fn lives in an `impl Trait for Type` block.
+    pub trait_name: Option<String>,
+    /// `pub` (any visibility restriction counts as non-pub-external).
+    pub is_pub: bool,
+    /// 1-indexed line of the `fn` token.
+    pub line: u32,
+    /// Annotated with a `// enw:hot` marker line.
+    pub hot: bool,
+    /// Declared inside `#[cfg(test)]`/`#[test]` code.
+    pub in_test: bool,
+    /// Signature has a `->` return type.
+    pub returns_value: bool,
+    /// Body token range (half-open, inside the braces); `None` for
+    /// bodyless trait method declarations. Indices are valid for a
+    /// fresh [`lexer::tokenize`] of the same source.
+    pub body: Option<(usize, usize)>,
+    /// Call sites extracted from the body (empty for bodyless trait
+    /// method declarations).
+    pub calls: Vec<CallSite>,
+    /// Effects extracted from the body.
+    pub effects: Vec<Effect>,
+}
+
+/// A `use` import: the local name it binds and the workspace crate it
+/// comes from (`use enw_parallel::scratch;` binds `scratch` → crate
+/// `parallel`). Non-workspace imports are not recorded.
+#[derive(Debug, Clone)]
+pub struct UseDecl {
+    /// Local name the import binds (respecting `as` aliases).
+    pub name: String,
+    /// Workspace crate directory name (`parallel`, `numerics`, …).
+    pub from_crate: String,
+}
+
+/// The parsed item model of one source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path.
+    pub rel_path: String,
+    /// Owning crate directory name (empty when outside `crates/`).
+    pub crate_name: String,
+    /// Target kind from the path.
+    pub kind: FileKind,
+    /// All function items, in source order.
+    pub fns: Vec<FnItem>,
+    /// Workspace-crate imports.
+    pub uses: Vec<UseDecl>,
+    /// Names bound to `HashMap`/`HashSet` values anywhere in the file
+    /// (let bindings and struct fields) — receivers for the
+    /// unordered-iteration rules.
+    pub hash_bindings: Vec<String>,
+}
+
+/// Method names too common in std to resolve by name alone: a call to
+/// one of these is never linked to a workspace definition (it would
+/// cross-link slice/option/iterator methods to unrelated impls).
+pub const STD_METHOD_NAMES: &[&str] = &[
+    "abs",
+    "and_then",
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "ceil",
+    "chars",
+    "chunks",
+    "chunks_exact",
+    "clear",
+    "clone",
+    "cmp",
+    "collect",
+    "contains",
+    "copied",
+    "copy_from_slice",
+    "count",
+    "default",
+    "drain",
+    "enumerate",
+    "eq",
+    "exp",
+    "extend",
+    "fill",
+    "filter",
+    "first",
+    "flat_map",
+    "floor",
+    "fmt",
+    "fold",
+    "from",
+    "get",
+    "get_mut",
+    "get_or_init",
+    "hash",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "is_none",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "ln",
+    "map",
+    "max",
+    "min",
+    "ne",
+    "next",
+    "partial_cmp",
+    "pop",
+    "powi",
+    "push",
+    "push_str",
+    "remove",
+    "rev",
+    "round",
+    "skip",
+    "sort",
+    "split",
+    "sqrt",
+    "sum",
+    "take",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "trim",
+    "values",
+    "windows",
+    "zip",
+];
+
+/// Keywords that can directly precede `(` without being a call.
+const NON_CALL_IDENTS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "move", "in", "as", "fn", "impl", "where",
+    "let", "else", "break", "continue", "ref", "mut", "dyn",
+];
+
+/// Parses one file into its item model.
+pub fn parse_source(rel_path: &str, src: &str) -> SourceFile {
+    let (crate_name, kind) = classify(rel_path);
+    let toks = lexer::tokenize(src);
+    let test_regions = lexer::test_regions(&toks);
+    let hot_lines: Vec<u32> = src
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| l.trim() == "// enw:hot")
+        .map(|(i, _)| (i + 1) as u32)
+        .collect();
+
+    let mut file = SourceFile {
+        rel_path: rel_path.to_string(),
+        crate_name: crate_name.unwrap_or_default(),
+        kind,
+        fns: Vec::new(),
+        uses: Vec::new(),
+        hash_bindings: Vec::new(),
+    };
+    collect_uses(&toks, &mut file.uses);
+    collect_hash_bindings(&toks, &mut file.hash_bindings);
+    collect_fns(&toks, 0, toks.len(), None, &test_regions, &mut file.fns);
+
+    // Attach `// enw:hot` markers: each marker annotates the first fn
+    // whose `fn` token sits on a later line. Items arrive in source
+    // order, so a linear pass suffices.
+    for &marker in &hot_lines {
+        if let Some(f) = file.fns.iter_mut().find(|f| f.line > marker && !f.hot) {
+            f.hot = true;
+        }
+    }
+    file
+}
+
+/// The impl context a fn was found under.
+#[derive(Clone)]
+struct ImplCtx {
+    type_name: String,
+    trait_name: Option<String>,
+}
+
+/// Recursively collects fn items in `toks[start..end)`, descending into
+/// `impl`/`mod`/`trait` blocks. Nested fns inside fn bodies are *not*
+/// split out: their calls and effects belong to the enclosing item.
+fn collect_fns(
+    toks: &[Token],
+    start: usize,
+    end: usize,
+    ctx: Option<&ImplCtx>,
+    test_regions: &[(usize, usize)],
+    out: &mut Vec<FnItem>,
+) {
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        if t.is_ident("impl") || t.is_ident("trait") {
+            let is_trait_decl = t.is_ident("trait");
+            // Header runs to the block `{` (or `;` for `impl Trait for T;`
+            // style never used here). Collect angle-depth-0 idents to find
+            // the trait/type names.
+            let Some(open) = (i + 1..end).find(|&k| toks[k].is_punct('{') || toks[k].is_punct(';'))
+            else {
+                i += 1;
+                continue;
+            };
+            if toks[open].is_punct(';') {
+                i = open + 1;
+                continue;
+            }
+            let close = match_brace(toks, open, end);
+            let header = impl_header(&toks[i + 1..open]);
+            let new_ctx = if is_trait_decl {
+                // Trait declarations: default method bodies belong to the
+                // trait name; there is no concrete owner type, but method
+                // calls still resolve by name, so record the trait as the
+                // owner for display purposes.
+                header.first().map(|n| ImplCtx { type_name: n.clone(), trait_name: None })
+            } else {
+                match header.iter().position(|s| s == "for") {
+                    Some(pos) => {
+                        let trait_name = header.get(pos.wrapping_sub(1)).cloned();
+                        let type_name = header.last().filter(|_| pos + 1 < header.len()).cloned();
+                        type_name.map(|type_name| ImplCtx { type_name, trait_name })
+                    }
+                    None => {
+                        header.last().map(|n| ImplCtx { type_name: n.clone(), trait_name: None })
+                    }
+                }
+            };
+            collect_fns(toks, open + 1, close, new_ctx.as_ref(), test_regions, out);
+            i = close + 1;
+            continue;
+        }
+        if t.is_ident("mod") {
+            // `mod name { … }`: descend with the same (no-impl) context;
+            // `mod name;` declarations have no body.
+            if let Some(open) = (i + 1..(i + 4).min(end)).find(|&k| toks[k].is_punct('{')) {
+                let close = match_brace(toks, open, end);
+                collect_fns(toks, open + 1, close, None, test_regions, out);
+                i = close + 1;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        if t.is_ident("fn") {
+            let Some(name_tok) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+                i += 1;
+                continue;
+            };
+            let sig_end = (i + 2..end)
+                .find(|&k| toks[k].is_punct('{') || toks[k].is_punct(';'))
+                .unwrap_or(end.min(toks.len()));
+            let returns_value = (i + 2..sig_end.min(toks.len())).any(|k| {
+                toks[k].is_punct('-') && toks.get(k + 1).map(|n| n.is_punct('>')) == Some(true)
+            });
+            let mut item = FnItem {
+                name: name_tok.text.clone(),
+                owner: ctx.map(|c| c.type_name.clone()),
+                trait_name: ctx.and_then(|c| c.trait_name.clone()),
+                is_pub: is_pub_before(toks, i),
+                line: t.line,
+                hot: false,
+                in_test: lexer::in_regions(test_regions, i),
+                returns_value,
+                body: None,
+                calls: Vec::new(),
+                effects: Vec::new(),
+            };
+            if sig_end < end && toks[sig_end].is_punct('{') {
+                let close = match_brace(toks, sig_end, end);
+                item.body = Some((sig_end + 1, close));
+                scan_calls(toks, sig_end + 1, close, &mut item.calls);
+                scan_effects(toks, sig_end + 1, close, &mut item.effects);
+                out.push(item);
+                i = close + 1;
+            } else {
+                out.push(item); // bodyless trait method declaration
+                i = sig_end + 1;
+            }
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Angle-depth-0 idents of an impl/trait header (generic parameters and
+/// bounds inside `<…>` are skipped; `where` clauses end the scan).
+fn impl_header(toks: &[Token]) -> Vec<String> {
+    let mut depth = 0i32;
+    let mut out = Vec::new();
+    for t in toks {
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') {
+            depth -= 1;
+        } else if depth == 0 && t.kind == TokKind::Ident {
+            if t.text == "where" {
+                break;
+            }
+            out.push(t.text.clone());
+        }
+    }
+    out
+}
+
+/// Index one past the `}` matching the `{` at `open` (clamped to `end`).
+fn match_brace(toks: &[Token], open: usize, end: usize) -> usize {
+    let mut depth = 1usize;
+    let mut k = open + 1;
+    while k < end && depth > 0 {
+        if toks[k].is_punct('{') {
+            depth += 1;
+        } else if toks[k].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+        k += 1;
+    }
+    k.min(end)
+}
+
+/// True when the item whose first keyword token is at `i` is `pub`:
+/// walks back over declaration qualifiers and a possible `(crate)`
+/// visibility group.
+fn is_pub_before(toks: &[Token], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        match t.kind {
+            TokKind::Ident => match t.text.as_str() {
+                "const" | "unsafe" | "async" | "extern" => continue,
+                "pub" => return true,
+                _ => return false,
+            },
+            TokKind::Str => continue, // `extern "C"` ABI string
+            TokKind::Punct if t.is_punct(')') => {
+                // Visibility group `pub(crate)`/`pub(super)`: restricted
+                // visibility is not the public surface.
+                return false;
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Extracts call sites from a body token range.
+fn scan_calls(toks: &[Token], start: usize, end: usize, out: &mut Vec<CallSite>) {
+    let mut i = start;
+    while i < end.min(toks.len()) {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || NON_CALL_IDENTS.contains(&t.text.as_str()) {
+            i += 1;
+            continue;
+        }
+        // Macro invocation (`name!(`): not a call site.
+        if toks.get(i + 1).map(|n| n.is_punct('!')) == Some(true) {
+            i += 2;
+            continue;
+        }
+        // A call is `name [::<turbofish>] (`.
+        let after = skip_turbofish(toks, i + 1, end);
+        if toks.get(after).map(|n| n.is_punct('(')) != Some(true) {
+            i += 1;
+            continue;
+        }
+        // `fn name(` is a declaration, not a call (nested fns).
+        if i > 0 && toks[i - 1].is_ident("fn") {
+            i = after + 1;
+            continue;
+        }
+        let is_method = i > 0 && toks[i - 1].is_punct('.');
+        let path = if is_method { Vec::new() } else { leading_path(toks, i) };
+        out.push(CallSite {
+            name: t.text.clone(),
+            path,
+            kind: if is_method { CallKind::Method } else { CallKind::Free },
+            line: t.line,
+        });
+        i = after + 1;
+    }
+}
+
+/// Skips a `::<…>` turbofish starting at `i`; returns the index after it
+/// (or `i` unchanged when there is none).
+fn skip_turbofish(toks: &[Token], i: usize, end: usize) -> usize {
+    if !(toks.get(i).map(|t| t.is_punct(':')) == Some(true)
+        && toks.get(i + 1).map(|t| t.is_punct(':')) == Some(true)
+        && toks.get(i + 2).map(|t| t.is_punct('<')) == Some(true))
+    {
+        return i;
+    }
+    let mut depth = 1i32;
+    let mut k = i + 3;
+    while k < end.min(toks.len()) && depth > 0 {
+        if toks[k].is_punct('<') {
+            depth += 1;
+        } else if toks[k].is_punct('>') {
+            depth -= 1;
+        }
+        k += 1;
+    }
+    k
+}
+
+/// Path segments qualifying the callee name at `i` (`a::b::name` →
+/// `["a", "b"]`), walking `ident ::` pairs backwards.
+fn leading_path(toks: &[Token], i: usize) -> Vec<String> {
+    let mut segs: Vec<String> = Vec::new();
+    let mut j = i;
+    while j >= 3
+        && toks[j - 1].is_punct(':')
+        && toks[j - 2].is_punct(':')
+        && toks[j - 3].kind == TokKind::Ident
+    {
+        // `>::name` (qualified generic) would put a '>' at j-3; the ident
+        // check above already excludes it.
+        segs.push(toks[j - 3].text.clone());
+        j -= 3;
+    }
+    segs.reverse();
+    segs
+}
+
+/// Allocating method names for the effect scan (`.name(` forms).
+const ALLOC_METHODS: &[&str] = &["to_vec", "clone", "to_owned", "to_string", "collect"];
+
+/// Allocating `Type::assoc` forms.
+const ALLOC_ASSOC: &[(&str, &[&str])] = &[
+    ("Vec", &["new", "with_capacity", "from"]),
+    ("String", &["new", "with_capacity", "from"]),
+    ("Box", &["new"]),
+];
+
+/// Extracts alloc/lock/io effects from a body token range.
+fn scan_effects(toks: &[Token], start: usize, end: usize, out: &mut Vec<Effect>) {
+    let end = end.min(toks.len());
+    let mut push = |kind: EffectKind, what: &str, line: u32| {
+        out.push(Effect { kind, what: what.to_string(), line });
+    };
+    for i in start..end {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Ident => {
+                let bang = toks.get(i + 1).map(|n| n.is_punct('!')) == Some(true);
+                match t.text.as_str() {
+                    "vec" if bang => push(EffectKind::Alloc, "vec!", t.line),
+                    "format" if bang => push(EffectKind::Alloc, "format!", t.line),
+                    "println" | "eprintln" | "print" | "eprint" if bang => {
+                        push(EffectKind::Io, &format!("{}!", t.text), t.line);
+                    }
+                    "Mutex" | "RwLock" | "Condvar" => {
+                        push(EffectKind::Lock, &t.text.clone(), t.line);
+                    }
+                    "File" | "OpenOptions" | "stdin" | "stdout" | "stderr" => {
+                        push(EffectKind::Io, &t.text.clone(), t.line);
+                    }
+                    "fs" if i > 0
+                        && toks[i - 1].is_punct(':')
+                        && toks.get(i + 1).map(|n| n.is_punct(':')) == Some(true) =>
+                    {
+                        push(EffectKind::Io, "std::fs", t.line);
+                    }
+                    name => {
+                        for (ty, methods) in ALLOC_ASSOC {
+                            if name == *ty
+                                && toks.get(i + 1).map(|n| n.is_punct(':')) == Some(true)
+                                && toks.get(i + 2).map(|n| n.is_punct(':')) == Some(true)
+                            {
+                                if let Some(m) = toks.get(i + 3) {
+                                    if methods.iter().any(|s| m.is_ident(s)) {
+                                        push(
+                                            EffectKind::Alloc,
+                                            &format!("{ty}::{}", m.text),
+                                            t.line,
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            TokKind::Punct if t.is_punct('.') => {
+                let Some(m) = toks.get(i + 1).filter(|m| m.kind == TokKind::Ident) else {
+                    continue;
+                };
+                let after = skip_turbofish(toks, i + 2, end);
+                if toks.get(after).map(|n| n.is_punct('(')) != Some(true) {
+                    continue;
+                }
+                if ALLOC_METHODS.contains(&m.text.as_str()) {
+                    push(EffectKind::Alloc, &format!(".{}()", m.text), m.line);
+                } else if m.text == "lock" {
+                    push(EffectKind::Lock, ".lock()", m.line);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Records workspace-crate imports: `use enw_x::…` binds each leaf name
+/// (respecting `as` aliases and `{…}` groups) to crate `x`; intermediate
+/// module imports (`use enw_parallel::scratch;`) bind the module name.
+fn collect_uses(toks: &[Token], out: &mut Vec<UseDecl>) {
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("use") {
+            i += 1;
+            continue;
+        }
+        let Some(stop) = (i + 1..toks.len()).find(|&k| toks[k].is_punct(';')) else {
+            break;
+        };
+        let decl = &toks[i + 1..stop];
+        if let Some(first) = decl.first() {
+            if let Some(crate_name) = first.text.strip_prefix("enw_") {
+                // Leaf names: idents not followed by `::`, skipping the
+                // `as` keyword itself but keeping its alias.
+                let mut k = 1;
+                while k < decl.len() {
+                    let t = &decl[k];
+                    if t.kind == TokKind::Ident && t.text != "as" {
+                        let followed_by_path = decl.get(k + 1).map(|n| n.is_punct(':'))
+                            == Some(true)
+                            && decl.get(k + 2).map(|n| n.is_punct(':')) == Some(true);
+                        let aliased = decl.get(k + 1).map(|n| n.is_ident("as")) == Some(true);
+                        if !followed_by_path && !aliased && t.text != "self" {
+                            out.push(UseDecl {
+                                name: t.text.clone(),
+                                from_crate: crate_name.to_string(),
+                            });
+                        }
+                    }
+                    k += 1;
+                }
+                // `use enw_x;` alone binds the crate name itself.
+                if decl.len() == 1 {
+                    out.push(UseDecl {
+                        name: first.text.clone(),
+                        from_crate: crate_name.to_string(),
+                    });
+                }
+            }
+        }
+        i = stop + 1;
+    }
+}
+
+/// Records names bound to hash-ordered collections anywhere in the file:
+/// `let x: HashMap<…>`, `x = HashMap::new()`, struct fields
+/// `x: HashMap<…>`. The unordered-iteration rules treat these names as
+/// hash receivers.
+fn collect_hash_bindings(toks: &[Token], out: &mut Vec<String>) {
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Walk back over a `std :: collections ::`-style path prefix.
+        let mut j = i;
+        while j >= 3
+            && toks[j - 1].is_punct(':')
+            && toks[j - 2].is_punct(':')
+            && toks[j - 3].kind == TokKind::Ident
+        {
+            j -= 3;
+        }
+        // Skip reference sigils and lifetimes (`&'a mut HashMap<…>`).
+        while j > 0
+            && (toks[j - 1].is_punct('&')
+                || toks[j - 1].is_ident("mut")
+                || toks[j - 1].kind == TokKind::Lifetime)
+        {
+            j -= 1;
+        }
+        let Some(prev) = j.checked_sub(1).map(|k| &toks[k]) else {
+            continue;
+        };
+        // `name : HashMap` (type ascription / struct field / parameter)
+        // or `name = HashMap::…` (initialiser).
+        let bound = if prev.is_punct(':') || prev.is_punct('=') {
+            // `::` path separators were consumed above, so a single ':'
+            // here is a genuine ascription.
+            j.checked_sub(2).map(|k| &toks[k])
+        } else {
+            None
+        };
+        if let Some(b) = bound {
+            if b.kind == TokKind::Ident && !out.contains(&b.text) {
+                out.push(b.text.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_free_fns_impls_and_trait_impls() {
+        let src = "pub fn free(x: u32) -> u32 { helper(x) }\n\
+                   fn helper(x: u32) -> u32 { x }\n\
+                   struct T { n: usize }\n\
+                   impl T {\n    pub fn method(&self) -> usize { self.n }\n}\n\
+                   trait Tr { fn required(&self); fn provided(&self) {} }\n\
+                   impl Tr for T {\n    fn required(&self) { self.method(); }\n}\n";
+        let f = parse_source("crates/numerics/src/x.rs", src);
+        let names: Vec<(&str, Option<&str>, Option<&str>)> = f
+            .fns
+            .iter()
+            .map(|i| (i.name.as_str(), i.owner.as_deref(), i.trait_name.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free", None, None),
+                ("helper", None, None),
+                ("method", Some("T"), None),
+                ("required", Some("Tr"), None),
+                ("provided", Some("Tr"), None),
+                ("required", Some("T"), Some("Tr")),
+            ]
+        );
+        let free = &f.fns[0];
+        assert!(free.is_pub && free.returns_value);
+        assert_eq!(free.calls.len(), 1);
+        assert_eq!(free.calls[0].name, "helper");
+        assert_eq!(free.calls[0].kind, CallKind::Free);
+        let required_impl = f.fns.last().expect("trait impl parsed");
+        assert_eq!(required_impl.calls[0].kind, CallKind::Method);
+    }
+
+    #[test]
+    fn hot_marker_attaches_to_next_fn() {
+        let src = "// enw:hot\n#[inline]\npub fn hot_one() {}\n\npub fn cold_one() {}\n";
+        let f = parse_source("crates/numerics/src/x.rs", src);
+        assert_eq!(
+            f.fns.iter().map(|i| (i.name.as_str(), i.hot)).collect::<Vec<_>>(),
+            vec![("hot_one", true), ("cold_one", false)]
+        );
+    }
+
+    #[test]
+    fn extracts_paths_effects_and_uses() {
+        let src = "use enw_parallel::scratch;\nuse enw_mann::{episode, Memory as Mem};\n\
+                   fn f(xs: &[f32]) -> Vec<f32> {\n\
+                       let mut buf = scratch::take_f32(xs.len());\n\
+                       let v: Vec<f32> = xs.iter().copied().collect::<Vec<f32>>();\n\
+                       let b = Box::new(1u32);\n\
+                       let s = format!(\"{}\", 1);\n\
+                       v\n\
+                   }\n";
+        let f = parse_source("crates/xmann/src/x.rs", src);
+        let calls: Vec<(&str, Vec<&str>)> = f.fns[0]
+            .calls
+            .iter()
+            .map(|c| (c.name.as_str(), c.path.iter().map(String::as_str).collect()))
+            .collect();
+        assert!(calls.contains(&("take_f32", vec!["scratch"])));
+        let effects: Vec<&str> = f.fns[0].effects.iter().map(|e| e.what.as_str()).collect();
+        assert!(effects.contains(&".collect()"), "{effects:?}");
+        assert!(effects.contains(&"Box::new"), "{effects:?}");
+        assert!(effects.contains(&"format!"), "{effects:?}");
+        let uses: Vec<(&str, &str)> =
+            f.uses.iter().map(|u| (u.name.as_str(), u.from_crate.as_str())).collect();
+        assert_eq!(uses, vec![("scratch", "parallel"), ("episode", "mann"), ("Mem", "mann")]);
+    }
+
+    #[test]
+    fn hash_bindings_cover_lets_and_fields() {
+        let src = "struct S { index: std::collections::HashMap<u32, u32> }\n\
+                   fn f() {\n    let seen = HashSet::new();\n    let other: Vec<u32> = Vec::new();\n}\n";
+        let f = parse_source("crates/core/src/x.rs", src);
+        assert_eq!(f.hash_bindings, vec!["index".to_string(), "seen".to_string()]);
+    }
+}

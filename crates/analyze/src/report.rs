@@ -1,7 +1,8 @@
-//! Finding types, human-readable rendering, and the machine-readable
-//! `analyze-report.json` emitter. Hand-rolled JSON keeps the crate
-//! dependency-free.
+//! Finding types, fingerprints, human-readable rendering, the
+//! machine-readable `analyze-report.json` emitter, and baseline-diff
+//! support. Hand-rolled JSON keeps the crate dependency-free.
 
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// How a finding affects the exit status.
@@ -38,6 +39,37 @@ pub struct Finding {
     pub message: String,
     /// Trimmed source line (used for allowlist matching and context).
     pub snippet: String,
+    /// Resolved call chain for graph rules (`hot_fn → helper → alloc`);
+    /// empty for line-level rules.
+    pub chain: Vec<String>,
+    /// Content-stable identity: FNV-1a over rule, path, snippet, and a
+    /// same-content ordinal — but *not* the line number, so baselines
+    /// survive unrelated edits that shift code up or down the file.
+    pub fingerprint: String,
+}
+
+impl Finding {
+    /// Constructs a line-level finding (no chain; fingerprint assigned
+    /// later by [`assign_fingerprints`]).
+    pub fn new(
+        rule: &'static str,
+        severity: Severity,
+        path: &str,
+        line: u32,
+        message: String,
+        snippet: String,
+    ) -> Self {
+        Finding {
+            rule,
+            severity,
+            path: path.to_string(),
+            line,
+            message,
+            snippet,
+            chain: Vec::new(),
+            fingerprint: String::new(),
+        }
+    }
 }
 
 impl fmt::Display for Finding {
@@ -52,6 +84,58 @@ impl fmt::Display for Finding {
             self.message
         )
     }
+}
+
+/// Assigns content-stable fingerprints to a batch of findings. Ordinals
+/// disambiguate repeated identical findings (same rule, path, snippet)
+/// in encounter order, which is deterministic because files and tokens
+/// are scanned in sorted order.
+pub fn assign_fingerprints(findings: &mut [Finding]) {
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for f in findings.iter_mut() {
+        let mut ordinal = 0usize;
+        loop {
+            let key = format!("{}\u{1}{}\u{1}{}\u{1}{}", f.rule, f.path, f.snippet, ordinal);
+            if seen.insert(key.clone()) {
+                f.fingerprint = format!("{:016x}", fnv1a64(key.as_bytes()));
+                break;
+            }
+            ordinal += 1;
+        }
+    }
+}
+
+/// FNV-1a 64-bit hash — stable across platforms and runs.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Extracts the set of fingerprints recorded in a baseline report
+/// (`analyze-baseline.json`, same schema as `analyze-report.json`).
+/// Only the `findings` array counts: waived findings are suppressions,
+/// not accepted debt. Scanning for the key rather than fully parsing
+/// keeps the reader tiny and tolerant of schema additions.
+pub fn baseline_fingerprints(contents: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let stop = contents.find("\"waived\"").unwrap_or(contents.len());
+    let head = &contents[..stop];
+    let key = "\"fingerprint\": \"";
+    let mut rest = head;
+    while let Some(pos) = rest.find(key) {
+        let tail = &rest[pos + key.len()..];
+        if let Some(end) = tail.find('"') {
+            out.insert(tail[..end].to_string());
+            rest = &tail[end..];
+        } else {
+            break;
+        }
+    }
+    out
 }
 
 /// A finding waived by a `lint.toml` entry, with its justification.
@@ -87,9 +171,21 @@ impl Analysis {
         self.findings.iter().filter(|f| f.severity == Severity::Warn).count()
     }
 
+    /// Findings whose fingerprints are absent from `baseline` — the
+    /// regressions a `--baseline` gate fails on.
+    pub fn new_vs_baseline<'a>(&'a self, baseline: &BTreeSet<String>) -> Vec<&'a Finding> {
+        self.findings.iter().filter(|f| !baseline.contains(&f.fingerprint)).collect()
+    }
+
+    /// Stale `lint.toml` entries (ENW-C001) — what `--audit-waivers`
+    /// fails on.
+    pub fn stale_waivers(&self) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| f.rule == "ENW-C001").collect()
+    }
+
     /// Renders the machine-readable JSON report.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": 1,\n  \"findings\": [");
+        let mut out = String::from("{\n  \"schema\": 2,\n  \"findings\": [");
         for (i, f) in self.findings.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -121,14 +217,25 @@ impl Analysis {
 
 fn push_finding_json(out: &mut String, f: &Finding, justification: Option<&str>) {
     out.push_str(&format!(
-        "{{\"rule\": {}, \"severity\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}",
+        "{{\"rule\": {}, \"severity\": {}, \"path\": {}, \"line\": {}, \"fingerprint\": {}, \"message\": {}, \"snippet\": {}",
         json_str(f.rule),
         json_str(f.severity.label()),
         json_str(&f.path),
         f.line,
+        json_str(&f.fingerprint),
         json_str(&f.message),
         json_str(&f.snippet)
     ));
+    if !f.chain.is_empty() {
+        out.push_str(", \"chain\": [");
+        for (i, link) in f.chain.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(link));
+        }
+        out.push(']');
+    }
     if let Some(j) = justification {
         out.push_str(&format!(", \"justification\": {}", json_str(j)));
     }

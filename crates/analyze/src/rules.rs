@@ -1,4 +1,6 @@
-//! Source-level lint rules over the token stream.
+//! Lint rules: token-stream rules plus item-model rules over the parsed
+//! [`crate::parse::SourceFile`]. The transitive graph rule (ENW-M002)
+//! lives in [`crate::graph`].
 //!
 //! Rule catalogue (stable ids; severities are built in):
 //!
@@ -8,6 +10,8 @@
 //! | ENW-D002 | deny     | no `Instant`/`SystemTime` outside `bench`/`parallel` (ambient time in kernels breaks reproducibility) |
 //! | ENW-D003 | deny     | no ambient entropy (`thread_rng`, `OsRng`, `RandomState`, …) outside `bench`/`parallel` |
 //! | ENW-D004 | deny     | no `thread::spawn` outside `enw-parallel` (all parallelism goes through the deterministic runtime) |
+//! | ENW-D006 | deny     | no `HashMap`/`HashSet` iteration feeding returned data in library crates (hash order leaks into results) |
+//! | ENW-D007 | deny     | no float reductions (`sum`/`product`/`fold`/`reduce`) over unordered hash iteration — reductions run in a fixed order or through `enw_parallel`'s ordered combinators |
 //! | ENW-P001 | deny     | no `.unwrap()` in non-test library code |
 //! | ENW-P002 | deny     | no `.expect(…)` in non-test library code |
 //! | ENW-P003 | deny     | no `panic!`/`todo!`/`unimplemented!`/`unreachable!` in non-test library code |
@@ -15,15 +19,23 @@
 //! | ENW-P005 | deny     | no `thread::scope` outside `enw-parallel` (scoped spawn-join bypasses the persistent worker pool) |
 //! | ENW-A002 | deny     | only `crates/bench` may name `BENCH_*` report artifacts |
 //! | ENW-A004 | deny     | no public `*_unchecked`/`*unwrap*` constructors in kernel crates (validation belongs in builders / `try_*` APIs) |
-//! | ENW-M001 | deny     | no heap allocation (`vec!`, `Vec::with_capacity`, `.to_vec()`, `.clone()`) inside functions annotated `// enw:hot` in kernel crates |
+//! | ENW-M001 | deny     | no heap allocation inside `// enw:hot` function bodies (`vec!`, `Vec::new`, `Vec::with_capacity`, `Box::new`, `format!`, `.collect()`, `.to_vec()`, `.clone()`, `.to_owned()`, `.to_string()`, `String::*`) |
+//! | ENW-M002 | deny     | (in [`crate::graph`]) nothing reachable from a `// enw:hot` fn may allocate, lock, or do I/O — reported with the resolved call chain |
 //!
+//! The `// enw:hot` annotation is binding wherever it appears in library
+//! code (the harness crates `bench` and `analyze` are out of scope);
+//! ENW-D006/D007 apply to every library crate except the harnesses and
+//! `enw-parallel` (whose combinators are the blessed ordered reducers).
 //! Test code (bodies of `#[cfg(test)]` items and `#[test]` fns), doc
 //! comments, binaries under `src/bin/`, bench targets, and integration
 //! tests are exempt from the panic-freedom rules; determinism rules apply
 //! per crate regardless of target kind.
 
 use crate::lexer::{self, TokKind, Token};
+use crate::parse::{self, EffectKind, FileKind, SourceFile};
 use crate::report::{Finding, Severity};
+
+pub use crate::parse::classify;
 
 /// Crates whose numeric/kernel paths must stay free of hash collections
 /// (ENW-D001). `nn` and `core` may use maps for bookkeeping/reports.
@@ -42,51 +54,45 @@ pub const AMBIENT_ALLOWED: &[&str] = &["bench", "parallel"];
 /// The only crate allowed to spawn threads (ENW-D004).
 pub const SPAWN_ALLOWED: &[&str] = &["parallel"];
 
+/// Crates exempt from the item-model rules: the analyzer and bench
+/// harness are tooling, and `parallel` owns the blessed combinators the
+/// determinism rules point users at.
+const ITEM_RULE_EXEMPT: &[&str] = &["analyze", "bench", "parallel"];
+
 /// Identifiers that mean ambient entropy when they appear at all.
 const ENTROPY_IDENTS: &[&str] =
     &["thread_rng", "from_entropy", "OsRng", "getrandom", "RandomState"];
 
-/// What kind of compilation target a file belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FileKind {
-    /// Library code: all rules apply.
-    Lib,
-    /// Binary target (`src/bin/…`, `src/main.rs`): panic rules off.
-    Bin,
-    /// Test or bench target: panic rules off.
-    Test,
-    /// Example: panic rules off.
-    Example,
-}
+/// Unordered-iteration methods on hash collections (ENW-D006/D007).
+const UNORDERED_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
 
-/// Classifies a workspace-relative path into its owning crate (the
-/// directory name under `crates/`) and target kind. Workspace-level
-/// `tests/` and `examples/` are targets of the bench crate.
-pub fn classify(rel_path: &str) -> (Option<String>, FileKind) {
-    let p = rel_path.replace('\\', "/");
-    if let Some(rest) = p.strip_prefix("crates/") {
-        let crate_name = rest.split('/').next().unwrap_or("").to_string();
-        let kind = if rest.contains("/src/bin/") || rest.ends_with("src/main.rs") {
-            FileKind::Bin
-        } else if rest.contains("/tests/") || rest.contains("/benches/") {
-            FileKind::Test
-        } else if rest.contains("/examples/") {
-            FileKind::Example
-        } else {
-            FileKind::Lib
-        };
-        (Some(crate_name), kind)
-    } else if p.starts_with("tests/") {
-        (Some("bench".to_string()), FileKind::Test)
-    } else if p.starts_with("examples/") {
-        (Some("bench".to_string()), FileKind::Example)
-    } else {
-        (None, FileKind::Lib)
-    }
-}
+/// Order-sensitive reduction methods (ENW-D007).
+const REDUCTIONS: &[&str] = &["sum", "product", "fold", "reduce"];
 
-/// Lints one source file; `rel_path` drives crate/target classification.
+/// Lints one source file (token rules + item-model rules; the graph
+/// rules need the whole workspace and run in
+/// [`crate::analyze_sources`]). `rel_path` drives crate/target
+/// classification.
 pub fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let file = parse::parse_source(rel_path, src);
+    let mut out = scan_tokens(rel_path, src);
+    out.extend(scan_items(&file, src));
+    out
+}
+
+/// Token-stream rules (the line-lexer families: D001–D004, P001–P005,
+/// A002, A004).
+pub(crate) fn scan_tokens(rel_path: &str, src: &str) -> Vec<Finding> {
     let (crate_name, kind) = classify(rel_path);
     let crate_name = crate_name.unwrap_or_default();
     let toks = lexer::tokenize(src);
@@ -97,14 +103,7 @@ pub fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
     };
     let mut out = Vec::new();
     let mut push = |rule: &'static str, severity: Severity, line: u32, message: String| {
-        out.push(Finding {
-            rule,
-            severity,
-            path: rel_path.to_string(),
-            line,
-            message,
-            snippet: snippet(line),
-        });
+        out.push(Finding::new(rule, severity, rel_path, line, message, snippet(line)));
     };
 
     let kernel = KERNEL_CRATES.contains(&crate_name.as_str());
@@ -271,98 +270,255 @@ pub fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
             _ => {}
         }
     }
-    if kernel {
-        for region in hot_regions(&lines, &toks) {
-            scan_hot_region(&toks, &region, &mut push);
+    out
+}
+
+/// Item-model rules over one parsed file: ENW-M001 (direct hot-body
+/// allocation) and ENW-D006/D007 (unordered hash iteration / reductions).
+pub(crate) fn scan_items(file: &SourceFile, src: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if file.kind != FileKind::Lib
+        || file.crate_name.is_empty()
+        || ITEM_RULE_EXEMPT.contains(&file.crate_name.as_str())
+    {
+        return out;
+    }
+    let lines: Vec<&str> = src.lines().collect();
+    let snippet = |line: u32| -> String {
+        lines.get(line as usize - 1).map(|l| l.trim().to_string()).unwrap_or_default()
+    };
+
+    // ENW-M001: direct allocations inside `// enw:hot` bodies. The
+    // annotation is an explicit opt-in and binds in any library crate.
+    for f in &file.fns {
+        if !f.hot || f.in_test {
+            continue;
+        }
+        for e in &f.effects {
+            if e.kind == EffectKind::Alloc {
+                out.push(Finding::new(
+                    "ENW-M001",
+                    Severity::Deny,
+                    &file.rel_path,
+                    e.line,
+                    format!(
+                        "`{}` allocates inside `// enw:hot` fn `{}`; reuse a caller buffer \
+                         (`_into` parameter) or checkout from `enw_parallel::scratch`",
+                        e.what, f.name
+                    ),
+                    snippet(e.line),
+                ));
+            }
+        }
+    }
+
+    // ENW-D006/D007: unordered hash iteration. Needs token positions, so
+    // re-tokenize (deterministic, cheap) and scan each body range.
+    if !file.hash_bindings.is_empty() {
+        let toks = lexer::tokenize(src);
+        for f in &file.fns {
+            if f.in_test {
+                continue;
+            }
+            let Some((start, end)) = f.body else {
+                continue;
+            };
+            scan_unordered(file, f, &toks, start, end, &snippet, &mut out);
         }
     }
     out
 }
 
-/// A `// enw:hot` function body: token range plus the function's name.
-struct HotRegion {
-    name: String,
+/// Scans one body for hash-collection iteration (`recv.iter()`,
+/// `for … in &recv`) and classifies each hit as ENW-D007 (a float-style
+/// reduction consumes the unordered stream) or ENW-D006 (the function
+/// returns data the iteration can feed).
+fn scan_unordered(
+    file: &SourceFile,
+    f: &parse::FnItem,
+    toks: &[Token],
     start: usize,
     end: usize,
-}
-
-/// Finds functions annotated with a `// enw:hot` marker line. The lexer
-/// drops comments, so markers come from the raw source lines; the body is
-/// then brace-matched over the token stream starting at the first `fn`
-/// after the marker.
-fn hot_regions(lines: &[&str], toks: &[Token]) -> Vec<HotRegion> {
-    let mut out = Vec::new();
-    for (idx, l) in lines.iter().enumerate() {
-        if l.trim() != "// enw:hot" {
-            continue;
-        }
-        let marker_line = (idx + 1) as u32;
-        let Some(fn_idx) = toks.iter().position(|t| t.line > marker_line && t.is_ident("fn"))
-        else {
-            continue;
-        };
-        let name = match toks.get(fn_idx + 1) {
-            Some(t) if t.kind == TokKind::Ident => t.text.clone(),
-            _ => continue,
-        };
-        let Some(open) = (fn_idx..toks.len()).find(|&k| toks[k].is_punct('{')) else {
-            continue;
-        };
-        let mut depth = 1usize;
-        let mut k = open + 1;
-        while k < toks.len() && depth > 0 {
-            if toks[k].is_punct('{') {
-                depth += 1;
-            } else if toks[k].is_punct('}') {
-                depth -= 1;
-            }
-            k += 1;
-        }
-        out.push(HotRegion { name, start: open + 1, end: k });
-    }
-    out
-}
-
-/// Flags heap-allocating constructs inside one `// enw:hot` body
-/// (ENW-M001): `vec!`, `Vec::with_capacity`, `.to_vec()`, `.clone()`.
-fn scan_hot_region(
-    toks: &[Token],
-    region: &HotRegion,
-    push: &mut impl FnMut(&'static str, Severity, u32, String),
+    snippet: &impl Fn(u32) -> String,
+    out: &mut Vec<Finding>,
 ) {
-    let mut hit = |line: u32, what: &str| {
-        push(
-            "ENW-M001",
+    let end = end.min(toks.len());
+    let is_hash_recv = |name: &str| {
+        file.hash_bindings.iter().any(|b| b == name) || name == "HashMap" || name == "HashSet"
+    };
+    let mut hit = |line: u32, recv: &str, reduction: Option<(&str, u32)>| match reduction {
+        Some((red, red_line)) => out.push(Finding::new(
+            "ENW-D007",
             Severity::Deny,
+            &file.rel_path,
+            red_line,
+            format!(
+                "`.{red}(…)` reduces an unordered `{recv}` iteration in `{}`: hash order \
+                     makes the result non-reproducible; reduce over a BTreeMap/sorted Vec or \
+                     use `enw_parallel`'s ordered combinators",
+                f.name
+            ),
+            snippet(red_line),
+        )),
+        None => out.push(Finding::new(
+            "ENW-D006",
+            Severity::Deny,
+            &file.rel_path,
             line,
             format!(
-                "`{what}` allocates inside `// enw:hot` fn `{}`; reuse a caller buffer \
-                 (`_into` parameter) or checkout from `enw_parallel::scratch`",
-                region.name
+                "iteration order of hash collection `{recv}` can feed data returned by \
+                     `{}`; use BTreeMap/BTreeSet or sort before returning",
+                f.name
             ),
-        );
+            snippet(line),
+        )),
     };
-    for i in region.start..region.end.min(toks.len()) {
+
+    let mut i = start;
+    while i < end {
         let t = &toks[i];
-        if t.is_ident("vec") && toks.get(i + 1).map(|n| n.is_punct('!')) == Some(true) {
-            hit(t.line, "vec!");
-        }
-        if t.is_ident("Vec")
-            && matches_seq(toks, i + 1, &[":", ":"])
-            && toks.get(i + 3).map(|n| n.is_ident("with_capacity")) == Some(true)
-        {
-            hit(t.line, "Vec::with_capacity");
-        }
+        // `recv.iter()` / `self.recv.keys()` / `HashMap::from(…).iter()`.
         if t.is_punct('.') {
-            for method in ["to_vec", "clone", "to_owned"] {
-                if toks.get(i + 1).map(|n| n.is_ident(method)) == Some(true)
-                    && toks.get(i + 2).map(|n| n.is_punct('(')) == Some(true)
-                {
-                    hit(t.line, &format!(".{method}()"));
+            let Some(m) = toks.get(i + 1).filter(|m| m.kind == TokKind::Ident) else {
+                i += 1;
+                continue;
+            };
+            if !UNORDERED_METHODS.contains(&m.text.as_str())
+                || toks.get(i + 2).map(|n| n.is_punct('(')) != Some(true)
+            {
+                i += 1;
+                continue;
+            }
+            let Some(recv) = receiver_name(toks, i, start) else {
+                i += 1;
+                continue;
+            };
+            if !is_hash_recv(&recv) {
+                i += 1;
+                continue;
+            }
+            let after = match_paren(toks, i + 2, end);
+            let reduction = chain_reduction(toks, after, end);
+            match reduction {
+                Some((red, line)) => hit(m.line, &recv, Some((red, line))),
+                None if f.returns_value => hit(m.line, &recv, None),
+                None => {}
+            }
+            i = after;
+            continue;
+        }
+        // `for pat in &recv { … }` — IntoIterator without a method call.
+        if t.is_ident("in") {
+            let mut j = i + 1;
+            while j < end && (toks[j].is_punct('&') || toks[j].is_ident("mut")) {
+                j += 1;
+            }
+            // Dotted receiver path: take the last ident before the block.
+            let mut last: Option<&Token> = None;
+            while j < end {
+                match toks[j].kind {
+                    TokKind::Ident => last = Some(&toks[j]),
+                    TokKind::Punct if toks[j].is_punct('.') => {}
+                    _ => break,
                 }
+                j += 1;
+            }
+            if let Some(r) = last {
+                if is_hash_recv(&r.text) && f.returns_value {
+                    hit(r.line, &r.text, None);
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Name of the receiver of the method call whose `.` is at `dot`:
+/// the ident directly before it, or — for a chained
+/// `HashMap::from(…).iter()` — the hash type behind one balanced paren
+/// group. `None` when the receiver shape is not recognised.
+fn receiver_name(toks: &[Token], dot: usize, floor: usize) -> Option<String> {
+    if dot == 0 || dot <= floor {
+        return None;
+    }
+    let prev = &toks[dot - 1];
+    if prev.kind == TokKind::Ident {
+        return Some(prev.text.clone());
+    }
+    if prev.is_punct(')') {
+        // Walk back over the balanced group, then over `Type::method`.
+        let mut depth = 1usize;
+        let mut k = dot - 1;
+        while k > floor && depth > 0 {
+            k -= 1;
+            if toks[k].is_punct(')') {
+                depth += 1;
+            } else if toks[k].is_punct('(') {
+                depth -= 1;
+            }
+        }
+        if depth == 0 && k >= floor + 4 {
+            let m = &toks[k - 1];
+            if m.kind == TokKind::Ident
+                && toks[k - 2].is_punct(':')
+                && toks[k - 3].is_punct(':')
+                && (toks[k - 4].is_ident("HashMap") || toks[k - 4].is_ident("HashSet"))
+            {
+                return Some(toks[k - 4].text.clone());
             }
         }
     }
+    None
+}
+
+/// Index one past the `)` matching the `(` at `open` (clamped to `end`).
+fn match_paren(toks: &[Token], open: usize, end: usize) -> usize {
+    let mut depth = 1usize;
+    let mut k = open + 1;
+    while k < end && depth > 0 {
+        if toks[k].is_punct('(') {
+            depth += 1;
+        } else if toks[k].is_punct(')') {
+            depth -= 1;
+        }
+        k += 1;
+    }
+    k
+}
+
+/// Walks a method chain starting at `i` (just after a call's closing
+/// paren) and returns the first reduction method found, with its line.
+fn chain_reduction(toks: &[Token], mut i: usize, end: usize) -> Option<(&'static str, u32)> {
+    while i + 1 < end && toks[i].is_punct('.') && toks[i + 1].kind == TokKind::Ident {
+        let name = &toks[i + 1];
+        if let Some(red) = REDUCTIONS.iter().find(|r| name.is_ident(r)) {
+            return Some((red, name.line));
+        }
+        // Advance past `name [::<…>] ( … )`.
+        let mut k = i + 2;
+        if toks.get(k).map(|t| t.is_punct(':')) == Some(true)
+            && toks.get(k + 1).map(|t| t.is_punct(':')) == Some(true)
+            && toks.get(k + 2).map(|t| t.is_punct('<')) == Some(true)
+        {
+            let mut depth = 1i32;
+            k += 3;
+            while k < end && depth > 0 {
+                if toks[k].is_punct('<') {
+                    depth += 1;
+                } else if toks[k].is_punct('>') {
+                    depth -= 1;
+                }
+                k += 1;
+            }
+        }
+        if toks.get(k).map(|t| t.is_punct('(')) != Some(true) {
+            return None;
+        }
+        i = match_paren(toks, k, end);
+    }
+    None
 }
 
 /// Name of the function declared at a `pub` item starting after token

@@ -1,0 +1,365 @@
+//! Golden fixtures for the workspace call graph: cross-crate resolution
+//! (free-fn and trait-method calls), the transitive hot-path rule
+//! (ENW-M002), the determinism rules (ENW-D006/D007), and the
+//! fingerprint/baseline machinery. Each fixture is a tiny synthetic
+//! multi-file workspace fed through [`enw_analyze::analyze_sources`].
+
+use std::collections::BTreeSet;
+
+use enw_analyze::analyze_sources;
+use enw_analyze::graph::CallGraph;
+use enw_analyze::parse::parse_source;
+use enw_analyze::report::baseline_fingerprints;
+
+/// Runs the full pipeline and keeps only rule/path/line triples.
+fn run(sources: &[(&str, &str)]) -> Vec<(String, String, u32)> {
+    let owned: Vec<(String, String)> =
+        sources.iter().map(|(p, s)| (p.to_string(), s.to_string())).collect();
+    analyze_sources(&owned)
+        .into_iter()
+        .map(|f| (f.rule.to_string(), f.path.clone(), f.line))
+        .collect()
+}
+
+fn rules_of(findings: &[(String, String, u32)], rule: &str) -> Vec<(String, u32)> {
+    findings.iter().filter(|(r, _, _)| r == rule).map(|(_, p, l)| (p.clone(), *l)).collect()
+}
+
+#[test]
+fn m002_catches_transitive_allocation_that_m001_misses() {
+    // The hot body itself is clean — ENW-M001 has nothing to say — but a
+    // same-crate callee two frames down allocates. Only the call-graph
+    // pass can see that.
+    let src = "\
+// enw:hot
+pub fn hot_entry(out: &mut [f32]) {
+    stage_one(out);
+}
+
+fn stage_one(out: &mut [f32]) {
+    stage_two(out.len());
+}
+
+fn stage_two(n: usize) -> usize {
+    let scratch = vec![0u8; n];
+    scratch.len()
+}
+";
+    let findings = run(&[("crates/numerics/src/fix.rs", src)]);
+    assert!(rules_of(&findings, "ENW-M001").is_empty(), "body is clean: {findings:?}");
+    assert_eq!(
+        rules_of(&findings, "ENW-M002"),
+        vec![("crates/numerics/src/fix.rs".to_string(), 11)],
+        "transitive vec! must be flagged: {findings:?}"
+    );
+}
+
+#[test]
+fn m002_reports_the_resolved_call_chain() {
+    let src = "\
+// enw:hot
+pub fn hot_entry(out: &mut [f32]) {
+    helper(out);
+}
+
+fn helper(out: &mut [f32]) {
+    let _copy = out.to_vec();
+}
+";
+    let owned = vec![("crates/numerics/src/fix.rs".to_string(), src.to_string())];
+    let findings = analyze_sources(&owned);
+    let m002 = findings.iter().find(|f| f.rule == "ENW-M002").expect("one finding");
+    assert_eq!(m002.chain, vec!["hot_entry".to_string(), "helper".to_string()]);
+    assert!(m002.message.contains("hot_entry"), "chain in message: {}", m002.message);
+}
+
+#[test]
+fn cross_crate_free_fn_calls_resolve_through_qualified_paths() {
+    // crossbar depends on numerics in the layering table; a
+    // `enw_numerics::`-qualified call pins the target crate.
+    let caller = "\
+// enw:hot
+pub fn hot_entry(out: &mut [f32]) {
+    enw_numerics::util::fill_slow(out);
+}
+";
+    let callee = "\
+pub fn fill_slow(out: &mut [f32]) {
+    let staged = vec![0.0f32; out.len()];
+    out.copy_from_slice(&staged);
+}
+";
+    let findings =
+        run(&[("crates/crossbar/src/fix.rs", caller), ("crates/numerics/src/util.rs", callee)]);
+    assert_eq!(
+        rules_of(&findings, "ENW-M002"),
+        vec![("crates/numerics/src/util.rs".to_string(), 2)],
+        "cross-crate vec! must be flagged: {findings:?}"
+    );
+}
+
+#[test]
+fn cross_crate_use_imported_free_fn_calls_resolve() {
+    let caller = "\
+use enw_numerics::util::fill_slow;
+
+// enw:hot
+pub fn hot_entry(out: &mut [f32]) {
+    fill_slow(out);
+}
+";
+    let callee = "\
+pub fn fill_slow(out: &mut [f32]) {
+    let staged = vec![0.0f32; out.len()];
+    out.copy_from_slice(&staged);
+}
+";
+    let findings =
+        run(&[("crates/crossbar/src/fix.rs", caller), ("crates/numerics/src/util.rs", callee)]);
+    assert_eq!(rules_of(&findings, "ENW-M002").len(), 1, "{findings:?}");
+}
+
+#[test]
+fn cross_crate_trait_method_calls_link_to_impls() {
+    // Without type inference a `.step_into(…)` call links to every impl
+    // method of that name in the dependency closure — over-linking is the
+    // sound direction for a purity rule.
+    let caller = "\
+use enw_numerics::engine::Engine;
+
+// enw:hot
+pub fn hot_entry(e: &mut enw_numerics::engine::Impl, out: &mut [f32]) {
+    e.step_into(out);
+}
+";
+    let callee = "\
+pub trait Engine {
+    fn step_into(&mut self, out: &mut [f32]);
+}
+
+pub struct Impl;
+
+impl Engine for Impl {
+    fn step_into(&mut self, out: &mut [f32]) {
+        let staged = out.to_vec();
+        out.copy_from_slice(&staged);
+    }
+}
+";
+    let findings =
+        run(&[("crates/crossbar/src/fix.rs", caller), ("crates/numerics/src/engine.rs", callee)]);
+    assert_eq!(
+        rules_of(&findings, "ENW-M002"),
+        vec![("crates/numerics/src/engine.rs".to_string(), 9)],
+        "trait impl .to_vec() must be flagged: {findings:?}"
+    );
+}
+
+#[test]
+fn calls_into_enw_parallel_are_trusted() {
+    // scratch-pool checkout allocates internally on pool miss — that is
+    // the sanctioned mechanism, so the traversal stops at the crate edge.
+    let caller = "\
+// enw:hot
+pub fn hot_entry(out: &mut [f32]) {
+    let tmp = enw_parallel::scratch::take_f32(out.len());
+    out.copy_from_slice(&tmp);
+}
+";
+    let pool = "\
+pub fn take_f32(n: usize) -> Vec<f32> {
+    vec![0.0f32; n]
+}
+";
+    let findings =
+        run(&[("crates/numerics/src/fix.rs", caller), ("crates/parallel/src/scratch.rs", pool)]);
+    assert!(rules_of(&findings, "ENW-M002").is_empty(), "{findings:?}");
+    assert!(rules_of(&findings, "ENW-M001").is_empty(), "{findings:?}");
+}
+
+#[test]
+fn m002_flags_locks_and_io_even_in_the_hot_body_itself() {
+    // Direct-body allocations are M001's job, but locks and I/O have no
+    // body-local rule — M002 reports them at depth zero too.
+    let src = "\
+// enw:hot
+pub fn hot_entry(out: &mut [f32]) {
+    println!(\"entered kernel\");
+    out.fill(0.0);
+}
+";
+    let findings = run(&[("crates/numerics/src/fix.rs", src)]);
+    assert_eq!(
+        rules_of(&findings, "ENW-M002"),
+        vec![("crates/numerics/src/fix.rs".to_string(), 3)],
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn d006_hash_iteration_feeding_returned_data() {
+    // `core` is not a kernel crate, so D001 stays silent and D006 is
+    // isolated: hash iteration order leaks into the returned Vec.
+    let src = "\
+use std::collections::HashMap;
+
+pub fn summarize(m: &HashMap<u64, f32>) -> Vec<f32> {
+    m.values().copied().collect()
+}
+";
+    let findings = run(&[("crates/core/src/fix.rs", src)]);
+    assert_eq!(
+        rules_of(&findings, "ENW-D006"),
+        vec![("crates/core/src/fix.rs".to_string(), 4)],
+        "{findings:?}"
+    );
+    assert!(rules_of(&findings, "ENW-D001").is_empty(), "{findings:?}");
+}
+
+#[test]
+fn d007_float_reduction_over_unordered_iteration() {
+    let src = "\
+use std::collections::HashMap;
+
+pub fn total(m: &HashMap<u64, f32>) -> f32 {
+    m.values().sum()
+}
+";
+    let findings = run(&[("crates/core/src/fix.rs", src)]);
+    assert_eq!(
+        rules_of(&findings, "ENW-D007"),
+        vec![("crates/core/src/fix.rs".to_string(), 4)],
+        "{findings:?}"
+    );
+    // D007 subsumes D006 at the same site: one finding, not two.
+    assert!(rules_of(&findings, "ENW-D006").is_empty(), "{findings:?}");
+}
+
+#[test]
+fn d006_for_loop_over_hash_collection_feeding_return() {
+    let src = "\
+use std::collections::HashSet;
+
+pub fn collect_sorted(s: &HashSet<u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for v in s {
+        out.push(*v);
+    }
+    out
+}
+";
+    let findings = run(&[("crates/core/src/fix.rs", src)]);
+    assert_eq!(rules_of(&findings, "ENW-D006").len(), 1, "{findings:?}");
+}
+
+#[test]
+fn d006_spares_btreemap_and_side_effect_free_cases() {
+    // Ordered collections are the sanctioned alternative.
+    let src = "\
+use std::collections::BTreeMap;
+
+pub fn summarize(m: &BTreeMap<u64, f32>) -> Vec<f32> {
+    m.values().copied().collect()
+}
+";
+    assert!(run(&[("crates/core/src/fix.rs", src)]).is_empty());
+    // Iteration that cannot feed a return value (no `->`) is fine.
+    let src = "\
+use std::collections::HashMap;
+
+pub fn count_all(m: &HashMap<u64, f32>, sink: &mut usize) {
+    for _v in m.values() {
+        *sink += 1;
+    }
+}
+";
+    assert!(run(&[("crates/core/src/fix.rs", src)]).is_empty());
+    // enw-parallel owns the blessed combinators and is exempt.
+    let src = "\
+use std::collections::HashMap;
+
+pub fn pool_stats(m: &HashMap<u64, f32>) -> f32 {
+    m.values().sum()
+}
+";
+    assert!(run(&[("crates/parallel/src/fix.rs", src)]).is_empty());
+}
+
+#[test]
+fn hot_fns_resolve_as_graph_roots() {
+    let src = "\
+// enw:hot
+pub fn hot_a(out: &mut [f32]) {
+    out.fill(0.0);
+}
+
+pub fn cold(out: &mut [f32]) {
+    out.fill(1.0);
+}
+
+// enw:hot
+pub fn hot_b(out: &mut [f32]) {
+    out.fill(2.0);
+}
+";
+    let files = vec![parse_source("crates/numerics/src/fix.rs", src)];
+    let graph = CallGraph::build(&files);
+    let roots: Vec<&str> =
+        graph.hot_roots.iter().map(|&n| graph.nodes[n].display.as_str()).collect();
+    assert_eq!(roots, vec!["hot_a", "hot_b"]);
+}
+
+#[test]
+fn fingerprints_are_stable_across_reruns_and_unique_within_a_run() {
+    let sources = vec![(
+        "crates/numerics/src/fix.rs".to_string(),
+        "fn f(x: Option<u32>) -> u32 { x.unwrap() }\nfn g(x: Option<u32>) -> u32 { x.unwrap() }\n"
+            .to_string(),
+    )];
+    let a = analyze_sources(&sources);
+    let b = analyze_sources(&sources);
+    let fp = |fs: &[enw_analyze::Finding]| -> Vec<String> {
+        fs.iter().map(|f| f.fingerprint.clone()).collect()
+    };
+    assert_eq!(fp(&a), fp(&b), "fingerprints must be deterministic");
+    let unique: BTreeSet<String> = fp(&a).into_iter().collect();
+    assert_eq!(unique.len(), a.len(), "identical findings must get distinct ordinals");
+    for f in &a {
+        assert_eq!(f.fingerprint.len(), 16, "16 hex chars: {}", f.fingerprint);
+    }
+}
+
+#[test]
+fn fingerprints_survive_line_drift() {
+    // Moving the offending line down the file must not change its
+    // fingerprint — that is what makes committed baselines durable.
+    let before = vec![(
+        "crates/numerics/src/fix.rs".to_string(),
+        "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n".to_string(),
+    )];
+    let after = vec![(
+        "crates/numerics/src/fix.rs".to_string(),
+        "fn pad() {}\n\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n".to_string(),
+    )];
+    let a = analyze_sources(&before);
+    let b = analyze_sources(&after);
+    assert_eq!(a.len(), 1);
+    assert_eq!(b.len(), 1);
+    assert_ne!(a[0].line, b[0].line, "the finding did move");
+    assert_eq!(a[0].fingerprint, b[0].fingerprint, "fingerprint must not track the line");
+}
+
+#[test]
+fn baseline_diff_flags_only_new_findings() {
+    let sources = vec![(
+        "crates/numerics/src/fix.rs".to_string(),
+        "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n".to_string(),
+    )];
+    let analysis =
+        enw_analyze::Analysis { findings: analyze_sources(&sources), ..Default::default() };
+    // A baseline built from this very report accepts everything.
+    let accepted = baseline_fingerprints(&analysis.to_json());
+    assert!(analysis.new_vs_baseline(&accepted).is_empty());
+    // An empty baseline accepts nothing.
+    assert_eq!(analysis.new_vs_baseline(&BTreeSet::new()).len(), analysis.findings.len());
+}

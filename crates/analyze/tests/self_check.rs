@@ -1,9 +1,50 @@
 //! Workspace self-check: the tree at HEAD must be lint-clean, i.e.
 //! `cargo run -p enw-analyze` exits 0. Running the same library entry
 //! point the binary uses keeps this inside plain `cargo test` (no nested
-//! cargo invocation needed).
+//! cargo invocation needed). Also asserts the call-graph invariants the
+//! transitive rules depend on: every `// enw:hot` marker attaches to a
+//! function that lands in the graph as a hot root, and the report JSON
+//! (fingerprints included) is byte-identical across reruns.
 
-use std::path::Path;
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use enw_analyze::graph::CallGraph;
+use enw_analyze::parse::{parse_source, FileKind};
+
+/// Workspace-relative `(path, contents)` pairs for every `.rs` file under
+/// `crates/`, mirroring the walker in `analyze_workspace`.
+fn workspace_sources(root: &Path) -> Vec<(String, String)> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+        let Ok(entries) = fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !["target", "vendor", ".git", ".github"].contains(&name.as_ref()) {
+                    walk(&path, out);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    let mut files = Vec::new();
+    walk(&root.join("crates"), &mut files);
+    files.sort();
+    files
+        .into_iter()
+        .map(|p| {
+            let rel = p.strip_prefix(root).unwrap_or(&p).to_string_lossy().replace('\\', "/");
+            let src = fs::read_to_string(&p).unwrap_or_default();
+            (rel, src)
+        })
+        .collect()
+}
 
 #[test]
 fn workspace_has_no_deny_findings_at_head() {
@@ -43,4 +84,68 @@ fn workspace_waivers_are_all_live() {
         .map(|f| f.message.clone())
         .collect();
     assert!(stale.is_empty(), "stale lint.toml entries:\n{}", stale.join("\n"));
+}
+
+#[test]
+fn every_hot_marker_resolves_into_the_call_graph() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let sources = workspace_sources(&root);
+    let files: Vec<_> = sources.iter().map(|(p, s)| parse_source(p, s)).collect();
+
+    // Count raw `// enw:hot` marker lines in graph-eligible library files
+    // (the graph models the shipped surface: Lib targets outside the
+    // analyze/bench tooling, non-test fns).
+    let mut markers = 0usize;
+    for ((_, src), file) in sources.iter().zip(&files) {
+        if file.kind != FileKind::Lib
+            || file.crate_name.is_empty()
+            || file.crate_name == "analyze"
+            || file.crate_name == "bench"
+        {
+            continue;
+        }
+        markers += src.lines().filter(|l| l.trim() == "// enw:hot").count();
+        // Marker attachment: every annotation must have latched onto a
+        // function item — an orphaned marker silently disables both M001
+        // and M002 for the kernel it meant to protect.
+        let attached = file.fns.iter().filter(|f| f.hot).count();
+        assert_eq!(
+            src.lines().filter(|l| l.trim() == "// enw:hot").count(),
+            attached,
+            "orphaned `// enw:hot` marker in {}",
+            file.rel_path
+        );
+    }
+    assert!(markers >= 30, "only {markers} hot markers found — tree changed unexpectedly?");
+
+    let graph = CallGraph::build(&files);
+    assert_eq!(
+        graph.hot_roots.len(),
+        markers,
+        "every `// enw:hot` fn must land in the graph as a hot root"
+    );
+    // And the graph is not degenerate: hot kernels call other functions.
+    let resolved_edges: usize = graph.hot_roots.iter().map(|&n| graph.edges[n].len()).sum();
+    assert!(resolved_edges > 0, "no calls resolved out of any hot root — resolver broken?");
+}
+
+#[test]
+fn report_json_is_deterministic_across_reruns() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let a = enw_analyze::analyze_workspace(&root).expect("analysis runs");
+    let b = enw_analyze::analyze_workspace(&root).expect("analysis runs");
+    assert_eq!(a.to_json(), b.to_json(), "report must be byte-identical across reruns");
+}
+
+#[test]
+fn baseline_round_trips_through_the_report_json() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let analysis = enw_analyze::analyze_workspace(&root).expect("analysis runs");
+    // A baseline snapshot of HEAD accepts HEAD: the gate only fires on
+    // findings introduced after the snapshot.
+    let accepted = enw_analyze::baseline_fingerprints(&analysis.to_json());
+    assert!(analysis.new_vs_baseline(&accepted).is_empty());
+    // Fingerprints are unique within the run, so the diff is well-defined.
+    let unique: BTreeSet<&str> = analysis.findings.iter().map(|f| f.fingerprint.as_str()).collect();
+    assert_eq!(unique.len(), analysis.findings.len());
 }

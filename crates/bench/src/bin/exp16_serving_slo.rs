@@ -15,7 +15,7 @@
 
 use enw_bench::{banner, emit};
 use enw_core::report::Table;
-use enw_core::serve::presets::{fleet, saturation_qps, traffic_classes};
+use enw_core::serve::presets::{saturation_qps, traffic_classes, try_fleet};
 use enw_core::serve::{generate_trace, LoadSpec, RunReport};
 use std::time::Instant;
 
@@ -37,7 +37,7 @@ struct LevelResult {
 /// One simulated run at `frac` times saturation; returns the report and
 /// how long the simulator took in wall time (telemetry only).
 fn run_level(frac: f64, horizon_ns: u64) -> LevelResult {
-    let server = fleet(SEED);
+    let server = try_fleet(SEED).expect("preset fleet");
     let classes = traffic_classes();
     let qps = frac * saturation_qps(&server, &classes);
     let spec = LoadSpec { qps, duration_ns: horizon_ns, seed: SEED ^ (frac.to_bits()) };

@@ -27,7 +27,7 @@ use enw_core::numerics::rng::Rng64;
 use enw_core::recsys::model::{Interaction, RecModel, RecModelConfig};
 use enw_core::recsys::trace::TraceGenerator;
 use enw_core::report::Table;
-use enw_core::serve::presets::{fleet, saturation_qps, traffic_classes};
+use enw_core::serve::presets::{saturation_qps, traffic_classes, try_fleet};
 use enw_core::serve::{generate_trace, LoadSpec};
 use enw_core::trace::{self, TraceMode, TraceReport};
 use enw_core::xmann::arch::{Xmann, XmannConfig};
@@ -119,7 +119,7 @@ fn lane_recsys(smoke: bool) {
 /// Serving lane: the E16 fleet near its saturation knee on a short
 /// virtual-time trace.
 fn lane_serve(smoke: bool) {
-    let server = fleet(SEED);
+    let server = try_fleet(SEED).expect("preset fleet");
     let classes = traffic_classes();
     let qps = 0.9 * saturation_qps(&server, &classes);
     let horizon_ns = if smoke { 5_000_000 } else { 50_000_000 };

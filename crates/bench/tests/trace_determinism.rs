@@ -11,7 +11,7 @@
 //! in one sequential body.
 
 use enw_core::parallel::with_threads;
-use enw_core::serve::presets::{fleet, saturation_qps, traffic_classes};
+use enw_core::serve::presets::{saturation_qps, traffic_classes, try_fleet};
 use enw_core::serve::{generate_trace, LoadSpec};
 use enw_core::trace::{self, TraceMode};
 
@@ -19,7 +19,7 @@ use enw_core::trace::{self, TraceMode};
 /// virtual horizon) under a fresh recording; returns the report bytes.
 fn serve_smoke_report_json() -> String {
     trace::reset();
-    let server = fleet(99);
+    let server = try_fleet(99).expect("preset fleet");
     let classes = traffic_classes();
     let qps = 1.2 * saturation_qps(&server, &classes);
     let spec = LoadSpec { qps, duration_ns: 4_000_000, seed: 99 };

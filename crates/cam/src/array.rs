@@ -188,20 +188,36 @@ impl TcamArray {
     }
 
     /// Pure ternary match (no cost accounting): indices of stored words
-    /// matching `pattern`. See [`search_ternary`](TcamArray::search_ternary).
+    /// matching `pattern`. Allocating wrapper around
+    /// [`peek_ternary_into`](TcamArray::peek_ternary_into).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern width mismatches.
+    pub fn peek_ternary(&self, pattern: &TernaryWord) -> Vec<usize> {
+        let mut hits = Vec::new();
+        self.peek_ternary_into(pattern, &mut hits);
+        hits
+    }
+
+    /// Pure ternary match appending matching indices to a caller-owned
+    /// vector (`hits` is cleared first) — the form the match loop itself
+    /// runs in, so repeated searches can reuse one buffer.
     ///
     /// # Panics
     ///
     /// Panics if the pattern width mismatches.
     // enw:hot
-    pub fn peek_ternary(&self, pattern: &TernaryWord) -> Vec<usize> {
+    pub fn peek_ternary_into(&self, pattern: &TernaryWord, hits: &mut Vec<usize>) {
         assert_eq!(pattern.len(), self.width, "pattern width mismatch");
-        self.limbs
-            .chunks_exact(self.limbs_per_word)
-            .enumerate()
-            .filter(|(_, w)| pattern.matches_limbs(w))
-            .map(|(i, _)| i)
-            .collect()
+        hits.clear();
+        hits.extend(
+            self.limbs
+                .chunks_exact(self.limbs_per_word)
+                .enumerate()
+                .filter(|(_, w)| pattern.matches_limbs(w))
+                .map(|(i, _)| i),
+        );
     }
 
     /// Exact ternary match of `pattern` against every stored word — one

@@ -146,16 +146,26 @@ impl LinearBackend for TikiTakaTile {
         self.c.out_dim()
     }
 
-    fn forward(&mut self, x: &[f32]) -> Vec<f32> {
-        let yc = self.c.forward(x);
-        let ya = self.a.forward(x);
-        yc.iter().zip(&ya).map(|(c, a)| c + self.cfg.gamma * a).collect()
+    // enw:hot
+    fn forward_into(&mut self, x: &[f32], out: &mut [f32]) {
+        self.c.forward_into(x, out);
+        let mut ya = enw_parallel::scratch::take_f32(out.len());
+        self.a.forward_into(x, &mut ya);
+        // `y = yc + γ·ya`, same term order as the allocating zip/map this
+        // replaces, so the bits match.
+        for (o, a) in out.iter_mut().zip(ya.iter()) {
+            *o += self.cfg.gamma * a;
+        }
     }
 
-    fn backward(&mut self, delta: &[f32]) -> Vec<f32> {
-        let dc = self.c.backward(delta);
-        let da = self.a.backward(delta);
-        dc.iter().zip(&da).map(|(c, a)| c + self.cfg.gamma * a).collect()
+    // enw:hot
+    fn backward_into(&mut self, delta: &[f32], out: &mut [f32]) {
+        self.c.backward_into(delta, out);
+        let mut da = enw_parallel::scratch::take_f32(out.len());
+        self.a.backward_into(delta, &mut da);
+        for (o, a) in out.iter_mut().zip(da.iter()) {
+            *o += self.cfg.gamma * a;
+        }
     }
 
     fn update(&mut self, delta: &[f32], x: &[f32], lr: f32) {

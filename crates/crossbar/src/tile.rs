@@ -394,12 +394,6 @@ impl LinearBackend for AnalogTile {
         self.array.rows()
     }
 
-    fn forward(&mut self, x: &[f32]) -> Vec<f32> {
-        let mut y = vec![0.0f32; self.array.rows()];
-        self.forward_into(x, &mut y);
-        y
-    }
-
     // enw:hot
     fn forward_into(&mut self, x: &[f32], out: &mut [f32]) {
         let mut xa = self.augmented_scratch(x);
@@ -412,12 +406,6 @@ impl LinearBackend for AnalogTile {
         self.stats.forward_ops += 1;
         let (rows, cols) = (self.array.rows() as u64, self.array.cols() as u64);
         enw_trace::record_span_io("crossbar/mvm", rows * cols, 4 * (rows * cols + cols), 4 * rows);
-    }
-
-    fn backward(&mut self, delta: &[f32]) -> Vec<f32> {
-        let mut dx = vec![0.0f32; self.in_dim];
-        self.backward_into(delta, &mut dx);
-        dx
     }
 
     // enw:hot

@@ -24,45 +24,52 @@ pub trait LinearBackend {
     /// Output dimension.
     fn out_dim(&self) -> usize;
 
-    /// Forward cycle: `z = W · [x; 1]`.
+    /// Forward cycle: `z = W · [x; 1]`, allocating the result. The
+    /// default allocates once and delegates to the required
+    /// [`forward_into`](LinearBackend::forward_into) — the `_into` form
+    /// is the primitive so hot inference paths are allocation-free by
+    /// construction (ENW-M002 walks them transitively).
     ///
     /// # Panics
     ///
-    /// Implementations panic if `x.len() != in_dim()`.
-    fn forward(&mut self, x: &[f32]) -> Vec<f32>;
+    /// Panics if `x.len() != in_dim()`.
+    fn forward(&mut self, x: &[f32]) -> Vec<f32> {
+        let mut y = vec![0.0f32; self.out_dim()];
+        self.forward_into(x, &mut y);
+        y
+    }
 
     /// Forward cycle into a caller-owned buffer (`out` is fully
-    /// overwritten). The default delegates to
-    /// [`forward`](LinearBackend::forward) and copies; allocation-free
-    /// backends override it to write directly into `out`.
+    /// overwritten). Required: every backend must provide a form that
+    /// writes directly into `out` without allocating.
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != in_dim()` or `out.len() != out_dim()`.
-    fn forward_into(&mut self, x: &[f32], out: &mut [f32]) {
-        let y = self.forward(x);
-        out.copy_from_slice(&y);
-    }
+    fn forward_into(&mut self, x: &[f32], out: &mut [f32]);
 
     /// Backward cycle: returns `Wᵀ · delta` truncated to the logical input
     /// dimension (the bias column's gradient is internal to the layer).
+    /// The default allocates once and delegates to the required
+    /// [`backward_into`](LinearBackend::backward_into).
     ///
     /// # Panics
     ///
-    /// Implementations panic if `delta.len() != out_dim()`.
-    fn backward(&mut self, delta: &[f32]) -> Vec<f32>;
+    /// Panics if `delta.len() != out_dim()`.
+    fn backward(&mut self, delta: &[f32]) -> Vec<f32> {
+        let mut dx = vec![0.0f32; self.in_dim()];
+        self.backward_into(delta, &mut dx);
+        dx
+    }
 
     /// Backward cycle into a caller-owned buffer of `in_dim()` elements
-    /// (`out` is fully overwritten). The default delegates to
-    /// [`backward`](LinearBackend::backward) and copies.
+    /// (`out` is fully overwritten). Required: every backend must provide
+    /// a form that writes directly into `out` without allocating.
     ///
     /// # Panics
     ///
     /// Panics if `delta.len() != out_dim()` or `out.len() != in_dim()`.
-    fn backward_into(&mut self, delta: &[f32], out: &mut [f32]) {
-        let dx = self.backward(delta);
-        out.copy_from_slice(&dx);
-    }
+    fn backward_into(&mut self, delta: &[f32], out: &mut [f32]);
 
     /// Update cycle: `W += lr · delta · [x; 1]ᵀ` (or the hardware
     /// approximation of it).
@@ -161,22 +168,10 @@ impl LinearBackend for DigitalLinear {
         self.weights.rows()
     }
 
-    fn forward(&mut self, x: &[f32]) -> Vec<f32> {
-        let mut y = vec![0.0f32; self.weights.rows()];
-        self.forward_into(x, &mut y);
-        y
-    }
-
     // enw:hot
     fn forward_into(&mut self, x: &[f32], out: &mut [f32]) {
         let xa = augmented_scratch(x, self.in_dim);
         self.weights.matvec_into(&xa, out);
-    }
-
-    fn backward(&mut self, delta: &[f32]) -> Vec<f32> {
-        let mut dx = vec![0.0f32; self.in_dim];
-        self.backward_into(delta, &mut dx);
-        dx
     }
 
     // enw:hot

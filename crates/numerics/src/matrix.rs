@@ -673,7 +673,7 @@ impl Matrix {
             for (r, accr) in acc.iter_mut().enumerate() {
                 accr.copy_from_slice(&out_rows[(oi + r) * n + j..(oi + r) * n + j + MATMUL_NR]);
             }
-            for kk in ks.clone() {
+            for kk in ks.start..ks.end {
                 let bk = &b[kk * n + j..kk * n + j + MATMUL_NR];
                 let (c0, c1, c2, c3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
                 if !skip_zero_coeff(c0) {
@@ -707,7 +707,7 @@ impl Matrix {
         if j < js.end {
             for (r, arow) in [a0, a1, a2, a3].into_iter().enumerate() {
                 let orow = &mut out_rows[(oi + r) * n + j..(oi + r) * n + js.end];
-                for kk in ks.clone() {
+                for kk in ks.start..ks.end {
                     let av = arow[kk];
                     if !skip_zero_coeff(av) {
                         axpy_row(orow, av, &b[kk * n + j..kk * n + js.end]);

@@ -89,7 +89,7 @@ impl QuantizedTable {
     /// # Panics
     ///
     /// Panics if out of range.
-    pub fn row(&self, r: usize) -> Vec<f32> {
+    pub fn dequantize_row(&self, r: usize) -> Vec<f32> {
         assert!(r < self.rows, "row out of range");
         let q = &self.quantizers[r];
         self.codes[r * self.dim..(r + 1) * self.dim].iter().map(|&c| q.dequantize(c)).collect()
@@ -104,7 +104,7 @@ impl QuantizedTable {
         assert!(!indices.is_empty(), "empty multi-hot lookup");
         let mut pooled = vec![0.0f32; self.dim];
         for &i in indices {
-            for (p, v) in pooled.iter_mut().zip(self.row(i)) {
+            for (p, v) in pooled.iter_mut().zip(self.dequantize_row(i)) {
                 *p += v;
             }
         }
@@ -118,7 +118,7 @@ impl QuantizedTable {
         let mut ref_sq = 0.0f64;
         for r in 0..self.rows {
             let orig = original.row(r);
-            for (o, d) in orig.iter().zip(self.row(r)) {
+            for (o, d) in orig.iter().zip(self.dequantize_row(r)) {
                 err += ((o - d) as f64).powi(2);
                 ref_sq += (*o as f64).powi(2);
             }
@@ -195,7 +195,7 @@ mod tests {
     fn row_roundtrip_dimensions() {
         let mut rng = Rng64::new(6);
         let (_, q) = quantized_pair(10, 7, 4, &mut rng);
-        assert_eq!(q.row(9).len(), 7);
+        assert_eq!(q.dequantize_row(9).len(), 7);
         assert_eq!(q.rows(), 10);
         assert_eq!(q.dim(), 7);
     }

@@ -57,7 +57,13 @@ pub fn recsys_config() -> RecModelConfig {
 
 /// Builds the four-lane server; every parameter and random draw is a
 /// pure function of `seed`.
-pub fn fleet(seed: u64) -> Server {
+///
+/// # Errors
+///
+/// Propagates [`Server::try_new`]'s validation; with the preset spec
+/// list this cannot fail, but the `Result` keeps the preset honest
+/// instead of hiding a panic behind an "is statically valid" expect.
+pub fn try_fleet(seed: u64) -> Result<Server, crate::ServeError> {
     let mut rng = Rng64::new(seed);
 
     // Lanes 0/1: the same ideal MLP weights served analog and digital.
@@ -109,40 +115,25 @@ pub fn fleet(seed: u64) -> Server {
         );
     let recsys = RecsysBackend::new("recsys", &cfg, 1.0, machine, &mut rng);
 
-    // Every figure below is a compile-time constant satisfying the
-    // builders' constraints, so the expects cannot fire (waived in
-    // lint.toml).
-    let policy = |max_batch: usize, max_wait_ns: u64, queue_cap: usize| {
-        BatchPolicy::builder()
-            .max_batch(max_batch)
-            .max_wait_ns(max_wait_ns)
-            .queue_cap(queue_cap)
-            .build()
-            .expect("preset policy is statically valid")
-    };
+    // Every figure below is a compile-time constant satisfying
+    // `BatchPolicy::new`'s documented invariants, so the infallible
+    // validated constructors apply; only `Server::try_new` stays
+    // fallible and its error propagates.
     let specs = vec![
-        StationSpec::builder(Box::new(analog))
-            .policy(policy(8, 200_000, 64))
-            .fallback(Box::new(analog_fallback), DegradePolicy::new(3, 8))
-            .build()
-            .expect("preset station is statically valid"),
-        StationSpec::builder(Box::new(digital))
-            .policy(policy(16, 100_000, 128))
-            .build()
-            .expect("preset station is statically valid"),
-        StationSpec::builder(Box::new(tcam))
-            .policy(policy(4, 50_000, 64))
-            .build()
-            .expect("preset station is statically valid"),
-        StationSpec::builder(Box::new(recsys))
-            .policy(recsys_policy)
-            .build()
-            .expect("preset station is statically valid"),
+        StationSpec::with_fallback(
+            Box::new(analog),
+            BatchPolicy::new(8, 200_000, 64),
+            Box::new(analog_fallback),
+            DegradePolicy::new(3, 8),
+        ),
+        StationSpec::simple(Box::new(digital), BatchPolicy::new(16, 100_000, 128)),
+        StationSpec::simple(Box::new(tcam), BatchPolicy::new(4, 50_000, 64)),
+        StationSpec::simple(Box::new(recsys), recsys_policy),
     ];
-    Server::try_new(specs).expect("preset fleet is statically valid")
+    Server::try_new(specs)
 }
 
-/// The traffic mix matching [`fleet`]'s station order.
+/// The traffic mix matching [`try_fleet`]'s station order.
 pub fn traffic_classes() -> Vec<TrafficClass> {
     vec![
         TrafficClass { station: 0, weight: 1.0, deadline_ns: 2_000_000 },
@@ -173,7 +164,7 @@ mod tests {
 
     #[test]
     fn fleet_has_four_lanes_in_paper_order() {
-        let s = fleet(1);
+        let s = try_fleet(1).expect("preset fleet");
         assert_eq!(s.station_count(), 4);
         assert_eq!(s.station_name(0), "crossbar");
         assert_eq!(s.station_name(1), "digital");
@@ -183,7 +174,7 @@ mod tests {
 
     #[test]
     fn recsys_policy_is_sla_derived() {
-        let s = fleet(2);
+        let s = try_fleet(2).expect("preset fleet");
         let p = s.policy(3);
         let direct = enw_recsys::serving::try_max_batch_under_sla(
             &recsys_config(),
@@ -196,7 +187,7 @@ mod tests {
 
     #[test]
     fn saturation_is_finite_and_positive() {
-        let s = fleet(3);
+        let s = try_fleet(3).expect("preset fleet");
         let classes = traffic_classes();
         let sat = saturation_qps(&s, &classes);
         assert!(sat.is_finite() && sat > 0.0, "saturation {sat}");
@@ -209,8 +200,8 @@ mod tests {
 
     #[test]
     fn fleets_from_the_same_seed_are_interchangeable() {
-        let a = fleet(9);
-        let b = fleet(9);
+        let a = try_fleet(9).expect("preset fleet");
+        let b = try_fleet(9).expect("preset fleet");
         let mut ra = Rng64::new(1);
         let mut rb = Rng64::new(1);
         for i in 0..4 {

@@ -4,14 +4,14 @@
 //! `ENW_THREADS` setting — with the *real* paper backends, not stubs.
 
 use enw_parallel as parallel;
-use enw_serve::presets::{fleet, saturation_qps, traffic_classes};
+use enw_serve::presets::{saturation_qps, traffic_classes, try_fleet};
 use enw_serve::{generate_trace, LoadSpec, Outcome, RunReport};
 
 const SEED: u64 = 20_200_309;
 
 /// One full simulated run at `qps_frac` times the fleet's saturation QPS.
 fn run_at(seed: u64, qps_frac: f64, duration_ns: u64) -> RunReport {
-    let server = fleet(seed);
+    let server = try_fleet(seed).expect("preset fleet");
     let classes = traffic_classes();
     let qps = qps_frac * saturation_qps(&server, &classes);
     let spec = LoadSpec { qps, duration_ns, seed: seed ^ 0x9e37_79b9 };
@@ -98,7 +98,7 @@ fn oversaturated_fleet_sheds_and_degrades() {
 fn analog_lane_falls_back_under_sustained_overload() {
     // Hammer only the crossbar lane with a tight deadline so the ladder
     // has to step down to the digital fallback.
-    let server = fleet(SEED);
+    let server = try_fleet(SEED).expect("preset fleet");
     let mut classes = traffic_classes();
     classes.truncate(1);
     classes[0].deadline_ns = 300_000; // tighter than an 8-deep analog batch

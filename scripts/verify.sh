@@ -15,8 +15,11 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test -q
 
-echo "== enw-analyze (determinism / panic-freedom / architecture lints) =="
-cargo run --release -q -p enw-analyze
+echo "== enw-analyze (lints + baseline diff + waiver audit) =="
+# Fails on deny findings, on findings not present in the committed
+# baseline snapshot (refresh with --write-baseline analyze-baseline.json
+# after review), and on stale lint.toml waivers.
+cargo run --release -q -p enw-analyze -- --baseline analyze-baseline.json --audit-waivers
 
 echo "== exp16_serving_slo --smoke (serving runtime end to end) =="
 cargo run --release -q -p enw-bench --bin exp16_serving_slo -- --smoke
