@@ -28,11 +28,16 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
     ("cam", &["numerics", "mann", "xmann", "parallel", "trace"]),
     ("recsys", &["numerics", "nn", "parallel", "trace"]),
     ("serve", &["numerics", "nn", "crossbar", "mann", "cam", "recsys", "parallel", "trace"]),
+    // The cluster layer sits on top of the single-node serving runtime:
+    // it reuses serve's clock/metrics/load-shape surface and shards the
+    // recsys embedding store, but never reaches into the other lanes'
+    // hardware models directly.
+    ("fleet", &["numerics", "recsys", "serve", "parallel", "trace"]),
     (
         "core",
         &[
-            "numerics", "nn", "crossbar", "mann", "xmann", "cam", "recsys", "serve", "parallel",
-            "trace",
+            "numerics", "nn", "crossbar", "mann", "xmann", "cam", "recsys", "serve", "fleet",
+            "parallel", "trace",
         ],
     ),
     ("bench", &["core"]),

@@ -43,8 +43,10 @@ pub use crate::parse::classify;
 /// byte-exact response stream, so no hash iteration order may touch them.
 /// `trace` is included: its merged totals are part of the reproducible
 /// output (TraceReport bytes), so hash iteration order may not feed them.
+/// `fleet` is included: routing, shard placement and autoscaling all feed
+/// the byte-exact fleet report, so the same discipline applies.
 pub const KERNEL_CRATES: &[&str] =
-    &["numerics", "crossbar", "cam", "xmann", "mann", "recsys", "serve", "trace"];
+    &["numerics", "crossbar", "cam", "xmann", "mann", "recsys", "serve", "trace", "fleet"];
 
 /// Crates allowed to read wall-clock time or ambient entropy
 /// (ENW-D002/D003): the bench harness times things by design, and the

@@ -211,6 +211,34 @@ fn serve_is_a_kernel_crate_for_determinism_rules() {
 }
 
 #[test]
+fn fleet_is_a_kernel_crate_for_determinism_rules() {
+    // The fleet report is a pure function of (spec, trace) — routing,
+    // shard placement and autoscaling all feed the byte-exact render —
+    // so the fleet crate gets the same determinism discipline as serve.
+    let got = hits("crates/fleet/src/ring.rs", "use std::collections::HashMap;\n");
+    assert_eq!(got, vec![("ENW-D001".to_string(), 1)]);
+    let src = "fn f() { let _t = std::time::Instant::now(); }\n";
+    assert_eq!(hits("crates/fleet/src/sim.rs", src), vec![("ENW-D002".to_string(), 1)]);
+    let src = "fn f() { let mut r = thread_rng(); }\n";
+    assert_eq!(hits("crates/fleet/src/shape.rs", src), vec![("ENW-D003".to_string(), 1)]);
+    // The JSON writer lives in the exp19 bench binary, not the library.
+    let src = "fn f() { let _p = \"BENCH_fleet.json\"; }\n";
+    assert_eq!(hits("crates/fleet/src/sim.rs", src), vec![("ENW-A002".to_string(), 1)]);
+}
+
+#[test]
+fn fleet_layering_allows_serving_stack_but_not_core() {
+    let good = "[dependencies]\nenw-numerics.workspace = true\nenw-recsys.workspace = true\nenw-serve.workspace = true\nenw-parallel.workspace = true\nenw-trace.workspace = true\n";
+    assert!(check_manifest("fleet", "crates/fleet/Cargo.toml", good).is_empty());
+    // fleet sits below core like every workload crate; depending upward
+    // is a layering violation, as is reaching for another workload lane.
+    let bad = "[dependencies]\nenw-core.workspace = true\nenw-cam.workspace = true\n";
+    let got = check_manifest("fleet", "crates/fleet/Cargo.toml", bad);
+    let lines: Vec<_> = got.iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(lines, vec![("ENW-A001", 2), ("ENW-A001", 3)]);
+}
+
+#[test]
 fn trace_is_a_kernel_crate_for_determinism_rules() {
     // TraceReport bytes are part of the reproducible output, so the trace
     // crate gets the full determinism treatment: no hash iteration order

@@ -1,0 +1,198 @@
+//! E19 — serving at fleet scale (Sec. V-B, deployment): a multi-node
+//! cluster with consistent-hash routing, range-sharded replicated
+//! embedding tables and reactive autoscaling, swept over traffic shape
+//! (diurnal/Zipf, bursty/uniform, flash-crowd/hot-set) × fleet size
+//! (2, 4, 8 nodes per lane with 4, 8, 16 embedding shards). Reported
+//! per cell and lane: tail latencies, goodput per node-second, scale
+//! events and the measured rebalance cost (moved probe keys on the
+//! ring, moved shard bytes in the store).
+//!
+//! The whole cluster runs on virtual time, so every number is a pure
+//! function of `(spec, trace)` — bit-identical across reruns and
+//! `ENW_THREADS`; the only wall-clock reading times the simulator.
+//!
+//! Emits `BENCH_fleet.json` in the working directory so CI can track
+//! tails and goodput-per-node over time. Pass `--smoke` for a short
+//! horizon (CI-sized); full runs use a 4x longer one.
+
+use enw_bench::{banner, emit};
+use enw_core::fleet::presets::{fleet_spec, scales, trace, FleetScale, Scenario};
+use enw_core::fleet::sim::{try_run, FleetReport};
+use enw_core::report::Table;
+use std::time::Instant;
+
+const SEED: u64 = 19;
+const SMOKE_HORIZON_NS: u64 = 50_000_000; // 50 ms of virtual time
+const FULL_HORIZON_NS: u64 = 200_000_000; // 200 ms of virtual time
+
+struct Cell {
+    scenario: Scenario,
+    scale: FleetScale,
+    arrivals: usize,
+    sim_seconds: f64,
+    report: FleetReport,
+}
+
+/// One cell of the sweep: `scenario`'s traffic at `scale`'s size.
+fn run_cell(scenario: Scenario, scale: FleetScale, horizon_ns: u64) -> Cell {
+    let t = trace(scenario, scale, horizon_ns, SEED);
+    let arrivals = t.len();
+    let wall = Instant::now();
+    let report = try_run(fleet_spec(scale), &t).expect("preset spec and trace are valid");
+    Cell { scenario, scale, arrivals, sim_seconds: wall.elapsed().as_secs_f64(), report }
+}
+
+/// Std-only JSON rendering of the sweep (no serde in the workspace).
+fn to_json(cells: &[Cell], deterministic: bool) -> String {
+    let mut s = format!(
+        "{{\n  \"bench\": \"fleet_sweep\",\n  \"seed\": {SEED},\n  \"deterministic_rerun\": {deterministic},\n  \"cells\": [\n"
+    );
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\n      \"scenario\": \"{}\",\n      \"nodes\": {},\n      \"shards\": {},\n      \"arrivals\": {},\n      \"sim_seconds\": {:.4},\n      \"lanes\": [\n",
+            c.scenario.name(),
+            c.scale.nodes,
+            c.scale.shards,
+            c.arrivals,
+            c.sim_seconds
+        ));
+        for (j, l) in c.report.lanes.iter().enumerate() {
+            let p = l.metrics.summary();
+            s.push_str(&format!(
+                "        {{\"name\": \"{}\", \"arrived\": {}, \"completed\": {}, \"deadline_misses\": {}, \"shed\": {}, \"rejected\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"goodput_per_node_qps\": {:.1}, \"node_seconds\": {:.6}, \"replicas_peak\": {}, \"replicas_final\": {}, \"scale_ups\": {}, \"scale_downs\": {}, \"keys_moved\": {}, \"moved_bytes\": {}}}{}\n",
+                l.name,
+                l.metrics.arrived,
+                l.metrics.completed,
+                l.metrics.deadline_misses,
+                l.metrics.shed,
+                l.metrics.rejected,
+                p.p50_ns,
+                p.p95_ns,
+                p.p99_ns,
+                l.goodput_per_node_qps(),
+                l.node_seconds,
+                l.replicas_peak,
+                l.replicas_final,
+                l.scale_ups,
+                l.scale_downs,
+                l.keys_moved,
+                l.moved_bytes,
+                if j + 1 < c.report.lanes.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("      ]");
+        if let Some(sh) = &c.report.shard {
+            s.push_str(&format!(
+                ",\n      \"shard\": {{\"slots\": {}, \"hot\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"replicated_bytes\": {}, \"table_bytes\": {}}}",
+                sh.shards,
+                sh.hot_shards,
+                sh.cache_hits,
+                sh.cache_misses,
+                sh.replicated_bytes,
+                sh.table_bytes,
+            ));
+        }
+        s.push_str(&format!("\n    }}{}\n", if i + 1 < cells.len() { "," } else { "" }));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    banner("E19");
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let horizon_ns = if smoke { SMOKE_HORIZON_NS } else { FULL_HORIZON_NS };
+    println!(
+        "mode: {} ({} ms virtual horizon per cell); offered load scales with fleet size,\nso cells compare shape and placement effects at equal nominal utilization\n",
+        if smoke { "smoke" } else { "full" },
+        horizon_ns / 1_000_000
+    );
+
+    // Determinism spot-check: a rerun of the same (spec, trace) must
+    // produce the same report bytes, whatever ENW_THREADS is set to.
+    let deterministic = {
+        let probe = (Scenario::DiurnalZipf, scales()[0]);
+        let a = run_cell(probe.0, probe.1, SMOKE_HORIZON_NS).report.render();
+        let b = run_cell(probe.0, probe.1, SMOKE_HORIZON_NS).report.render();
+        a == b
+    };
+    assert!(deterministic, "rerun of the same spec/trace diverged");
+
+    let mut cells = Vec::new();
+    for scale in scales() {
+        for scenario in Scenario::all() {
+            cells.push(run_cell(scenario, scale, horizon_ns));
+        }
+    }
+
+    let mut table = Table::new(&[
+        "scenario",
+        "fleet",
+        "lane",
+        "arrived",
+        "p50 (us)",
+        "p99 (us)",
+        "late",
+        "dropped",
+        "goodput/node",
+        "peak",
+        "ups/downs",
+        "moved",
+    ]);
+    for c in &cells {
+        for l in &c.report.lanes {
+            let p = l.metrics.summary();
+            let dropped = l.metrics.shed + l.metrics.rejected;
+            table.row_owned(vec![
+                c.scenario.name().to_string(),
+                format!("{}n/{}s", c.scale.nodes, c.scale.shards),
+                l.name.clone(),
+                format!("{}", l.metrics.arrived),
+                format!("{:.1}", p.p50_ns as f64 / 1e3),
+                format!("{:.1}", p.p99_ns as f64 / 1e3),
+                format!(
+                    "{:.2}%",
+                    100.0 * l.metrics.deadline_misses as f64 / l.metrics.arrived.max(1) as f64
+                ),
+                format!("{:.2}%", 100.0 * dropped as f64 / l.metrics.arrived.max(1) as f64),
+                format!("{:.0}/s", l.goodput_per_node_qps()),
+                format!("{}", l.replicas_peak),
+                format!("{}/{}", l.scale_ups, l.scale_downs),
+                format!("{}k+{}B", l.keys_moved, l.moved_bytes),
+            ]);
+        }
+    }
+    emit(&table);
+
+    let json = to_json(&cells, deterministic);
+    let path = "BENCH_fleet.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => println!("could not write {path}: {e}"),
+    }
+
+    let flash: Vec<&Cell> = cells.iter().filter(|c| c.scenario == Scenario::FlashHotSet).collect();
+    let small = flash.first().expect("sweep covers every scenario");
+    let large = flash.last().expect("sweep covers every scenario");
+    // Lane 1 is the sharded recsys lane in every preset cell.
+    let drop_rate = |c: &Cell| {
+        let l = &c.report.lanes[1];
+        100.0 * (l.metrics.shed + l.metrics.rejected) as f64 / l.metrics.arrived.max(1) as f64
+    };
+    println!();
+    println!("Reading: the plain MLP lane scales cleanly — goodput-per-node is flat across the",);
+    println!("size axis. The sharded recsys lane does not: at equal nominal utilization the",);
+    println!(
+        "flash crowd costs it {:.2}% drops on the {}-node fleet but {:.2}% on the {}-node",
+        drop_rate(small),
+        small.scale.nodes,
+        drop_rate(large),
+        large.scale.nodes
+    );
+    println!("fleet, because each batch's embedding fan-out widens with shard count — the");
+    println!("all-to-all cost the paper flags for at-scale recommendation serving (Sec. V-B).");
+    println!("Scale events price their own rebalance: moved probe keys stay near K/N on the");
+    println!("ring and the store only copies bytes for shards whose owner set actually");
+    println!("changed. Every number is a pure function of (spec, trace): reruns are");
+    println!("byte-identical at any ENW_THREADS.");
+}

@@ -10,13 +10,16 @@
 //! | Sec. III–IV | memory-augmented NNs (one/few-shot) | X-MANN crossbars, TCAMs | [`mann`], [`xmann`], [`cam`] |
 //! | Sec. V | neural recommendation | memory-system co-design | [`recsys`] |
 //! | Sec. V-B (serving) | all four, behind one SLA-bound runtime | micro-batched lanes | [`serve`] |
+//! | Sec. V-B (deployment) | sharded multi-node serving | consistent-hash fleet | [`fleet`] over [`serve`] |
 //!
 //! Shared numerics live in [`numerics`]; the [`parallel`] runtime fans
 //! simulation hot paths out across threads with bit-identical results
 //! (see DESIGN.md, "Execution model"). The [`serve`] crate fronts every
 //! workload with the deterministic micro-batching serving runtime
-//! (DESIGN.md, "Serving runtime"). The [`registry`] module indexes
-//! every reproduced table/figure (E1–E16) and the `enw-bench` binary that
+//! (DESIGN.md, "Serving runtime"); the [`fleet`] crate scales that
+//! runtime out to a sharded, autoscaled multi-node cluster (DESIGN.md,
+//! "Fleet architecture"). The [`registry`] module indexes
+//! every reproduced table/figure (E1–E19) and the `enw-bench` binary that
 //! regenerates it; [`report`] renders the result tables.
 //!
 //! # Quickstart
@@ -31,6 +34,7 @@
 
 pub use enw_cam as cam;
 pub use enw_crossbar as crossbar;
+pub use enw_fleet as fleet;
 pub use enw_mann as mann;
 pub use enw_nn as nn;
 pub use enw_numerics as numerics;

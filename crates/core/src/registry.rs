@@ -131,6 +131,12 @@ pub fn registry() -> Vec<Experiment> {
             claim: "Scratch-pooled `_into` kernels cut steady-state allocations per inference >=90% on all four lanes and the serving loop runs allocation-free per request, outputs bit-identical to the allocating APIs",
             binary: "exp18_alloc_audit",
         },
+        Experiment {
+            id: "E19",
+            paper_anchor: "Sec. V-B (deployment at fleet scale)",
+            claim: "Sharded multi-node serving with consistent-hash routing, replicated embedding shards and reactive autoscaling holds tails and goodput-per-node across traffic shapes and fleet sizes, bit-identical at any thread count",
+            binary: "exp19_fleet_sweep",
+        },
     ]
 }
 
@@ -164,9 +170,9 @@ mod tests {
     }
 
     #[test]
-    fn eighteen_experiments_in_order() {
+    fn nineteen_experiments_in_order() {
         let r = registry();
-        assert_eq!(r.len(), 18);
+        assert_eq!(r.len(), 19);
         for (i, e) in r.iter().enumerate() {
             assert_eq!(e.id, format!("E{}", i + 1));
         }

@@ -1,0 +1,299 @@
+//! Traffic shapes beyond Poisson, and user-key popularity mixes.
+//!
+//! Production recommendation traffic is not memoryless: it breathes with
+//! the day, bursts, spikes on external events, and concentrates on hot
+//! keys. [`ShapeKind`] implements `serve::LoadShape` for four canonical
+//! shapes as *rate-modulated* exponential processes — the instantaneous
+//! rate `rate_at(t)` prices the next gap, a piecewise-exponential
+//! approximation of the non-homogeneous Poisson process that keeps one
+//! uniform draw per arrival (the fixed draw order every trace consumer
+//! relies on). [`UserMix`] supplies the companion key-popularity models,
+//! including the adversarial hot-set skew that stresses the bounded-load
+//! router and the hot/cold shard placement.
+
+use enw_numerics::rng::{Rng64, ZipfSampler};
+use enw_serve::LoadShape;
+
+/// One of the fleet's arrival processes. All rates are requests/second
+/// on the virtual clock; every variant's rate is strictly positive so
+/// the generator always terminates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShapeKind {
+    /// Memoryless at a fixed rate — the E16 baseline.
+    Poisson {
+        /// Aggregate arrival rate.
+        qps: f64,
+    },
+    /// Diurnal sinusoid: `base * (1 + swing * sin(2πt/period))`.
+    Diurnal {
+        /// Mean rate over one period.
+        base_qps: f64,
+        /// Relative amplitude in `[0, 1)`; the trough stays positive.
+        swing: f64,
+        /// Period of one simulated "day" in seconds.
+        period_s: f64,
+    },
+    /// Bursty on/off: `hi_qps` for `on_s`, then `lo_qps` for `off_s`.
+    Bursty {
+        /// Rate inside a burst.
+        hi_qps: f64,
+        /// Rate between bursts.
+        lo_qps: f64,
+        /// Burst length in seconds.
+        on_s: f64,
+        /// Quiet gap in seconds.
+        off_s: f64,
+    },
+    /// Flash crowd: `base_qps`, multiplied by `spike` inside
+    /// `[start_s, start_s + length_s)`.
+    FlashCrowd {
+        /// Background rate.
+        base_qps: f64,
+        /// Rate multiplier during the crowd (>= 1).
+        spike: f64,
+        /// When the crowd arrives, seconds.
+        start_s: f64,
+        /// How long it stays, seconds.
+        length_s: f64,
+    },
+}
+
+impl ShapeKind {
+    /// Short stable name for reports and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShapeKind::Poisson { .. } => "poisson",
+            ShapeKind::Diurnal { .. } => "diurnal",
+            ShapeKind::Bursty { .. } => "bursty",
+            ShapeKind::FlashCrowd { .. } => "flash_crowd",
+        }
+    }
+
+    /// Instantaneous arrival rate at virtual second `t_s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variant's parameters make the rate non-positive or
+    /// non-finite at `t_s` (e.g. `swing >= 1`).
+    pub fn rate_at(&self, t_s: f64) -> f64 {
+        let rate = match *self {
+            ShapeKind::Poisson { qps } => qps,
+            ShapeKind::Diurnal { base_qps, swing, period_s } => {
+                base_qps * (1.0 + swing * (std::f64::consts::TAU * t_s / period_s).sin())
+            }
+            ShapeKind::Bursty { hi_qps, lo_qps, on_s, off_s } => {
+                let phase = t_s.rem_euclid(on_s + off_s);
+                if phase < on_s {
+                    hi_qps
+                } else {
+                    lo_qps
+                }
+            }
+            ShapeKind::FlashCrowd { base_qps, spike, start_s, length_s } => {
+                if (start_s..start_s + length_s).contains(&t_s) {
+                    base_qps * spike
+                } else {
+                    base_qps
+                }
+            }
+        };
+        assert!(rate > 0.0 && rate.is_finite(), "shape {} has rate {rate} at t={t_s}", self.name());
+        rate
+    }
+
+    /// Mean rate over the horizon — used to size sweeps against lane
+    /// capacity the same way E16 uses `saturation_qps`.
+    pub fn mean_qps(&self) -> f64 {
+        match *self {
+            ShapeKind::Poisson { qps } => qps,
+            ShapeKind::Diurnal { base_qps, .. } => base_qps,
+            ShapeKind::Bursty { hi_qps, lo_qps, on_s, off_s } => {
+                (hi_qps * on_s + lo_qps * off_s) / (on_s + off_s)
+            }
+            // Crowd contribution is horizon-dependent; report the floor.
+            ShapeKind::FlashCrowd { base_qps, .. } => base_qps,
+        }
+    }
+}
+
+impl LoadShape for ShapeKind {
+    fn next_dt_s(&mut self, t_s: f64, rng: &mut Rng64) -> f64 {
+        // Exponential gap priced at the current instantaneous rate; one
+        // uniform draw per arrival, like the Poisson baseline.
+        let u = (1.0 - rng.uniform()).max(f64::MIN_POSITIVE);
+        -u.ln() / self.rate_at(t_s)
+    }
+}
+
+/// Which user issues each request — the key the router hashes and the
+/// seed of the request's embedding lookups, so popularity skew here is
+/// what concentrates load on hot shards.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UserMix {
+    /// Every user equally likely.
+    Uniform {
+        /// Catalogue size.
+        users: u64,
+    },
+    /// Zipf-distributed popularity (the paper's Sec. V-B access model).
+    Zipf {
+        /// Catalogue size.
+        users: u64,
+        /// Skew exponent (1.0 ≈ web traffic).
+        alpha: f64,
+    },
+    /// Adversarial hot set: `hot_share` of requests hit the first `hot`
+    /// users, the rest spread over the remainder.
+    HotSet {
+        /// Catalogue size.
+        users: u64,
+        /// Size of the hot prefix.
+        hot: u64,
+        /// Fraction of traffic on the hot prefix, in `(0, 1)`.
+        hot_share: f64,
+    },
+}
+
+impl UserMix {
+    /// Short stable name for reports and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            UserMix::Uniform { .. } => "uniform",
+            UserMix::Zipf { .. } => "zipf",
+            UserMix::HotSet { .. } => "hot_set",
+        }
+    }
+}
+
+/// A ready-to-draw sampler for a [`UserMix`] (Zipf needs a precomputed
+/// normalization table, so building is separated from sampling).
+#[derive(Debug, Clone)]
+pub struct UserSampler {
+    mix: UserMix,
+    zipf: Option<ZipfSampler>,
+}
+
+impl UserSampler {
+    /// Prepares a sampler for `mix`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the catalogue is empty, a hot set is empty or not a
+    /// strict subset, or `hot_share` is outside `(0, 1)`.
+    pub fn new(mix: UserMix) -> Self {
+        let zipf = match mix {
+            UserMix::Uniform { users } => {
+                assert!(users > 0, "empty user catalogue");
+                None
+            }
+            UserMix::Zipf { users, alpha } => {
+                assert!(users > 0, "empty user catalogue");
+                Some(ZipfSampler::new(users as usize, alpha))
+            }
+            UserMix::HotSet { users, hot, hot_share } => {
+                assert!(hot > 0 && hot < users, "hot set must be a non-empty strict subset");
+                assert!(
+                    hot_share > 0.0 && hot_share < 1.0,
+                    "hot_share must sit strictly inside (0, 1)"
+                );
+                None
+            }
+        };
+        UserSampler { mix, zipf }
+    }
+
+    /// The mix this sampler draws from.
+    pub fn mix(&self) -> &UserMix {
+        &self.mix
+    }
+
+    /// Draws one user id.
+    pub fn sample(&self, rng: &mut Rng64) -> u64 {
+        match self.mix {
+            UserMix::Uniform { users } => rng.below(users as usize) as u64,
+            UserMix::Zipf { .. } => match &self.zipf {
+                Some(z) => z.sample(rng) as u64,
+                None => 0,
+            },
+            UserMix::HotSet { users, hot, hot_share } => {
+                if rng.uniform() < hot_share {
+                    rng.below(hot as usize) as u64
+                } else {
+                    hot + rng.below((users - hot) as usize) as u64
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diurnal_rate_breathes_around_base() {
+        let s = ShapeKind::Diurnal { base_qps: 1000.0, swing: 0.5, period_s: 1.0 };
+        assert!((s.rate_at(0.25) - 1500.0).abs() < 1e-6, "peak at quarter period");
+        assert!((s.rate_at(0.75) - 500.0).abs() < 1e-6, "trough at three quarters");
+        assert_eq!(s.mean_qps(), 1000.0);
+    }
+
+    #[test]
+    fn bursty_rate_switches_phases() {
+        let s = ShapeKind::Bursty { hi_qps: 900.0, lo_qps: 100.0, on_s: 0.1, off_s: 0.3 };
+        assert_eq!(s.rate_at(0.05), 900.0);
+        assert_eq!(s.rate_at(0.2), 100.0);
+        assert_eq!(s.rate_at(0.45), 900.0, "phase wraps");
+        assert_eq!(s.mean_qps(), 300.0);
+    }
+
+    #[test]
+    fn flash_crowd_spikes_inside_the_window() {
+        let s = ShapeKind::FlashCrowd { base_qps: 200.0, spike: 5.0, start_s: 1.0, length_s: 0.5 };
+        assert_eq!(s.rate_at(0.5), 200.0);
+        assert_eq!(s.rate_at(1.2), 1000.0);
+        assert_eq!(s.rate_at(1.6), 200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "has rate")]
+    fn overswung_diurnal_is_rejected_at_the_trough() {
+        let s = ShapeKind::Diurnal { base_qps: 100.0, swing: 1.5, period_s: 1.0 };
+        s.rate_at(0.75);
+    }
+
+    #[test]
+    fn hot_set_concentrates_traffic() {
+        let sampler = UserSampler::new(UserMix::HotSet { users: 10_000, hot: 10, hot_share: 0.8 });
+        let mut rng = Rng64::new(11);
+        let mut hot_hits = 0usize;
+        for _ in 0..5_000 {
+            if sampler.sample(&mut rng) < 10 {
+                hot_hits += 1;
+            }
+        }
+        let share = hot_hits as f64 / 5_000.0;
+        assert!((0.75..0.85).contains(&share), "hot share {share} far from 0.8");
+    }
+
+    #[test]
+    fn samplers_are_reproducible() {
+        for mix in [
+            UserMix::Uniform { users: 1000 },
+            UserMix::Zipf { users: 1000, alpha: 1.0 },
+            UserMix::HotSet { users: 1000, hot: 50, hot_share: 0.6 },
+        ] {
+            let s = UserSampler::new(mix);
+            let a: Vec<u64> = {
+                let mut rng = Rng64::new(3);
+                (0..64).map(|_| s.sample(&mut rng)).collect()
+            };
+            let b: Vec<u64> = {
+                let mut rng = Rng64::new(3);
+                (0..64).map(|_| s.sample(&mut rng)).collect()
+            };
+            assert_eq!(a, b, "{} sampler drifted", s.mix().name());
+            assert!(a.iter().all(|&u| u < 1000));
+        }
+    }
+}

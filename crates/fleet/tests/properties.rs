@@ -1,0 +1,109 @@
+//! Property-based tests for the consistent-hash ring (paper Sec. V-B at
+//! deployment scale): key stability under membership churn, ~K/N
+//! movement, deterministic tie-breaking, and replication invariants.
+//!
+//! Compiled only with `--features proptest` so the default tier-1 run
+//! stays lean; enable it in CI sweeps via `scripts/verify.sh --full`.
+#![cfg(feature = "proptest")]
+
+use enw_fleet::ring::HashRing;
+use proptest::prelude::*;
+
+const VNODES: u32 = 32;
+const PROBES: u64 = 2048;
+
+proptest! {
+    /// Consistent hashing's defining property: adding a member moves a
+    /// key only *to the newcomer*, never between survivors — and only
+    /// about 1/(n+1) of the key space moves at all.
+    #[test]
+    fn adding_a_node_moves_keys_only_to_the_newcomer(n in 1u32..12, salt in any::<u64>()) {
+        let mut ring = HashRing::with_nodes(VNODES, n);
+        let before: Vec<_> = (0..PROBES).map(|k| ring.primary(k ^ salt)).collect();
+        ring.add_node(n);
+        let mut moved = 0u64;
+        for (k, b) in before.iter().enumerate() {
+            let now = ring.primary(k as u64 ^ salt);
+            if now != *b {
+                prop_assert_eq!(now, Some(n), "key moved to a survivor, not the newcomer");
+                moved += 1;
+            }
+        }
+        // Expected share is 1/(n+1); with 32 vnodes the estimate is
+        // noisy, so allow a generous factor before calling it broken.
+        let share = moved as f64 / PROBES as f64;
+        let expected = 1.0 / f64::from(n + 1);
+        prop_assert!(share < (4.0 * expected).min(1.0),
+                     "{share:.3} of keys moved, expected about {expected:.3}");
+    }
+
+    /// The mirror property: removing a member strands only that member's
+    /// keys; every other key keeps its primary.
+    #[test]
+    fn removing_a_node_moves_only_its_keys(n in 2u32..12, pick in any::<u32>(), salt in any::<u64>()) {
+        let mut ring = HashRing::with_nodes(VNODES, n);
+        let victim = pick % n;
+        let before: Vec<_> = (0..PROBES).map(|k| ring.primary(k ^ salt)).collect();
+        ring.remove_node(victim);
+        for (k, b) in before.iter().enumerate() {
+            let now = ring.primary(k as u64 ^ salt);
+            if *b == Some(victim) {
+                prop_assert!(now.is_some() && now != Some(victim));
+            } else {
+                prop_assert_eq!(now, *b, "key {} moved although its owner survived", k);
+            }
+        }
+    }
+
+    /// Tie-breaking is a pure function of the member set: any add/remove
+    /// history ending in the same membership routes identically.
+    #[test]
+    fn routing_is_insertion_order_independent(n in 1u32..12, rot in any::<u32>(), salt in any::<u64>()) {
+        let ascending = HashRing::with_nodes(VNODES, n);
+        // Same member set assembled in a rotated order, with a detour
+        // through an extra member that is removed again.
+        let mut shuffled = HashRing::new(VNODES);
+        shuffled.add_node(n + 7);
+        for i in 0..n {
+            shuffled.add_node((i + rot % n.max(1)) % n);
+        }
+        shuffled.remove_node(n + 7);
+        prop_assert_eq!(&ascending, &shuffled, "histories with equal membership must converge");
+        for k in 0..256u64 {
+            prop_assert_eq!(ascending.primary(k ^ salt), shuffled.primary(k ^ salt));
+        }
+    }
+
+    /// Replication invariants: `owners_into` yields exactly
+    /// `min(want, n)` owners, all distinct, led by the primary.
+    #[test]
+    fn replica_sets_are_distinct_and_led_by_the_primary(n in 1u32..10, want in 1usize..6, key in any::<u64>()) {
+        let ring = HashRing::with_nodes(VNODES, n);
+        let mut out = vec![u32::MAX; want];
+        let got = ring.owners_into(key, &mut out);
+        prop_assert_eq!(got, want.min(n as usize));
+        let mut seen = out[..got].to_vec();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), got, "replica set has duplicates");
+        prop_assert!(out[..got].iter().all(|&id| id < n), "owner outside membership");
+        prop_assert_eq!(ring.primary(key), Some(out[0]));
+    }
+
+    /// Bounded-load routing degrades gracefully: an unloaded ring routes
+    /// to the primary, a saturated ring refuses, and a spill never picks
+    /// a member at capacity.
+    #[test]
+    fn bounded_load_spills_but_never_overloads(n in 1u32..10, key in any::<u64>(), cap in 1usize..16) {
+        let ring = HashRing::with_nodes(VNODES, n);
+        prop_assert_eq!(ring.pick_bounded(key, cap, |_| 0), ring.primary(key));
+        prop_assert_eq!(ring.pick_bounded(key, cap, |_| cap), None);
+        let primary = ring.primary(key).expect("ring has members");
+        let spilled = ring.pick_bounded(key, cap, |id| if id == primary { cap } else { 0 });
+        if n == 1 {
+            prop_assert_eq!(spilled, None, "sole member at capacity must reject");
+        } else {
+            prop_assert!(spilled.is_some() && spilled != Some(primary));
+        }
+    }
+}

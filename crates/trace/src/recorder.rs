@@ -379,11 +379,19 @@ mod tests {
     fn worker_thread_sinks_merge_on_join() {
         let report = with_summary_mode(|| {
             std::thread::scope(|s| {
-                for _ in 0..4 {
-                    s.spawn(|| {
-                        record_span("test/worker", 10);
-                        counter_add("test.worker", 1);
-                    });
+                // Join each handle explicitly: the scope's implicit wait
+                // returns when the closures finish, which can be before
+                // the TLS destructors that perform the merge have run.
+                let handles: Vec<_> = (0..4)
+                    .map(|_| {
+                        s.spawn(|| {
+                            record_span("test/worker", 10);
+                            counter_add("test.worker", 1);
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().expect("worker panicked");
                 }
             });
             take_report()

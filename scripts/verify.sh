@@ -42,6 +42,19 @@ assert all(l['meets_90pct_target'] for l in r['lanes']), r
 assert r['serve']['zero_alloc_steady_state'], r
 " || { echo "BENCH_alloc.json failed to parse or misses the alloc-reduction targets"; exit 1; }
 
+echo "== exp19_fleet_sweep --smoke (sharded multi-node serving) =="
+cargo run --release -q -p enw-bench --bin exp19_fleet_sweep -- --smoke
+test -s BENCH_fleet.json || { echo "exp19 did not emit BENCH_fleet.json"; exit 1; }
+python3 -c "
+import json
+r = json.load(open('BENCH_fleet.json'))
+assert r['deterministic_rerun'], r
+assert len(r['cells']) == 9, r
+assert {c['scenario'] for c in r['cells']} == {'diurnal_zipf', 'bursty_uniform', 'flash_hot_set'}, r
+assert {c['nodes'] for c in r['cells']} == {2, 4, 8}, r
+assert all(len(c['lanes']) == 2 and 'shard' in c for c in r['cells']), r
+" || { echo "BENCH_fleet.json failed to parse or misses sweep cells"; exit 1; }
+
 echo "== exp15_parallel_scaling --smoke (thread-scaling gate) =="
 # Exits nonzero if any kernel's 2-thread speedup drops below 1.0x or any
 # lane loses bit-identity across thread counts.
