@@ -40,7 +40,12 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
             "parallel", "trace",
         ],
     ),
-    ("bench", &["core"]),
+    // The design-space explorer drives every simulator through the
+    // `Tunable` surface that `core` re-exports, and fans evaluations out
+    // through the deterministic runtime; it never reaches into a lane
+    // crate directly.
+    ("dse", &["core", "parallel"]),
+    ("bench", &["core", "dse"]),
     ("analyze", &[]),
 ];
 

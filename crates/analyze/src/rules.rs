@@ -19,6 +19,7 @@
 //! | ENW-P005 | deny     | no `thread::scope` outside `enw-parallel` (scoped spawn-join bypasses the persistent worker pool) |
 //! | ENW-A002 | deny     | only `crates/bench` may name `BENCH_*` report artifacts |
 //! | ENW-A004 | deny     | no public `*_unchecked`/`*unwrap*` constructors in kernel crates (validation belongs in builders / `try_*` APIs) |
+//! | ENW-A005 | deny     | `Tunable::encode` impls may not consult hash-ordered collections (axis order must be declaration-stable) |
 //! | ENW-M001 | deny     | no heap allocation inside `// enw:hot` function bodies (`vec!`, `Vec::new`, `Vec::with_capacity`, `Box::new`, `format!`, `.collect()`, `.to_vec()`, `.clone()`, `.to_owned()`, `.to_string()`, `String::*`) |
 //! | ENW-M002 | deny     | (in [`crate::graph`]) nothing reachable from a `// enw:hot` fn may allocate, lock, or do I/O — reported with the resolved call chain |
 //!
@@ -45,8 +46,11 @@ pub use crate::parse::classify;
 /// output (TraceReport bytes), so hash iteration order may not feed them.
 /// `fleet` is included: routing, shard placement and autoscaling all feed
 /// the byte-exact fleet report, so the same discipline applies.
+/// `dse` is included: search trajectories, virtual-clock stamps and
+/// Pareto fronts must be byte-stable across reruns, so no hash iteration
+/// order may touch them.
 pub const KERNEL_CRATES: &[&str] =
-    &["numerics", "crossbar", "cam", "xmann", "mann", "recsys", "serve", "trace", "fleet"];
+    &["numerics", "crossbar", "cam", "xmann", "mann", "recsys", "serve", "trace", "fleet", "dse"];
 
 /// Crates allowed to read wall-clock time or ambient entropy
 /// (ENW-D002/D003): the bench harness times things by design, and the
@@ -310,6 +314,55 @@ pub(crate) fn scan_items(file: &SourceFile, src: &str) -> Vec<Finding> {
                     ),
                     snippet(e.line),
                 ));
+            }
+        }
+    }
+
+    // ENW-A005: `Tunable::encode` must emit axes in declaration order —
+    // consulting a hash-ordered collection anywhere in the body makes the
+    // encoded key order (and with it every search trajectory and Pareto
+    // front) depend on hasher state.
+    let has_encode = file
+        .fns
+        .iter()
+        .any(|f| !f.in_test && f.name == "encode" && f.trait_name.as_deref() == Some("Tunable"));
+    if has_encode {
+        let toks = lexer::tokenize(src);
+        for f in &file.fns {
+            if f.in_test || f.name != "encode" || f.trait_name.as_deref() != Some("Tunable") {
+                continue;
+            }
+            let Some((start, end)) = f.body else {
+                continue;
+            };
+            let end = end.min(toks.len());
+            let owner = f.owner.as_deref().unwrap_or("<unknown>");
+            for k in start..end {
+                let t = &toks[k];
+                let hash_type =
+                    t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet");
+                let unordered_call = t.is_punct('.')
+                    && toks.get(k + 1).map(|m| {
+                        m.kind == TokKind::Ident && UNORDERED_METHODS.contains(&m.text.as_str())
+                    }) == Some(true)
+                    && toks.get(k + 2).map(|n| n.is_punct('(')) == Some(true)
+                    && receiver_name(&toks, k, start).map(|r| file.hash_bindings.contains(&r))
+                        == Some(true);
+                if hash_type || unordered_call {
+                    out.push(Finding::new(
+                        "ENW-A005",
+                        Severity::Deny,
+                        &file.rel_path,
+                        t.line,
+                        format!(
+                            "`Tunable::encode` for `{owner}` consults a hash-ordered \
+                             collection; encode must emit axes in a fixed declaration \
+                             order (a Vec of entries in struct-field order)"
+                        ),
+                        snippet(t.line),
+                    ));
+                    break; // one finding per encode body pins the bug
+                }
             }
         }
     }

@@ -411,3 +411,51 @@ fn json_report_is_well_formed_enough_to_round_trip_keys() {
     let json = analysis.to_json();
     assert!(json.contains("x.expect(\\\"msg\\\")"), "escaping broken: {json}");
 }
+
+#[test]
+fn a005_encode_building_a_hash_map() {
+    // A hash map materialized inside `Tunable::encode` is an ordering
+    // bug even before anything iterates it.
+    let src = "use std::collections::HashMap;\nimpl Tunable for Foo {\n    fn encode(&self) -> Point {\n        let m: HashMap<&str, i64> = HashMap::new();\n        point_from(m)\n    }\n}\n";
+    let got = hits("crates/core/src/foo.rs", src);
+    assert_eq!(got, vec![("ENW-A005".to_string(), 4)]);
+}
+
+#[test]
+fn a005_encode_iterating_a_hash_field() {
+    // Iterating a hash-typed field hits both the encode-specific rule
+    // and the general returned-data rule (ENW-D006).
+    let src = "use std::collections::HashMap;\nstruct Foo {\n    m: HashMap<&'static str, i64>,\n}\nimpl Tunable for Foo {\n    fn encode(&self) -> Point {\n        Point::new(self.m.iter().map(|(k, v)| (k, v)).collect())\n    }\n}\n";
+    let got = hits("crates/core/src/foo.rs", src);
+    assert_eq!(got, vec![("ENW-A005".to_string(), 7), ("ENW-D006".to_string(), 7)]);
+}
+
+#[test]
+fn a005_silent_on_ordered_encode_and_other_traits() {
+    // The workspace convention — a Vec of entries in struct-field
+    // declaration order — is clean.
+    let src = "impl Tunable for Foo {\n    fn encode(&self) -> Point {\n        Point::new(vec![(\"a\", AxisValue::Int(self.a))])\n    }\n}\n";
+    assert!(hits("crates/core/src/foo.rs", src).is_empty());
+    // `encode` methods of other traits are out of scope for A005 (the
+    // determinism D-rules still apply on their own terms).
+    let src = "use std::collections::HashMap;\nimpl Codec for Foo {\n    fn encode(&self) -> Vec<u8> {\n        let m: HashMap<u8, u8> = HashMap::new();\n        walk(m)\n    }\n}\n";
+    assert!(hits("crates/core/src/foo.rs", src).is_empty());
+}
+
+#[test]
+fn d001_dse_is_a_kernel_crate() {
+    // Search trajectories and fronts are byte-stable outputs, so the
+    // explorer lives under the hash-collection ban like the lanes do.
+    let got = hits("crates/dse/src/foo.rs", "use std::collections::HashMap;\n");
+    assert_eq!(got, vec![("ENW-D001".to_string(), 1)]);
+}
+
+#[test]
+fn dse_layering_allows_core_but_not_lanes() {
+    let good = "[dependencies]\nenw-core.workspace = true\nenw-parallel.workspace = true\n";
+    assert!(check_manifest("dse", "crates/dse/Cargo.toml", good).is_empty());
+    // The explorer drives lanes through core's Tunable surface only.
+    let bad = "[dependencies]\nenw-crossbar.workspace = true\n";
+    let got = check_manifest("dse", "crates/dse/Cargo.toml", bad);
+    assert_eq!(got.first().map(|f| (f.rule, f.line)), Some(("ENW-A001", 2)));
+}

@@ -16,6 +16,10 @@ use enw_numerics::bits::{hamming_limbs, BitVec};
 use enw_xmann::cost::Cost;
 
 /// Geometry and segmentation of a TCAM array.
+///
+/// Construct via [`TcamConfig::builder`]; direct struct-literal
+/// construction in downstream code is deprecated (it bypasses
+/// validation and will stop compiling as fields are added).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TcamConfig {
     /// Match-line segments: selective precharge evaluates segments
@@ -27,6 +31,41 @@ pub struct TcamConfig {
 impl Default for TcamConfig {
     fn default() -> Self {
         TcamConfig { segments: 1 }
+    }
+}
+
+impl TcamConfig {
+    /// Starts a validating builder seeded with the default geometry.
+    pub fn builder() -> TcamConfigBuilder {
+        TcamConfigBuilder { segments: TcamConfig::default().segments }
+    }
+}
+
+/// Validating builder for [`TcamConfig`].
+///
+/// `build()` rejects degenerate geometry with a typed
+/// [`CamError`](crate::error::CamError) instead of panicking, so search
+/// drivers can probe candidate configurations safely.
+#[derive(Debug, Clone)]
+pub struct TcamConfigBuilder {
+    segments: usize,
+}
+
+impl TcamConfigBuilder {
+    /// Sets the number of match-line segments.
+    pub fn segments(mut self, segments: usize) -> Self {
+        self.segments = segments;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    pub fn build(self) -> Result<TcamConfig, crate::error::CamError> {
+        if self.segments == 0 {
+            return Err(crate::error::CamError::InvalidConfig {
+                reason: "segments must be at least 1",
+            });
+        }
+        Ok(TcamConfig { segments: self.segments })
     }
 }
 
@@ -388,5 +427,21 @@ mod tests {
     #[should_panic(expected = "width mismatch")]
     fn wrong_width_write_panics() {
         TcamArray::new(8, cells::cmos_16t(), TcamConfig::default()).write(BitVec::zeros(4));
+    }
+
+    #[test]
+    fn builder_defaults_match_default() {
+        assert_eq!(TcamConfig::builder().build().unwrap(), TcamConfig::default());
+    }
+
+    #[test]
+    fn builder_rejects_zero_segments() {
+        let err = TcamConfig::builder().segments(0).build().unwrap_err();
+        assert!(err.to_string().contains("segments"), "{err}");
+    }
+
+    #[test]
+    fn builder_sets_segments() {
+        assert_eq!(TcamConfig::builder().segments(4).build().unwrap().segments, 4);
     }
 }

@@ -6,9 +6,14 @@
 //! `From` impls below — and still reach the originating error through
 //! [`std::error::Error::source`].
 
+use crate::tunable::TunableError;
+use enw_cam::error::CamError;
 use enw_crossbar::error::CrossbarError;
+use enw_mann::error::MannError;
+use enw_nn::error::NnError;
 use enw_recsys::error::RecsysError;
 use enw_serve::error::ServeError;
+use enw_xmann::error::XmannError;
 use std::error::Error;
 use std::fmt;
 
@@ -22,6 +27,16 @@ pub enum EnwError {
     Recsys(RecsysError),
     /// A crossbar-configuration error.
     Crossbar(CrossbarError),
+    /// A TCAM-configuration error.
+    Cam(CamError),
+    /// An X-MANN-configuration error.
+    Xmann(XmannError),
+    /// A digital-NN-configuration error.
+    Nn(NnError),
+    /// A MANN-configuration error.
+    Mann(MannError),
+    /// A parameter-space encode/decode error.
+    Tunable(TunableError),
     /// An experiment id not present in the registry.
     UnknownExperiment {
         /// The id that was looked up.
@@ -35,6 +50,11 @@ impl fmt::Display for EnwError {
             EnwError::Serve(e) => write!(f, "serving runtime: {e}"),
             EnwError::Recsys(e) => write!(f, "recommendation model: {e}"),
             EnwError::Crossbar(e) => write!(f, "crossbar simulator: {e}"),
+            EnwError::Cam(e) => write!(f, "TCAM model: {e}"),
+            EnwError::Xmann(e) => write!(f, "X-MANN model: {e}"),
+            EnwError::Nn(e) => write!(f, "NN substrate: {e}"),
+            EnwError::Mann(e) => write!(f, "MANN model: {e}"),
+            EnwError::Tunable(e) => write!(f, "parameter space: {e}"),
             EnwError::UnknownExperiment { id } => {
                 write!(f, "unknown experiment id {id} (see enw_core::experiments())")
             }
@@ -48,6 +68,11 @@ impl Error for EnwError {
             EnwError::Serve(e) => Some(e),
             EnwError::Recsys(e) => Some(e),
             EnwError::Crossbar(e) => Some(e),
+            EnwError::Cam(e) => Some(e),
+            EnwError::Xmann(e) => Some(e),
+            EnwError::Nn(e) => Some(e),
+            EnwError::Mann(e) => Some(e),
+            EnwError::Tunable(e) => Some(e),
             EnwError::UnknownExperiment { .. } => None,
         }
     }
@@ -71,6 +96,36 @@ impl From<CrossbarError> for EnwError {
     }
 }
 
+impl From<CamError> for EnwError {
+    fn from(e: CamError) -> Self {
+        EnwError::Cam(e)
+    }
+}
+
+impl From<XmannError> for EnwError {
+    fn from(e: XmannError) -> Self {
+        EnwError::Xmann(e)
+    }
+}
+
+impl From<NnError> for EnwError {
+    fn from(e: NnError) -> Self {
+        EnwError::Nn(e)
+    }
+}
+
+impl From<MannError> for EnwError {
+    fn from(e: MannError) -> Self {
+        EnwError::Mann(e)
+    }
+}
+
+impl From<TunableError> for EnwError {
+    fn from(e: TunableError) -> Self {
+        EnwError::Tunable(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,9 +141,25 @@ mod tests {
         fn crossbar() -> Result<(), EnwError> {
             Err(CrossbarError::InvalidConfig { reason: "x" })?
         }
+        fn cam() -> Result<(), EnwError> {
+            Err(CamError::InvalidConfig { reason: "x" })?
+        }
+        fn xmann() -> Result<(), EnwError> {
+            Err(XmannError::InvalidConfig { reason: "x" })?
+        }
+        fn nn() -> Result<(), EnwError> {
+            Err(NnError::InvalidConfig { reason: "x" })?
+        }
+        fn mann() -> Result<(), EnwError> {
+            Err(MannError::InvalidConfig { reason: "x" })?
+        }
         assert_eq!(serve(), Err(EnwError::Serve(ServeError::NoStations)));
         assert_eq!(recsys(), Err(EnwError::Recsys(RecsysError::ZeroBatchCap)));
         assert!(matches!(crossbar(), Err(EnwError::Crossbar(_))));
+        assert!(matches!(cam(), Err(EnwError::Cam(_))));
+        assert!(matches!(xmann(), Err(EnwError::Xmann(_))));
+        assert!(matches!(nn(), Err(EnwError::Nn(_))));
+        assert!(matches!(mann(), Err(EnwError::Mann(_))));
     }
 
     #[test]

@@ -48,6 +48,8 @@ pub mod error;
 pub mod prelude;
 pub mod registry;
 pub mod report;
+pub mod tunable;
 
 pub use error::EnwError;
 pub use registry::{find, registry as experiments, Experiment};
+pub use tunable::{AxisDomain, AxisSpec, AxisValue, ParamSpace, Point, Tunable, TunableError};

@@ -18,6 +18,9 @@
 
 pub use crate::error::EnwError;
 pub use crate::registry::{find as find_experiment, registry as experiments, Experiment};
+pub use crate::tunable::{
+    AxisDomain, AxisSpec, AxisValue, ParamSpace, Point, Tunable, TunableError,
+};
 
 pub use enw_numerics::rng::Rng64;
 
@@ -25,12 +28,21 @@ pub use enw_parallel::scratch::{self, take_bits, take_f32, take_usize};
 pub use enw_parallel::scratch::{ScratchBits, ScratchF32, ScratchUsize};
 
 pub use enw_nn::backend::{DigitalLinear, LinearBackend};
-pub use enw_nn::mlp::{Mlp, SgdConfig};
+pub use enw_nn::error::NnError;
+pub use enw_nn::mlp::{Mlp, SgdConfig, SgdConfigBuilder};
 
 pub use enw_crossbar::device::DeviceSpec;
 pub use enw_crossbar::error::CrossbarError;
 pub use enw_crossbar::tile::{AnalogTile, TileConfig, TileConfigBuilder};
 
+pub use enw_cam::array::{TcamArray, TcamConfig, TcamConfigBuilder};
+pub use enw_cam::error::CamError;
+
+pub use enw_xmann::arch::{Xmann, XmannConfig, XmannConfigBuilder};
+pub use enw_xmann::error::XmannError;
+
+pub use enw_mann::embedding::{EmbeddingConfig, EmbeddingConfigBuilder};
+pub use enw_mann::error::MannError;
 pub use enw_mann::memory::{DifferentiableMemory, Similarity};
 
 pub use enw_recsys::error::RecsysError;

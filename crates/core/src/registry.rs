@@ -137,6 +137,12 @@ pub fn registry() -> Vec<Experiment> {
             claim: "Sharded multi-node serving with consistent-hash routing, replicated embedding shards and reactive autoscaling holds tails and goodput-per-node across traffic shapes and fleet sizes, bit-identical at any thread count",
             binary: "exp19_fleet_sweep",
         },
+        Experiment {
+            id: "E20",
+            paper_anchor: "Sec. VI (hardware/workload co-design)",
+            claim: "Deterministic design-space exploration over the tunable configs of all five lanes yields per-lane Pareto fronts (latency/energy/quality-per-area) that dominate the hand-picked defaults, bit-identical at any thread count",
+            binary: "exp20_dse",
+        },
     ]
 }
 
@@ -170,9 +176,9 @@ mod tests {
     }
 
     #[test]
-    fn nineteen_experiments_in_order() {
+    fn twenty_experiments_in_order() {
         let r = registry();
-        assert_eq!(r.len(), 19);
+        assert_eq!(r.len(), 20);
         for (i, e) in r.iter().enumerate() {
             assert_eq!(e.id, format!("E{}", i + 1));
         }

@@ -1,0 +1,38 @@
+//! Deterministic design-space exploration over the workspace's
+//! simulators (experiment E20; DESIGN.md, "Design-space exploration").
+//!
+//! The paper's closing argument is that emerging neural workloads and
+//! their hardware must be *co-designed*; this crate makes that search
+//! concrete. Every tunable subsystem — crossbar tile periphery, X-MANN
+//! bank geometry, TCAM segmentation, recommendation-model shape,
+//! serving-lane batching — exposes its configuration through the
+//! [`enw_core::tunable::Tunable`] API, and the engine here explores each
+//! [`lane`](lanes::Lane) with an exhaustive grid pass plus seeded
+//! hill-climbs, evaluating candidates in parallel through
+//! `enw-parallel` with bit-identical results at any `ENW_THREADS`.
+//!
+//! Outputs are Pareto fronts over modeled latency, energy and
+//! quality-per-area ([`objective::pareto_front`]), and a deployment
+//! selector ([`pick::pick_configs`]) that chooses per-lane hardware
+//! under a fleet energy budget.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use enw_dse::lanes::Lane;
+//! use enw_dse::search::{explore, SearchConfig};
+//!
+//! let lane = Lane::Cam;
+//! let result = explore(&lane.space(), &|p| lane.evaluate(p), &SearchConfig::smoke());
+//! assert!(result.front.len() >= 3);
+//! ```
+
+pub mod lanes;
+pub mod objective;
+pub mod pick;
+pub mod search;
+
+pub use lanes::Lane;
+pub use objective::{pareto_front, Candidate, Objectives};
+pub use pick::{pick_configs, DseError, Pick};
+pub use search::{explore, SearchConfig, SearchResult};

@@ -1,0 +1,108 @@
+//! Multi-objective candidate bookkeeping: objectives, dominance, and the
+//! deterministic Pareto filter.
+
+use enw_core::tunable::Point;
+
+/// The three objectives every lane evaluator reports.
+///
+/// Latency and energy are minimized; quality-per-area is maximized.
+/// All three are *model proxies* — consistent within a lane, not
+/// calibrated across lanes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objectives {
+    /// Modeled latency of the lane's probe operation, ns.
+    pub latency_ns: f64,
+    /// Modeled energy of the probe, pJ.
+    pub energy_pj: f64,
+    /// Lane quality (accuracy, goodput, capacity — lane-defined) per
+    /// unit of lane area proxy.
+    pub quality_per_area: f64,
+}
+
+impl Objectives {
+    /// Strict Pareto dominance: no worse on every axis, strictly better
+    /// on at least one.
+    pub fn dominates(&self, other: &Objectives) -> bool {
+        let no_worse = self.latency_ns <= other.latency_ns
+            && self.energy_pj <= other.energy_pj
+            && self.quality_per_area >= other.quality_per_area;
+        let better = self.latency_ns < other.latency_ns
+            || self.energy_pj < other.energy_pj
+            || self.quality_per_area > other.quality_per_area;
+        no_worse && better
+    }
+}
+
+/// One evaluated configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The configuration, encoded.
+    pub point: Point,
+    /// Its evaluated objectives.
+    pub objectives: Objectives,
+    /// Virtual-clock instant (ns) at which the evaluation completed —
+    /// a deterministic trace stamp, not wall time.
+    pub stamp_ns: u64,
+}
+
+/// The mutually non-dominated subset of `candidates`, deduplicated by
+/// point key and sorted by key — byte-stable output for any input
+/// order.
+pub fn pareto_front(candidates: &[Candidate]) -> Vec<Candidate> {
+    let mut sorted: Vec<&Candidate> = candidates.iter().collect();
+    sorted.sort_by_key(|a| a.point.key());
+    sorted.dedup_by(|a, b| a.point == b.point);
+    let mut front = Vec::new();
+    for (i, c) in sorted.iter().enumerate() {
+        let dominated =
+            sorted.iter().enumerate().any(|(j, d)| j != i && d.objectives.dominates(&c.objectives));
+        if !dominated {
+            front.push((*c).clone());
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enw_core::tunable::AxisValue;
+
+    fn cand(k: i64, lat: f64, en: f64, qpa: f64) -> Candidate {
+        Candidate {
+            point: Point::new(vec![("k", AxisValue::Int(k))]),
+            objectives: Objectives { latency_ns: lat, energy_pj: en, quality_per_area: qpa },
+            stamp_ns: 0,
+        }
+    }
+
+    #[test]
+    fn dominance_needs_strictness() {
+        let a = Objectives { latency_ns: 1.0, energy_pj: 1.0, quality_per_area: 1.0 };
+        assert!(!a.dominates(&a));
+        let worse = Objectives { latency_ns: 2.0, energy_pj: 1.0, quality_per_area: 1.0 };
+        assert!(a.dominates(&worse));
+        assert!(!worse.dominates(&a));
+        let tradeoff = Objectives { latency_ns: 0.5, energy_pj: 2.0, quality_per_area: 1.0 };
+        assert!(!a.dominates(&tradeoff));
+        assert!(!tradeoff.dominates(&a));
+    }
+
+    #[test]
+    fn front_keeps_tradeoffs_drops_dominated() {
+        let cs = vec![cand(1, 1.0, 3.0, 1.0), cand(2, 3.0, 1.0, 1.0), cand(3, 3.0, 3.0, 1.0)];
+        let front = pareto_front(&cs);
+        let keys: Vec<String> = front.iter().map(|c| c.point.key()).collect();
+        assert_eq!(keys, vec!["k=1", "k=2"]);
+    }
+
+    #[test]
+    fn front_is_order_independent_and_deduped() {
+        let mut cs = vec![cand(2, 3.0, 1.0, 1.0), cand(1, 1.0, 3.0, 1.0), cand(2, 3.0, 1.0, 1.0)];
+        let f1 = pareto_front(&cs);
+        cs.reverse();
+        let f2 = pareto_front(&cs);
+        assert_eq!(f1, f2);
+        assert_eq!(f1.len(), 2);
+    }
+}

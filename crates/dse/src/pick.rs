@@ -1,0 +1,172 @@
+//! Deployment selection: choose one front member per lane under a
+//! fleet-wide energy budget.
+//!
+//! This is the fleet-facing consumer of the Pareto fronts: a fleet
+//! operator hands the per-lane fronts and a probe-energy budget, and
+//! gets back one configuration per lane. The policy is deterministic
+//! greedy ascent: start every lane at its cheapest member, then spend
+//! the remaining budget on whichever single-lane upgrade buys the most
+//! quality-per-area per picojoule, until nothing affordable improves.
+
+use crate::lanes::Lane;
+use crate::objective::Candidate;
+use std::error::Error;
+use std::fmt;
+
+/// Why a selection failed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DseError {
+    /// Even the cheapest member of every front exceeds the budget.
+    BudgetInfeasible {
+        /// Sum of each lane's minimum energy, pJ.
+        required_pj: f64,
+        /// The offered budget, pJ.
+        budget_pj: f64,
+    },
+    /// A lane's front was empty.
+    EmptyFront {
+        /// The lane without candidates.
+        lane: &'static str,
+    },
+}
+
+impl fmt::Display for DseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DseError::BudgetInfeasible { required_pj, budget_pj } => write!(
+                f,
+                "energy budget infeasible: cheapest selection needs {required_pj:.1} pJ, \
+                 budget is {budget_pj:.1} pJ"
+            ),
+            DseError::EmptyFront { lane } => write!(f, "lane {lane} has an empty Pareto front"),
+        }
+    }
+}
+
+impl Error for DseError {}
+
+/// One lane's chosen configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pick {
+    /// The lane.
+    pub lane: Lane,
+    /// The chosen front member.
+    pub candidate: Candidate,
+}
+
+/// Chooses one candidate per lane from `fronts` with total energy within
+/// `budget_pj`. Deterministic: ties in the upgrade ratio break by lane
+/// order, then candidate key order (fronts are key-sorted).
+pub fn pick_configs(
+    fronts: &[(Lane, Vec<Candidate>)],
+    budget_pj: f64,
+) -> Result<Vec<Pick>, DseError> {
+    let mut picks: Vec<(Lane, usize, &Vec<Candidate>)> = Vec::new();
+    let mut spent = 0.0f64;
+    for (lane, front) in fronts {
+        let cheapest = front
+            .iter()
+            .enumerate()
+            .fold(None, |acc: Option<(usize, f64)>, (i, c)| match acc {
+                Some((_, e)) if e <= c.objectives.energy_pj => acc,
+                _ => Some((i, c.objectives.energy_pj)),
+            })
+            .ok_or(DseError::EmptyFront { lane: lane.name() })?;
+        spent += cheapest.1;
+        picks.push((*lane, cheapest.0, front));
+    }
+    if spent > budget_pj {
+        return Err(DseError::BudgetInfeasible { required_pj: spent, budget_pj });
+    }
+
+    // Greedy upgrades: best Δ(quality-per-area)/Δenergy first.
+    loop {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for (li, (_, current, front)) in picks.iter().enumerate() {
+            let now = &front[*current].objectives;
+            for (ci, cand) in front.iter().enumerate() {
+                let o = &cand.objectives;
+                let de = o.energy_pj - now.energy_pj;
+                let dq = o.quality_per_area - now.quality_per_area;
+                if dq <= 0.0 || spent + de.max(0.0) > budget_pj {
+                    continue;
+                }
+                // Free quality (de <= 0) is infinitely good; otherwise
+                // rate the upgrade per picojoule.
+                let ratio = if de <= 0.0 { f64::INFINITY } else { dq / de };
+                let better = match best {
+                    None => true,
+                    Some((_, _, r)) => ratio > r,
+                };
+                if better {
+                    best = Some((li, ci, ratio));
+                }
+            }
+        }
+        let Some((li, ci, _)) = best else { break };
+        let (_, current, front) = &mut picks[li];
+        spent += front[ci].objectives.energy_pj - front[*current].objectives.energy_pj;
+        *current = ci;
+    }
+
+    Ok(picks
+        .into_iter()
+        .map(|(lane, i, front)| Pick { lane, candidate: front[i].clone() })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::Objectives;
+    use enw_core::tunable::{AxisValue, Point};
+
+    fn cand(k: i64, energy: f64, qpa: f64) -> Candidate {
+        Candidate {
+            point: Point::new(vec![("k", AxisValue::Int(k))]),
+            objectives: Objectives { latency_ns: 1.0, energy_pj: energy, quality_per_area: qpa },
+            stamp_ns: 0,
+        }
+    }
+
+    fn fronts() -> Vec<(Lane, Vec<Candidate>)> {
+        vec![
+            (Lane::Crossbar, vec![cand(1, 10.0, 1.0), cand(2, 20.0, 3.0), cand(3, 40.0, 4.0)]),
+            (Lane::Cam, vec![cand(1, 5.0, 1.0), cand(2, 25.0, 2.0)]),
+        ]
+    }
+
+    #[test]
+    fn tight_budget_keeps_the_cheapest() {
+        let picks = pick_configs(&fronts(), 16.0).unwrap();
+        assert_eq!(picks[0].candidate.point.key(), "k=1");
+        assert_eq!(picks[1].candidate.point.key(), "k=1");
+    }
+
+    #[test]
+    fn slack_buys_the_best_ratio_first() {
+        // Budget 35: crossbar upgrade to k=2 costs 10 for +2 qpa (0.2/pJ),
+        // cam upgrade costs 20 for +1 (0.05/pJ). Only the first fits.
+        let picks = pick_configs(&fronts(), 35.0).unwrap();
+        assert_eq!(picks[0].candidate.point.key(), "k=2");
+        assert_eq!(picks[1].candidate.point.key(), "k=1");
+    }
+
+    #[test]
+    fn infeasible_budget_is_a_typed_error() {
+        let e = pick_configs(&fronts(), 10.0).unwrap_err();
+        assert!(matches!(e, DseError::BudgetInfeasible { .. }), "{e}");
+    }
+
+    #[test]
+    fn empty_front_is_a_typed_error() {
+        let e = pick_configs(&[(Lane::Serve, Vec::new())], 10.0).unwrap_err();
+        assert_eq!(e, DseError::EmptyFront { lane: "serve" });
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        assert_eq!(pick_configs(&fronts(), 70.0).unwrap(), pick_configs(&fronts(), 70.0).unwrap());
+    }
+}

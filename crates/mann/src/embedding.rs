@@ -31,6 +31,10 @@ pub trait Embedder {
 }
 
 /// Training configuration for the embedding network.
+///
+/// Construct via [`EmbeddingConfig::builder`]; direct struct-literal
+/// construction in downstream code is deprecated (it bypasses
+/// validation and will stop compiling as fields are added).
 #[derive(Debug, Clone, PartialEq)]
 pub struct EmbeddingConfig {
     /// Hidden layer widths between input and the embedding layer.
@@ -58,6 +62,91 @@ impl Default for EmbeddingConfig {
             epochs: 8,
             learning_rate: 0.05,
         }
+    }
+}
+
+impl EmbeddingConfig {
+    /// Starts a validating builder seeded with the default configuration.
+    pub fn builder() -> EmbeddingConfigBuilder {
+        EmbeddingConfigBuilder { cfg: EmbeddingConfig::default() }
+    }
+}
+
+/// Validating builder for [`EmbeddingConfig`].
+///
+/// `build()` rejects setups that cannot train (no background classes to
+/// hold out against, empty episodes, degenerate schedules) with a typed
+/// [`MannError`](crate::error::MannError), before any episode runs.
+#[derive(Debug, Clone)]
+pub struct EmbeddingConfigBuilder {
+    cfg: EmbeddingConfig,
+}
+
+impl EmbeddingConfigBuilder {
+    /// Sets hidden layer widths between input and the embedding layer.
+    pub fn hidden(mut self, hidden: Vec<usize>) -> Self {
+        self.cfg.hidden = hidden;
+        self
+    }
+
+    /// Sets the embedding dimensionality.
+    pub fn embed_dim(mut self, embed_dim: usize) -> Self {
+        self.cfg.embed_dim = embed_dim;
+        self
+    }
+
+    /// Sets the number of background-training classes.
+    pub fn background_classes(mut self, background_classes: usize) -> Self {
+        self.cfg.background_classes = background_classes;
+        self
+    }
+
+    /// Sets training samples drawn per background class.
+    pub fn samples_per_class(mut self, samples_per_class: usize) -> Self {
+        self.cfg.samples_per_class = samples_per_class;
+        self
+    }
+
+    /// Sets SGD passes.
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.cfg.epochs = epochs;
+        self
+    }
+
+    /// Sets the SGD step size.
+    pub fn learning_rate(mut self, learning_rate: f32) -> Self {
+        self.cfg.learning_rate = learning_rate;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    pub fn build(self) -> Result<EmbeddingConfig, crate::error::MannError> {
+        use crate::error::MannError;
+        if self.cfg.embed_dim == 0 {
+            return Err(MannError::InvalidConfig { reason: "embed_dim must be non-zero" });
+        }
+        if self.cfg.hidden.contains(&0) {
+            return Err(MannError::InvalidConfig { reason: "hidden widths must be non-zero" });
+        }
+        if self.cfg.background_classes < 2 {
+            return Err(MannError::InvalidConfig {
+                reason: "background_classes must be at least 2",
+            });
+        }
+        if self.cfg.samples_per_class == 0 {
+            return Err(MannError::InvalidConfig {
+                reason: "samples_per_class must be at least 1",
+            });
+        }
+        if self.cfg.epochs == 0 {
+            return Err(MannError::InvalidConfig { reason: "epochs must be at least 1" });
+        }
+        if !self.cfg.learning_rate.is_finite() || self.cfg.learning_rate <= 0.0 {
+            return Err(MannError::InvalidConfig {
+                reason: "learning_rate must be finite and positive",
+            });
+        }
+        Ok(self.cfg)
     }
 }
 
@@ -315,5 +404,27 @@ mod tests {
         let mut rng = Rng64::new(3);
         let domain = FewShotDomain::generate(5, 16, &mut rng);
         EmbeddingNet::train(&domain, &quick_cfg(), &mut rng);
+    }
+
+    #[test]
+    fn builder_defaults_match_default() {
+        assert_eq!(EmbeddingConfig::builder().build().unwrap(), EmbeddingConfig::default());
+    }
+
+    #[test]
+    fn builder_rejects_one_background_class() {
+        let err = EmbeddingConfig::builder().background_classes(1).build().unwrap_err();
+        assert!(err.to_string().contains("background_classes"), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_zero_hidden_width() {
+        assert!(EmbeddingConfig::builder().hidden(vec![64, 0]).build().is_err());
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_schedule() {
+        assert!(EmbeddingConfig::builder().epochs(0).build().is_err());
+        assert!(EmbeddingConfig::builder().learning_rate(0.0).build().is_err());
     }
 }

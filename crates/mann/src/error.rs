@@ -1,0 +1,41 @@
+//! Typed failures for the MANN model-side crate.
+//!
+//! Embedding-training configuration used to be validated by asserts at
+//! train time; [`crate::embedding::EmbeddingConfig::builder`] returns
+//! `Result<_, MannError>` so degenerate setups are rejected at
+//! construction, before any episode runs.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a MANN configuration was rejected.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MannError {
+    /// A configuration violated a structural constraint.
+    InvalidConfig {
+        /// Which constraint failed.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for MannError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MannError::InvalidConfig { reason } => write!(f, "invalid MANN config: {reason}"),
+        }
+    }
+}
+
+impl Error for MannError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_constraint() {
+        let e = MannError::InvalidConfig { reason: "embed_dim must be non-zero" };
+        assert!(e.to_string().contains("embed_dim"), "{e}");
+    }
+}

@@ -40,6 +40,7 @@
 
 pub mod embedding;
 pub mod encoding;
+pub mod error;
 pub mod fewshot;
 pub mod kv_memory;
 pub mod lsh;
@@ -47,7 +48,10 @@ pub mod memory;
 pub mod ntm;
 pub mod tasks;
 
-pub use embedding::{ConvEmbeddingNet, Embedder, EmbeddingConfig, EmbeddingNet};
+pub use embedding::{
+    ConvEmbeddingNet, Embedder, EmbeddingConfig, EmbeddingConfigBuilder, EmbeddingNet,
+};
+pub use error::MannError;
 pub use fewshot::{FewShotOutcome, SearchMethod};
 pub use kv_memory::KeyValueMemory;
 pub use memory::{DifferentiableMemory, Similarity};

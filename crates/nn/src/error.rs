@@ -1,0 +1,41 @@
+//! Typed failures for the digital NN substrate.
+//!
+//! Training hyper-parameters used to be plain structs with no validated
+//! construction path; [`crate::mlp::SgdConfig::builder`] returns
+//! `Result<_, NnError>` so out-of-range schedules are rejected before a
+//! training loop starts.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why an NN configuration was rejected.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A configuration violated a structural constraint.
+    InvalidConfig {
+        /// Which constraint failed.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::InvalidConfig { reason } => write!(f, "invalid NN config: {reason}"),
+        }
+    }
+}
+
+impl Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_constraint() {
+        let e = NnError::InvalidConfig { reason: "epochs must be at least 1" };
+        assert!(e.to_string().contains("epochs"), "{e}");
+    }
+}

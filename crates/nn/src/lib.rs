@@ -57,6 +57,7 @@ pub mod activation;
 pub mod backend;
 pub mod conv;
 pub mod data;
+pub mod error;
 pub mod fewshot;
 pub mod layer;
 pub mod loss;
@@ -67,4 +68,5 @@ pub mod rnn;
 
 pub use activation::Activation;
 pub use backend::{DigitalLinear, LinearBackend};
-pub use mlp::{Mlp, SgdConfig};
+pub use error::NnError;
+pub use mlp::{Mlp, SgdConfig, SgdConfigBuilder};

@@ -15,6 +15,10 @@ use enw_numerics::rng::Rng64;
 use enw_numerics::vector::argmax;
 
 /// Hyper-parameters for SGD training.
+///
+/// Construct via [`SgdConfig::builder`]; direct struct-literal
+/// construction in downstream code is deprecated (it bypasses
+/// validation and will stop compiling as fields are added).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SgdConfig {
     /// Number of passes over the training set.
@@ -26,6 +30,51 @@ pub struct SgdConfig {
 impl Default for SgdConfig {
     fn default() -> Self {
         SgdConfig { epochs: 10, learning_rate: 0.05 }
+    }
+}
+
+impl SgdConfig {
+    /// Starts a validating builder seeded with the default schedule.
+    pub fn builder() -> SgdConfigBuilder {
+        SgdConfigBuilder { cfg: SgdConfig::default() }
+    }
+}
+
+/// Validating builder for [`SgdConfig`].
+///
+/// `build()` rejects schedules that cannot train (zero epochs,
+/// non-positive or non-finite step sizes) with a typed
+/// [`NnError`](crate::error::NnError).
+#[derive(Debug, Clone)]
+pub struct SgdConfigBuilder {
+    cfg: SgdConfig,
+}
+
+impl SgdConfigBuilder {
+    /// Sets the number of passes over the training set.
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.cfg.epochs = epochs;
+        self
+    }
+
+    /// Sets the step size for every rank-1 update.
+    pub fn learning_rate(mut self, learning_rate: f32) -> Self {
+        self.cfg.learning_rate = learning_rate;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    pub fn build(self) -> Result<SgdConfig, crate::error::NnError> {
+        use crate::error::NnError;
+        if self.cfg.epochs == 0 {
+            return Err(NnError::InvalidConfig { reason: "epochs must be at least 1" });
+        }
+        if !self.cfg.learning_rate.is_finite() || self.cfg.learning_rate <= 0.0 {
+            return Err(NnError::InvalidConfig {
+                reason: "learning_rate must be finite and positive",
+            });
+        }
+        Ok(self.cfg)
     }
 }
 
@@ -252,5 +301,23 @@ mod tests {
         mlp.train_sgd(&data.train, &SgdConfig { epochs: 15, learning_rate: 0.05 }, &mut rng);
         let acc = mlp.evaluate(&data.test);
         assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn builder_defaults_match_default() {
+        assert_eq!(SgdConfig::builder().build().unwrap(), SgdConfig::default());
+    }
+
+    #[test]
+    fn builder_rejects_zero_epochs() {
+        let err = SgdConfig::builder().epochs(0).build().unwrap_err();
+        assert!(err.to_string().contains("epochs"), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_bad_learning_rate() {
+        assert!(SgdConfig::builder().learning_rate(0.0).build().is_err());
+        assert!(SgdConfig::builder().learning_rate(f32::NAN).build().is_err());
+        assert!(SgdConfig::builder().learning_rate(-0.1).build().is_err());
     }
 }

@@ -320,8 +320,11 @@ mod tests {
             }
             record_span_io("test/io", 64, 512, 128);
             // Worker-thread recordings of the same span must merge in.
+            // Join explicitly: the scope's implicit wait can return
+            // before the TLS destructor that performs the merge has run.
             std::thread::scope(|scope| {
-                scope.spawn(|| record_span_io("test/io", 0, 100, 10));
+                let h = scope.spawn(|| record_span_io("test/io", 0, 100, 10));
+                h.join().expect("worker panicked");
             });
             take_report()
         });

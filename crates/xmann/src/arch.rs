@@ -12,6 +12,10 @@ use enw_mann::memory::DifferentiableMemory;
 use enw_numerics::vector::softmax_into;
 
 /// Geometry of the tile hierarchy.
+///
+/// Construct via [`XmannConfig::builder`]; direct struct-literal
+/// construction in downstream code is deprecated (it bypasses
+/// validation and will stop compiling as fields are added).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct XmannConfig {
     /// Crossbar rows per TCPT (memory slots per tile).
@@ -30,6 +34,75 @@ pub struct XmannConfig {
 impl Default for XmannConfig {
     fn default() -> Self {
         XmannConfig { tile_rows: 256, tile_cols: 64, tiles_per_subarray: 8, total_tiles: 256 }
+    }
+}
+
+impl XmannConfig {
+    /// Starts a validating builder seeded with the default geometry.
+    pub fn builder() -> XmannConfigBuilder {
+        XmannConfigBuilder { cfg: XmannConfig::default() }
+    }
+}
+
+/// Validating builder for [`XmannConfig`].
+///
+/// `build()` rejects degenerate tile hierarchies with a typed
+/// [`XmannError`](crate::error::XmannError) instead of panicking at
+/// [`Xmann::new`] time, which is the contract candidate-probing search
+/// drivers rely on.
+#[derive(Debug, Clone)]
+pub struct XmannConfigBuilder {
+    cfg: XmannConfig,
+}
+
+impl XmannConfigBuilder {
+    /// Sets crossbar rows per TCPT.
+    pub fn tile_rows(mut self, tile_rows: usize) -> Self {
+        self.cfg.tile_rows = tile_rows;
+        self
+    }
+
+    /// Sets crossbar columns per TCPT.
+    pub fn tile_cols(mut self, tile_cols: usize) -> Self {
+        self.cfg.tile_cols = tile_cols;
+        self
+    }
+
+    /// Sets TCPTs sharing one subarray bus.
+    pub fn tiles_per_subarray(mut self, tiles_per_subarray: usize) -> Self {
+        self.cfg.tiles_per_subarray = tiles_per_subarray;
+        self
+    }
+
+    /// Sets physical TCPTs on the accelerator.
+    pub fn total_tiles(mut self, total_tiles: usize) -> Self {
+        self.cfg.total_tiles = total_tiles;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    pub fn build(self) -> Result<XmannConfig, crate::error::XmannError> {
+        use crate::error::XmannError;
+        if self.cfg.tile_rows == 0 {
+            return Err(XmannError::InvalidConfig { reason: "tile_rows must be at least 1" });
+        }
+        if self.cfg.tile_cols == 0 {
+            return Err(XmannError::InvalidConfig { reason: "tile_cols must be at least 1" });
+        }
+        if self.cfg.tiles_per_subarray == 0 {
+            return Err(XmannError::InvalidConfig {
+                reason: "tiles_per_subarray must be at least 1",
+            });
+        }
+        if self.cfg.total_tiles == 0 {
+            return Err(XmannError::InvalidConfig { reason: "total_tiles must be at least 1" });
+        }
+        if self.cfg.tiles_per_subarray > self.cfg.total_tiles {
+            return Err(XmannError::InvalidConfig {
+                reason: "tiles_per_subarray cannot exceed total_tiles",
+            });
+        }
+        Ok(self.cfg)
     }
 }
 
@@ -425,5 +498,30 @@ mod tests {
         let es = small.similarity(&[0.1; 32]).cost.energy_pj;
         let el = large.similarity(&[0.1; 32]).cost.energy_pj;
         assert!(el > es * 10.0);
+    }
+
+    #[test]
+    fn builder_defaults_match_default() {
+        assert_eq!(XmannConfig::builder().build().unwrap(), XmannConfig::default());
+    }
+
+    #[test]
+    fn builder_rejects_zero_total_tiles() {
+        let err = XmannConfig::builder().total_tiles(0).build().unwrap_err();
+        assert!(err.to_string().contains("total_tiles"), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_subarray_larger_than_chip() {
+        let err =
+            XmannConfig::builder().tiles_per_subarray(32).total_tiles(16).build().unwrap_err();
+        assert!(err.to_string().contains("tiles_per_subarray"), "{err}");
+    }
+
+    #[test]
+    fn builder_sets_geometry() {
+        let cfg =
+            XmannConfig::builder().tile_rows(64).tile_cols(32).total_tiles(16).build().unwrap();
+        assert_eq!((cfg.tile_rows, cfg.tile_cols, cfg.total_tiles), (64, 32, 16));
     }
 }

@@ -55,6 +55,31 @@ assert {c['nodes'] for c in r['cells']} == {2, 4, 8}, r
 assert all(len(c['lanes']) == 2 and 'shard' in c for c in r['cells']), r
 " || { echo "BENCH_fleet.json failed to parse or misses sweep cells"; exit 1; }
 
+echo "== exp20_dse --smoke (co-design search over every lane) =="
+cargo run --release -q -p enw-bench --bin exp20_dse -- --smoke
+test -s BENCH_dse.json || { echo "exp20 did not emit BENCH_dse.json"; exit 1; }
+python3 -c "
+import json
+r = json.load(open('BENCH_dse.json'))
+assert r['deterministic_rerun'], r
+lanes = r['lanes']
+assert {l['lane'] for l in lanes} == {'crossbar', 'xmann', 'cam', 'recsys', 'serve'}, r
+def dominates(a, b):
+    no_worse = (a['latency_ns'] <= b['latency_ns'] and a['energy_pj'] <= b['energy_pj']
+                and a['quality_per_area'] >= b['quality_per_area'])
+    better = (a['latency_ns'] < b['latency_ns'] or a['energy_pj'] < b['energy_pj']
+              or a['quality_per_area'] > b['quality_per_area'])
+    return no_worse and better
+for l in lanes:
+    front = l['front']
+    assert len(front) >= 3, (l['lane'], len(front))
+    for a in front:
+        for b in front:
+            assert a is b or not dominates(a, b), (l['lane'], a['key'], b['key'])
+assert any(l['default']['dominated_by_front'] for l in lanes), 'no lane beats its default'
+assert len(r['picks']['selected']) == len(lanes), r
+" || { echo "BENCH_dse.json failed to parse or front is not a valid Pareto set"; exit 1; }
+
 echo "== exp15_parallel_scaling --smoke (thread-scaling gate) =="
 # Exits nonzero if any kernel's 2-thread speedup drops below 1.0x or any
 # lane loses bit-identity across thread counts.
