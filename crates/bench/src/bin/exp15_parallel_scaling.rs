@@ -411,6 +411,23 @@ fn main() {
             if at2.speedup >= 1.0 && identical { "PASS" } else { "FAIL" }
         );
     }
+    // Plateau guard: per-worker B-panel packing must keep the matmul
+    // scaling past 4 workers — an 8-thread run that falls more than 10%
+    // below the 4-thread one means shared-panel contention is back.
+    {
+        let matmul = kernels.first().expect("matmul is the first kernel");
+        let at4 = matmul.runs.iter().find(|r| r.threads == 4).expect("4-thread run");
+        let at8 = matmul.runs.iter().find(|r| r.threads == 8).expect("8-thread run");
+        let holds = at8.speedup >= 0.9 * at4.speedup;
+        gate_ok &= holds;
+        println!(
+            "{}: {:.2}x at 8 threads vs {:.2}x at 4 (floor 0.9x) -> {}",
+            matmul.name,
+            at8.speedup,
+            at4.speedup,
+            if holds { "PASS" } else { "FAIL (8-thread plateau)" }
+        );
+    }
     println!();
     println!("Reading: the register-tiled matmul, streaming crossbar read, limb-packed TCAM");
     println!("scan and unrolled+prefetching gather supply the single-core win, and the");

@@ -15,11 +15,14 @@
 
 use enw_bench::{banner, emit};
 use enw_core::crossbar::devices;
+use enw_core::crossbar::pipeline::{AnalogPipeline, PipelineConfig};
 use enw_core::crossbar::tiki_taka::TikiTakaConfig;
 use enw_core::crossbar::tile::TileConfig;
+use enw_core::crossbar::tiled::TilingConfig;
 use enw_core::crossbar::train::{tiki_taka_mlp, train_and_evaluate};
 use enw_core::mann::memory::{DifferentiableMemory, Similarity};
 use enw_core::nn::activation::Activation;
+use enw_core::nn::conv::{ConvNetConfig, MapShape};
 use enw_core::nn::data::SyntheticImages;
 use enw_core::nn::mlp::SgdConfig;
 use enw_core::numerics::bits::BitVec;
@@ -37,7 +40,8 @@ use enw_core::{cam, numerics};
 const SEED: u64 = 17;
 
 /// Analog crossbar training lane: forward/backward MVMs, stochastic-pulse
-/// updates, programming, and Tiki-Taka column transfers.
+/// updates, programming, Tiki-Taka column transfers, and the streaming
+/// tiled conv pipeline (partial-sum reduction + prefetch spans).
 fn lane_crossbar(smoke: bool) {
     let mut rng = Rng64::new(SEED);
     let split = SyntheticImages::builder()
@@ -58,6 +62,30 @@ fn lane_crossbar(smoke: bool) {
     let cfg = SgdConfig { epochs: if smoke { 1 } else { 3 }, learning_rate: 0.05 };
     let out = train_and_evaluate(&mut mlp, &split, &cfg, &mut rng);
     assert!((0.0..=1.0).contains(&out.test_accuracy));
+
+    // Streaming tiled training (E21): conv-as-crossbar-matmul at depth,
+    // attributed via the tiled reduce and train fb/update/prefetch spans.
+    let conv_split = SyntheticImages::builder()
+        .classes(3)
+        .dim(64)
+        .train_per_class(if smoke { 4 } else { 12 })
+        .test_per_class(2)
+        .build(&mut Rng64::new(SEED + 1));
+    let pipe_cfg = PipelineConfig {
+        net: ConvNetConfig {
+            input: MapShape { channels: 1, height: 8, width: 8 },
+            conv_channels: vec![3, 4],
+            embed_dim: 12,
+            classes: 3,
+        },
+        spec: devices::ecram(),
+        tile: TileConfig::default(),
+        tiling: TilingConfig { tile_rows: 8, tile_cols: 10 },
+        lr: 0.005,
+        seed: SEED,
+    };
+    let mut pipe = AnalogPipeline::new(&pipe_cfg, &conv_split.train).expect("valid lane config");
+    pipe.run(&conv_split.train, if smoke { 4 } else { 24 });
 }
 
 /// Few-shot memory lane: MANN similarity scan, X-MANN tiled

@@ -19,7 +19,7 @@
 //! (DESIGN.md, "Serving runtime"); the [`fleet`] crate scales that
 //! runtime out to a sharded, autoscaled multi-node cluster (DESIGN.md,
 //! "Fleet architecture"). The [`registry`] module indexes
-//! every reproduced table/figure (E1–E19) and the `enw-bench` binary that
+//! every reproduced table/figure (E1–E21) and the `enw-bench` binary that
 //! regenerates it; [`report`] renders the result tables.
 //!
 //! # Quickstart

@@ -143,6 +143,12 @@ pub fn registry() -> Vec<Experiment> {
             claim: "Deterministic design-space exploration over the tunable configs of all five lanes yields per-lane Pareto fronts (latency/energy/quality-per-area) that dominate the hand-picked defaults, bit-identical at any thread count",
             binary: "exp20_dse",
         },
+        Experiment {
+            id: "E21",
+            paper_anchor: "Sec. II (large-scale analog training, refs. 14, 36)",
+            claim: "A streaming tiled analog-training pipeline trains >=6-layer conv stacks as grids of crossbar tiles with zero steady-state allocations per step, byte-identical across reruns, thread counts and checkpoint/resume; accuracy-vs-device surfaces and virtual-clock throughput recorded",
+            binary: "exp21_deep_analog",
+        },
     ]
 }
 
@@ -176,9 +182,9 @@ mod tests {
     }
 
     #[test]
-    fn twenty_experiments_in_order() {
+    fn twenty_one_experiments_in_order() {
         let r = registry();
-        assert_eq!(r.len(), 20);
+        assert_eq!(r.len(), 21);
         for (i, e) in r.iter().enumerate() {
             assert_eq!(e.id, format!("E{}", i + 1));
         }

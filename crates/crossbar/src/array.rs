@@ -325,26 +325,54 @@ impl AnalogArray {
     where
         F: Fn(usize, &mut RowPulser<'_>) -> u64 + Sync,
     {
+        use std::sync::atomic::{AtomicU64, Ordering};
         let cols = self.cols;
         let devices = &self.devices;
-        let counts = enw_parallel::for_each_chunk_mut(
-            &mut self.weights,
-            row_chunk.max(1) * cols,
-            |start, window| {
-                let r0 = start / cols;
-                let mut total = 0u64;
-                for (k, wrow) in window.chunks_mut(cols).enumerate() {
-                    let r = r0 + k;
-                    let mut pulser =
-                        RowPulser { weights: wrow, devices: &devices[r * cols..(r + 1) * cols] };
-                    total += f(r, &mut pulser);
-                }
-                total
-            },
-        );
-        let total: u64 = counts.iter().sum();
+        // Pulse totals are summed through an integer atomic rather than a
+        // per-chunk result vector: u64 addition is exact and commutative,
+        // so the count is schedule-independent, and the section stays
+        // allocation-free — which keeps the whole training step zero-alloc
+        // in steady state (E21's gate).
+        let total = AtomicU64::new(0);
+        enw_parallel::run_chunks_mut(&mut self.weights, row_chunk.max(1) * cols, |start, window| {
+            let r0 = start / cols;
+            let mut chunk_total = 0u64;
+            for (k, wrow) in window.chunks_mut(cols).enumerate() {
+                let r = r0 + k;
+                let mut pulser =
+                    RowPulser { weights: wrow, devices: &devices[r * cols..(r + 1) * cols] };
+                chunk_total += f(r, &mut pulser);
+            }
+            total.fetch_add(chunk_total, Ordering::Relaxed);
+        });
+        let total = total.load(Ordering::Relaxed);
         self.pulse_count += total;
         total
+    }
+
+    /// The stored weights, row-major. The raw-state counterpart of
+    /// [`read_matrix`](AnalogArray::read_matrix), used by checkpointing
+    /// to serialize conductances without an intermediate copy.
+    pub fn weights_raw(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Overwrites the stored weights from a row-major slice, bit-exact
+    /// (no device-bound clamping — the values are expected to come from
+    /// [`weights_raw`](AnalogArray::weights_raw) of an identically
+    /// constructed array, as in checkpoint restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w.len() != rows * cols`.
+    pub fn restore_weights(&mut self, w: &[f32]) {
+        assert_eq!(w.len(), self.weights.len(), "weight snapshot shape mismatch");
+        self.weights.copy_from_slice(w);
+    }
+
+    /// Overwrites the lifetime pulse counter (checkpoint restore).
+    pub fn restore_pulse_count(&mut self, n: u64) {
+        self.pulse_count = n;
     }
 
     /// Exact snapshot of the stored weights.

@@ -24,7 +24,13 @@
 //!   `enw-nn` `LinearBackend` trait so networks train on it unmodified.
 //! * [`tiki_taka`] — the coupled-array training scheme for asymmetric
 //!   devices.
+//! * [`tiled`] — [`tiled::TiledAnalogLayer`]: a large logical layer
+//!   sharded across a grid of tiles with deterministic halo-free
+//!   partial-sum reduction and bit-exact checkpoint/resume.
 //! * [`train`] — whole-network constructors and the comparison harness.
+//! * [`pipeline`] — the streaming tiled training pipeline: deep
+//!   conv/MLP stacks on tile grids, zero-alloc steady state, a virtual
+//!   clock modeling prefetch/update overlap, and resumable checkpoints.
 //!
 //! # Example: train an MLP on simulated RRAM with Tiki-Taka
 //!
@@ -58,8 +64,10 @@ pub mod devices;
 pub mod error;
 pub mod inference;
 pub mod noise;
+pub mod pipeline;
 pub mod tiki_taka;
 pub mod tile;
+pub mod tiled;
 pub mod train;
 
 pub use array::AnalogArray;
@@ -68,3 +76,4 @@ pub use error::CrossbarError;
 pub use noise::AnalogNoise;
 pub use tiki_taka::{TikiTakaConfig, TikiTakaTile};
 pub use tile::{AnalogTile, TileConfig, TileConfigBuilder, UpdateScheme};
+pub use tiled::{TiledAnalogLayer, TilingConfig};

@@ -19,7 +19,7 @@ use crate::error::CrossbarError;
 use crate::noise::AnalogNoise;
 use enw_nn::backend::LinearBackend;
 use enw_numerics::matrix::Matrix;
-use enw_numerics::rng::Rng64;
+use enw_numerics::rng::{Rng64, RngState};
 
 /// Fixed row-chunk size for the parallel stochastic update; boundaries
 /// depend only on the array shape, never the worker count.
@@ -167,6 +167,12 @@ pub struct AnalogTile {
     dw_avg: f32,
     rng: Rng64,
     stats: TileStats,
+    /// Per-row RNG streams for the parallel stochastic update, refilled
+    /// from the tile RNG on every update. Kept as a field so the
+    /// steady-state training loop reuses its capacity instead of
+    /// allocating per call; the contents are transient (fully rewritten
+    /// before use) and excluded from checkpoints.
+    row_rngs: Vec<Rng64>,
 }
 
 impl AnalogTile {
@@ -188,7 +194,27 @@ impl AnalogTile {
             dw_avg,
             rng: rng.fork(),
             stats: TileStats::default(),
+            row_rngs: Vec::new(),
         }
+    }
+
+    /// Snapshot of the tile RNG for checkpointing. Together with the
+    /// array's [`weights_raw`](AnalogArray::weights_raw) and
+    /// [`pulse_count`](AnalogArray::pulse_count) this captures every
+    /// bit of mutable tile state (the per-row update streams are
+    /// transient — rewritten from this RNG before each use).
+    pub fn rng_state(&self) -> RngState {
+        self.rng.state()
+    }
+
+    /// Restores the tile RNG from a checkpoint snapshot.
+    pub fn restore_rng(&mut self, state: RngState) {
+        self.rng = Rng64::restore(state);
+    }
+
+    /// Restores the event counters from a checkpoint snapshot.
+    pub fn restore_stats(&mut self, stats: TileStats) {
+        self.stats = stats;
     }
 
     /// Write-verify programs the tile's *effective* weights to `target`
@@ -289,56 +315,96 @@ impl AnalogTile {
     }
 
     /// Checks out a scratch buffer holding the bias-augmented input
-    /// `[x; 1]`, hoisting the old per-call `Vec` off the hot path.
-    fn augmented_scratch(&self, x: &[f32]) -> enw_parallel::scratch::ScratchF32 {
+    /// `[x; bias_drive]`, hoisting the old per-call `Vec` off the hot
+    /// path. Monolithic use drives the bias line at 1.0; sub-tiles of a
+    /// [`TiledAnalogLayer`](crate::tiled::TiledAnalogLayer) that do not
+    /// own the logical bias drive it at 0.0, which silences their bias
+    /// column in every cycle (zero forward contribution, zero pulse
+    /// probability, no RNG draws).
+    fn augmented_scratch(&self, x: &[f32], bias_drive: f32) -> enw_parallel::scratch::ScratchF32 {
         assert_eq!(x.len(), self.in_dim, "input dimension mismatch");
         let mut xa = enw_parallel::scratch::take_f32(self.in_dim + 1);
         xa[..self.in_dim].copy_from_slice(x);
-        xa[self.in_dim] = 1.0;
+        xa[self.in_dim] = bias_drive;
         xa
+    }
+
+    /// Sets a bit in a `u64`-limb scratch bitset.
+    #[inline]
+    fn set_bit(bits: &mut [u64], idx: usize) {
+        bits[idx / 64] |= 1 << (idx % 64);
+    }
+
+    /// Reads a bit from a `u64`-limb scratch bitset.
+    #[inline]
+    fn get_bit(bits: &[u64], idx: usize) -> bool {
+        bits[idx / 64] & (1 << (idx % 64)) != 0
     }
 
     fn update_stochastic(&mut self, delta: &[f32], xa: &[f32], lr: f32, bl: u32) {
         // Choose pulse probabilities so the expected coincidence count
-        // yields the SGD step: E[Δw_ij] = −lr·d_i·x_j.
+        // yields the SGD step: E[Δw_ij] = −lr·d_i·x_j. All staging
+        // buffers come from the scratch pools (and the per-row RNG
+        // vector reuses its retained capacity), so a steady-state
+        // training step performs no heap allocation here.
         let amp = (lr / (bl as f32 * self.dw_avg)).sqrt();
-        let p_row: Vec<f32> = delta.iter().map(|d| (amp * d.abs()).min(1.0)).collect();
-        let p_col: Vec<f32> = xa.iter().map(|x| (amp * x.abs()).min(1.0)).collect();
+        let rows = delta.len();
+        let cols = xa.len();
+        let mut p_row = enw_parallel::scratch::take_f32(rows);
+        for (p, d) in p_row.iter_mut().zip(delta) {
+            *p = (amp * d.abs()).min(1.0);
+        }
+        let mut p_col = enw_parallel::scratch::take_f32(cols);
+        for (p, x) in p_col.iter_mut().zip(xa) {
+            *p = (amp * x.abs()).min(1.0);
+        }
         // Phase 1 (serial): draw the row/column pulse trains for every
         // bit-line step with the tile RNG, exactly as the hardware fires
-        // them — rows then columns per step.
-        let rows = delta.len();
+        // them — rows then columns per step. Row firings land in a limb
+        // bitset; column firings are index lists flattened into one
+        // scratch buffer (`col_fired[s*cols..]`, `col_count[s]` live).
         let bl = bl as usize;
-        let mut row_fired = vec![false; bl * rows];
-        let mut col_fired: Vec<Vec<usize>> = Vec::with_capacity(bl);
+        let mut row_fired = enw_parallel::scratch::take_bits((bl * rows).div_ceil(64));
+        let mut col_fired = enw_parallel::scratch::take_usize(bl * cols);
+        let mut col_count = enw_parallel::scratch::take_usize(bl);
         for s in 0..bl {
             for (i, &p) in p_row.iter().enumerate() {
-                row_fired[s * rows + i] = p > 0.0 && self.rng.bernoulli(p as f64);
-            }
-            let mut fc = Vec::new();
-            for (j, &p) in p_col.iter().enumerate() {
                 if p > 0.0 && self.rng.bernoulli(p as f64) {
-                    fc.push(j);
+                    Self::set_bit(&mut row_fired, s * rows + i);
                 }
             }
-            col_fired.push(fc);
+            let step_cols = &mut col_fired[s * cols..(s + 1) * cols];
+            let mut fired = 0;
+            for (j, &p) in p_col.iter().enumerate() {
+                if p > 0.0 && self.rng.bernoulli(p as f64) {
+                    step_cols[fired] = j;
+                    fired += 1;
+                }
+            }
+            col_count[s] = fired;
         }
         // Phase 2 (parallel over rows): every coincidence on row i only
         // touches devices in row i, so rows are independent given their
         // own RNG stream. Forking one stream per row from the tile RNG
         // (serially, in row order) makes the result identical for any
         // worker count — and identical to running the loop serially.
-        let row_rngs: Vec<Rng64> = (0..rows).map(|_| self.rng.fork()).collect();
+        self.row_rngs.clear();
+        for _ in 0..rows {
+            let fork = self.rng.fork();
+            self.row_rngs.push(fork);
+        }
+        let row_rngs = &self.row_rngs;
+        let (row_fired, col_fired, col_count) = (&*row_fired, &*col_fired, &*col_count);
         let drop_connect = self.cfg.drop_connect;
         let pulses = self.array.par_pulse_by_row(PAR_UPDATE_ROW_CHUNK, |r, pulser| {
             let mut rng = row_rngs[r].clone();
             let di = delta[r];
             let mut fired = 0u64;
             for s in 0..bl {
-                if !row_fired[s * rows + r] {
+                if !Self::get_bit(row_fired, s * rows + r) {
                     continue;
                 }
-                for &j in &col_fired[s] {
+                for &j in &col_fired[s * cols..s * cols + col_count[s]] {
                     if drop_connect > 0.0 && rng.bernoulli(drop_connect as f64) {
                         continue;
                     }
@@ -385,6 +451,45 @@ impl AnalogTile {
     }
 }
 
+impl AnalogTile {
+    /// [`forward_into`](LinearBackend::forward_into) with an explicit
+    /// bias-line drive. The public trait method drives the bias at 1.0;
+    /// [`TiledAnalogLayer`](crate::tiled::TiledAnalogLayer) drives it at
+    /// 0.0 on every sub-tile except the ones owning the logical bias, so
+    /// partial sums across column blocks add exactly one bias term per
+    /// output row. With `bias_drive == 1.0` this is the identical code
+    /// (and RNG) path as the monolithic forward.
+    // enw:hot
+    pub fn forward_biased_into(&mut self, x: &[f32], bias_drive: f32, out: &mut [f32]) {
+        let mut xa = self.augmented_scratch(x, bias_drive);
+        self.cfg.noise.apply_input(&mut xa);
+        // Bit-identical to the serial read; parallel only above the
+        // array-size threshold (see AnalogArray::par_matvec_into).
+        self.array.par_matvec_into(&xa, self.cfg.noise.ir_drop, out);
+        self.sub_reference_matvec(&xa, out);
+        self.cfg.noise.apply_output(out, &mut self.rng);
+        self.stats.forward_ops += 1;
+        let (rows, cols) = (self.array.rows() as u64, self.array.cols() as u64);
+        enw_trace::record_span_io("crossbar/mvm", rows * cols, 4 * (rows * cols + cols), 4 * rows);
+    }
+
+    /// [`update`](LinearBackend::update) with an explicit bias-line
+    /// drive (see [`forward_biased_into`](AnalogTile::forward_biased_into)).
+    /// A 0.0 drive gives the bias column zero pulse probability, so it
+    /// fires no pulses and consumes no RNG draws.
+    pub fn update_biased(&mut self, delta: &[f32], x: &[f32], bias_drive: f32, lr: f32) {
+        assert_eq!(delta.len(), self.array.rows(), "gradient dimension mismatch");
+        let xa = self.augmented_scratch(x, bias_drive);
+        let pulses_before = self.stats.pulses;
+        match self.cfg.update {
+            UpdateScheme::StochasticPulse { bl } => self.update_stochastic(delta, &xa, lr, bl),
+            UpdateScheme::MeanField => self.update_mean_field(delta, &xa, lr),
+        }
+        self.stats.update_ops += 1;
+        enw_trace::record_span("crossbar/update", self.stats.pulses - pulses_before);
+    }
+}
+
 impl LinearBackend for AnalogTile {
     fn in_dim(&self) -> usize {
         self.in_dim
@@ -396,16 +501,7 @@ impl LinearBackend for AnalogTile {
 
     // enw:hot
     fn forward_into(&mut self, x: &[f32], out: &mut [f32]) {
-        let mut xa = self.augmented_scratch(x);
-        self.cfg.noise.apply_input(&mut xa);
-        // Bit-identical to the serial read; parallel only above the
-        // array-size threshold (see AnalogArray::par_matvec_into).
-        self.array.par_matvec_into(&xa, self.cfg.noise.ir_drop, out);
-        self.sub_reference_matvec(&xa, out);
-        self.cfg.noise.apply_output(out, &mut self.rng);
-        self.stats.forward_ops += 1;
-        let (rows, cols) = (self.array.rows() as u64, self.array.cols() as u64);
-        enw_trace::record_span_io("crossbar/mvm", rows * cols, 4 * (rows * cols + cols), 4 * rows);
+        self.forward_biased_into(x, 1.0, out);
     }
 
     // enw:hot
@@ -431,15 +527,7 @@ impl LinearBackend for AnalogTile {
     }
 
     fn update(&mut self, delta: &[f32], x: &[f32], lr: f32) {
-        assert_eq!(delta.len(), self.array.rows(), "gradient dimension mismatch");
-        let xa = self.augmented_scratch(x);
-        let pulses_before = self.stats.pulses;
-        match self.cfg.update {
-            UpdateScheme::StochasticPulse { bl } => self.update_stochastic(delta, &xa, lr, bl),
-            UpdateScheme::MeanField => self.update_mean_field(delta, &xa, lr),
-        }
-        self.stats.update_ops += 1;
-        enw_trace::record_span("crossbar/update", self.stats.pulses - pulses_before);
+        self.update_biased(delta, x, 1.0, lr);
     }
 
     fn weights(&self) -> Matrix {

@@ -1,16 +1,33 @@
-//! Minimal 2-D convolutional networks.
+//! Minimal 2-D convolutional networks, generic over the weight backend.
 //!
 //! The paper's MANN studies build their feature embeddings with small
 //! CNNs (ref. \[48\] uses "a 4-layer convolutional NN and 2-layer fully
 //! connected network"), and CNNs are the canonical dense workload of
 //! Sec. II. This module provides a compact, dependency-free CNN: `valid`
-//! 2-D convolutions via im2col (so the heavy lifting reuses the same
-//! [`Matrix`] kernels the analog tiles accelerate), max pooling, and a
-//! dense head, trained with the same per-sample SGD as [`crate::mlp`].
+//! 2-D convolutions lowered to im2col patch extraction, max pooling, and
+//! a dense head, trained with the same per-sample SGD as [`crate::mlp`].
+//!
+//! Two properties matter for the analog-training experiments:
+//!
+//! * **Backend-generic.** Every weight array — each conv kernel bank,
+//!   the embedding layer, the head — is a [`LinearBackend`]. A conv
+//!   layer's forward pass is one backend matrix–vector cycle per output
+//!   position over its im2col patch, its backward pass one transposed
+//!   cycle per active position, and its weight update a stream of
+//!   rank-1 cycles — exactly the three crossbar cycles of paper
+//!   Sec. II-A. [`ConvNet::new`] builds the floating-point reference;
+//!   [`ConvNet::with_backends`] drops in analog (tiled) crossbars
+//!   without touching the model code.
+//! * **Zero-alloc steady state.** All im2col patches, activations, and
+//!   gradient staging live in buffers sized at construction, and the
+//!   `_into` entry points ([`ConvNet::embed_into`],
+//!   [`ConvNet::predict_into`], [`ConvNet::train_step`]) reuse them, so
+//!   a steady-state training or inference loop performs no heap
+//!   allocation (the property E21's counting-allocator gate enforces).
 
 use crate::backend::{DigitalLinear, LinearBackend};
 use crate::data::Dataset;
-use crate::loss::softmax_cross_entropy;
+use crate::loss::softmax_cross_entropy_into;
 use enw_numerics::matrix::Matrix;
 use enw_numerics::rng::Rng64;
 use enw_numerics::vector::argmax;
@@ -40,23 +57,35 @@ impl MapShape {
 
 /// A `valid`-padding, stride-1 convolution layer with ReLU.
 ///
-/// Implemented as im2col followed by a dense product, so a crossbar
-/// accelerating dense products accelerates this layer too — the paper's
-/// point that "matrix multiplication ... is the main building block of
-/// generalized matrix multiplication and convolution computations".
+/// Implemented as im2col followed by per-position backend cycles, so a
+/// crossbar accelerating dense products accelerates this layer too —
+/// the paper's point that "matrix multiplication ... is the main
+/// building block of generalized matrix multiplication and convolution
+/// computations". The backend stores `out_channels × (in_channels·k² + 1)`
+/// weights (its own bias column); patches carry no bias element.
 #[derive(Debug, Clone)]
-struct ConvLayer {
+struct ConvLayer<B> {
     in_shape: MapShape,
     out_shape: MapShape,
     kernel: usize,
-    /// `out_channels × (in_channels·k² + 1)` (bias column).
-    weights: Matrix,
-    cached_patches: Matrix, // n_positions × (in_channels·k² + 1)
-    cached_pre: Vec<f32>,   // out_channels × positions (pre-ReLU)
+    backend: B,
+    /// im2col staging: `n_positions × in_channels·k²`, refilled each
+    /// forward pass and re-read by the update stream.
+    patches: Matrix,
+    /// Pre-ReLU activations, `out_channels × positions`.
+    pre: Vec<f32>,
+    /// ReLU-masked upstream gradient, `out_channels × positions`.
+    delta: Vec<f32>,
+    /// Per-position gradient gather, `out_channels`.
+    dpos: Vec<f32>,
+    /// Per-position forward scatter, `out_channels`.
+    pos_out: Vec<f32>,
+    /// Per-position input-gradient staging, `in_channels·k²`.
+    dpatch: Vec<f32>,
 }
 
-impl ConvLayer {
-    fn new(in_shape: MapShape, out_channels: usize, kernel: usize, rng: &mut Rng64) -> Self {
+impl<B: LinearBackend> ConvLayer<B> {
+    fn new(in_shape: MapShape, out_channels: usize, kernel: usize, backend: B) -> Self {
         assert!(kernel <= in_shape.height && kernel <= in_shape.width, "kernel exceeds input");
         let out_shape = MapShape {
             channels: out_channels,
@@ -64,18 +93,20 @@ impl ConvLayer {
             width: in_shape.width - kernel + 1,
         };
         let fan_in = in_shape.channels * kernel * kernel;
-        let limit = (6.0 / (fan_in + out_channels) as f64).sqrt();
-        let mut weights = Matrix::random_uniform(out_channels, fan_in + 1, -limit, limit, rng);
-        for r in 0..out_channels {
-            weights.set(r, fan_in, 0.0);
-        }
+        assert_eq!(backend.in_dim(), fan_in, "backend input dim mismatch");
+        assert_eq!(backend.out_dim(), out_channels, "backend output dim mismatch");
+        let positions = out_shape.height * out_shape.width;
         ConvLayer {
             in_shape,
             out_shape,
             kernel,
-            weights,
-            cached_patches: Matrix::zeros(1, 1),
-            cached_pre: Vec::new(),
+            backend,
+            patches: Matrix::zeros(positions, fan_in),
+            pre: vec![0.0; out_channels * positions],
+            delta: vec![0.0; out_channels * positions],
+            dpos: vec![0.0; out_channels],
+            pos_out: vec![0.0; out_channels],
+            dpatch: vec![0.0; fan_in],
         }
     }
 
@@ -83,18 +114,17 @@ impl ConvLayer {
         self.out_shape.height * self.out_shape.width
     }
 
-    /// im2col: one row per output position, columns are the receptive
-    /// field plus a trailing 1 for the bias.
-    fn im2col(&self, input: &[f32]) -> Matrix {
+    /// im2col into the persistent patch buffer: one row per output
+    /// position, columns are the receptive field (no bias element — the
+    /// backend drives its own bias line).
+    fn fill_patches(&mut self, input: &[f32]) {
         let s = self.in_shape;
         assert_eq!(input.len(), s.len(), "input shape mismatch");
         let k = self.kernel;
-        let cols = s.channels * k * k + 1;
-        let mut patches = Matrix::zeros(self.positions(), cols);
         let mut row = 0;
         for oy in 0..self.out_shape.height {
             for ox in 0..self.out_shape.width {
-                let dst = patches.row_mut(row);
+                let dst = self.patches.row_mut(row);
                 let mut c = 0;
                 for ch in 0..s.channels {
                     for ky in 0..k {
@@ -105,69 +135,73 @@ impl ConvLayer {
                         }
                     }
                 }
-                dst[c] = 1.0;
                 row += 1;
             }
         }
-        patches
     }
 
-    /// Forward with caching; output layout `channel-major` like the input.
-    fn forward(&mut self, input: &[f32]) -> Vec<f32> {
-        self.cached_patches = self.im2col(input);
+    /// Forward with caching; output layout `channel-major` like the
+    /// input (`out` is fully overwritten with post-ReLU activations).
+    // enw:hot
+    fn forward_into(&mut self, input: &[f32], out: &mut [f32]) {
+        self.fill_patches(input);
         let positions = self.positions();
-        let mut pre = vec![0.0f32; self.out_shape.channels * positions];
+        let ocn = self.out_shape.channels;
+        assert_eq!(out.len(), ocn * positions, "output shape mismatch");
+        let ConvLayer { backend, patches, pre, pos_out, .. } = self;
         for p in 0..positions {
-            let patch = self.cached_patches.row(p);
-            for oc in 0..self.out_shape.channels {
-                let w = self.weights.row(oc);
-                let mut acc = 0.0f32;
-                for (wi, xi) in w.iter().zip(patch) {
-                    acc += wi * xi;
-                }
-                pre[oc * positions + p] = acc;
+            backend.forward_into(patches.row(p), pos_out);
+            for (oc, v) in pos_out.iter().enumerate() {
+                pre[oc * positions + p] = *v;
             }
         }
-        self.cached_pre = pre.clone();
-        for v in &mut pre {
-            *v = v.max(0.0); // ReLU
+        for (o, z) in out.iter_mut().zip(pre.iter()) {
+            *o = z.max(0.0); // ReLU
         }
-        pre
     }
 
-    /// Backward + SGD update; `upstream` is `dL/d(post-ReLU output)`.
-    /// Returns `dL/d(input)`.
-    fn backward_update(&mut self, upstream: &[f32], lr: f32) -> Vec<f32> {
+    /// Backward + SGD update; `upstream` is `dL/d(post-ReLU output)` and
+    /// `dinput` is fully overwritten with `dL/d(input)`.
+    ///
+    /// Two streaming passes over the cached patches: first every active
+    /// position's transposed read is scattered back to its receptive
+    /// field (using pre-update weights, like the monolithic form), then
+    /// every active position applies its rank-1 update. Positions whose
+    /// masked gradient is entirely zero are skipped in both passes —
+    /// no crossbar cycle, no entropy drawn.
+    fn backward_update_into(&mut self, upstream: &[f32], lr: f32, dinput: &mut [f32]) {
         let positions = self.positions();
-        assert_eq!(upstream.len(), self.out_shape.channels * positions, "gradient shape mismatch");
-        // ReLU mask.
-        let delta: Vec<f32> = upstream
-            .iter()
-            .zip(&self.cached_pre)
-            .map(|(g, &z)| if z > 0.0 { *g } else { 0.0 })
-            .collect();
-        // dL/dinput: scatter each position's (Wᵀ · delta_p) back to its
-        // receptive field.
+        let ocn = self.out_shape.channels;
+        assert_eq!(upstream.len(), ocn * positions, "gradient shape mismatch");
         let s = self.in_shape;
+        assert_eq!(dinput.len(), s.len(), "input gradient shape mismatch");
         let k = self.kernel;
-        let mut dinput = vec![0.0f32; s.len()];
-        let fan_in = s.channels * k * k;
+        let (oh, ow) = (self.out_shape.height, self.out_shape.width);
+        let ConvLayer { backend, patches, pre, delta, dpos, dpatch, .. } = self;
+        // ReLU mask.
+        for ((d, g), z) in delta.iter_mut().zip(upstream).zip(pre.iter()) {
+            *d = if *z > 0.0 { *g } else { 0.0 };
+        }
+        // Pass 1 — dL/dinput: scatter each position's transposed read
+        // back to its receptive field.
+        dinput.fill(0.0);
         let mut row = 0;
-        for oy in 0..self.out_shape.height {
-            for ox in 0..self.out_shape.width {
-                for oc in 0..self.out_shape.channels {
-                    let d = delta[oc * positions + row];
-                    if d == 0.0 {
-                        continue;
-                    }
-                    let w = self.weights.row(oc);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut active = false;
+                for (oc, d) in dpos.iter_mut().enumerate() {
+                    *d = delta[oc * positions + row];
+                    active |= *d != 0.0;
+                }
+                if active {
+                    backend.backward_into(dpos, dpatch);
                     let mut c = 0;
                     for ch in 0..s.channels {
                         for ky in 0..k {
                             for kx in 0..k {
                                 dinput
                                     [ch * s.height * s.width + (oy + ky) * s.width + (ox + kx)] +=
-                                    d * w[c];
+                                    dpatch[c];
                                 c += 1;
                             }
                         }
@@ -176,25 +210,19 @@ impl ConvLayer {
                 row += 1;
             }
         }
-        // dL/dW = Σ_p delta_p · patch_pᵀ, applied as SGD descent.
-        for oc in 0..self.out_shape.channels {
-            let mut grad = vec![0.0f32; fan_in + 1];
-            for p in 0..positions {
-                let d = delta[oc * positions + p];
-                if d == 0.0 {
-                    continue;
-                }
-                let patch = self.cached_patches.row(p);
-                for (g, x) in grad.iter_mut().zip(patch) {
-                    *g += d * x;
-                }
+        // Pass 2 — dL/dW as a stream of per-position rank-1 cycles (for
+        // a digital backend this sums to exactly the batched gradient;
+        // an analog backend realizes each as a stochastic pulse update).
+        for p in 0..positions {
+            let mut active = false;
+            for (oc, d) in dpos.iter_mut().enumerate() {
+                *d = delta[oc * positions + p];
+                active |= *d != 0.0;
             }
-            let wrow = self.weights.row_mut(oc);
-            for (w, g) in wrow.iter_mut().zip(&grad) {
-                *w -= lr * g;
+            if active {
+                backend.update(dpos, patches.row(p), lr);
             }
         }
-        dinput
     }
 }
 
@@ -215,14 +243,14 @@ impl MaxPool {
             width: in_shape.width / 2,
         };
         assert!(!out_shape.is_empty(), "input too small to pool");
-        MaxPool { in_shape, out_shape, cached_argmax: Vec::new() }
+        MaxPool { in_shape, out_shape, cached_argmax: vec![0; out_shape.len()] }
     }
 
-    fn forward(&mut self, input: &[f32]) -> Vec<f32> {
+    // enw:hot
+    fn forward_into(&mut self, input: &[f32], out: &mut [f32]) {
         let s = self.in_shape;
         let o = self.out_shape;
-        let mut out = vec![0.0f32; o.len()];
-        self.cached_argmax = vec![0; o.len()];
+        assert_eq!(out.len(), o.len(), "pool output shape mismatch");
         for ch in 0..o.channels {
             for oy in 0..o.height {
                 for ox in 0..o.width {
@@ -244,15 +272,58 @@ impl MaxPool {
                 }
             }
         }
-        out
     }
 
-    fn backward(&self, upstream: &[f32]) -> Vec<f32> {
-        let mut dinput = vec![0.0f32; self.in_shape.len()];
+    fn backward_into(&self, upstream: &[f32], dinput: &mut [f32]) {
+        assert_eq!(dinput.len(), self.in_shape.len(), "pool gradient shape mismatch");
+        dinput.fill(0.0);
         for (o, &g) in upstream.iter().enumerate() {
             dinput[self.cached_argmax[o]] += g;
         }
-        dinput
+    }
+}
+
+/// One conv stage (conv + ReLU, optional 2×2 pool) with its persistent
+/// activation and gradient buffers.
+#[derive(Debug, Clone)]
+struct ConvStage<B> {
+    conv: ConvLayer<B>,
+    pool: Option<MaxPool>,
+    /// Post-ReLU conv output.
+    conv_out: Vec<f32>,
+    /// Post-pool output (empty when the stage has no pool).
+    pool_out: Vec<f32>,
+    /// Gradient wrt `conv_out` (empty when the stage has no pool).
+    d_conv: Vec<f32>,
+}
+
+impl<B: LinearBackend> ConvStage<B> {
+    /// The stage's output activations (post-pool when pooled).
+    fn output(&self) -> &[f32] {
+        if self.pool.is_some() {
+            &self.pool_out
+        } else {
+            &self.conv_out
+        }
+    }
+
+    // enw:hot
+    fn run_forward(&mut self, input: &[f32]) {
+        self.conv.forward_into(input, &mut self.conv_out);
+        if let Some(p) = &mut self.pool {
+            p.forward_into(&self.conv_out, &mut self.pool_out);
+        }
+    }
+
+    /// `upstream` is the gradient wrt this stage's output; `dinput` is
+    /// fully overwritten with the gradient wrt its input.
+    fn backward_update(&mut self, upstream: &[f32], lr: f32, dinput: &mut [f32]) {
+        if let Some(p) = &self.pool {
+            p.backward_into(upstream, &mut self.d_conv);
+            self.conv.backward_update_into(&self.d_conv, lr, dinput);
+        } else {
+            self.conv.backward_update_into(upstream, lr, dinput);
+        }
     }
 }
 
@@ -270,7 +341,8 @@ pub struct ConvNetConfig {
     pub classes: usize,
 }
 
-/// A small CNN classifier: conv stages → dense embedding (tanh) → logits.
+/// A small CNN classifier: conv stages → dense embedding (tanh) → logits,
+/// with every weight array behind a [`LinearBackend`] `B`.
 ///
 /// # Example
 ///
@@ -290,52 +362,120 @@ pub struct ConvNetConfig {
 /// assert_eq!(logits.len(), 3);
 /// ```
 #[derive(Debug, Clone)]
-pub struct ConvNet {
-    convs: Vec<ConvLayer>,
-    pools: Vec<Option<MaxPool>>,
-    embed: DigitalLinear,
-    head: DigitalLinear,
+pub struct ConvNet<B: LinearBackend = DigitalLinear> {
+    stages: Vec<ConvStage<B>>,
+    embed: B,
+    head: B,
     embed_pre: Vec<f32>,
-    flat: Vec<f32>,
     embedded: Vec<f32>,
+    logits: Vec<f32>,
+    dlogits: Vec<f32>,
+    dembedded: Vec<f32>,
+    dpre: Vec<f32>,
+    dflat: Vec<f32>,
+    /// `dstage[i]` holds the gradient wrt stage `i`'s *input*.
+    dstage: Vec<Vec<f32>>,
 }
 
-impl ConvNet {
-    /// Builds the network.
+impl ConvNet<DigitalLinear> {
+    /// Builds the floating-point reference network (Xavier-uniform
+    /// weights, zero biases).
     ///
     /// # Panics
     ///
     /// Panics if the conv stack shrinks the map to nothing or any
     /// dimension is zero.
     pub fn new(cfg: &ConvNetConfig, rng: &mut Rng64) -> Self {
+        ConvNet::with_backends(cfg, rng, DigitalLinear::new)
+    }
+}
+
+impl<B: LinearBackend> ConvNet<B> {
+    /// Builds the network with `make(in_dim, out_dim, rng)` supplying
+    /// every weight backend, in a fixed order: one per conv stage
+    /// (input dim `in_channels·9`), then the embedding layer, then the
+    /// head. Analog experiments pass a closure constructing crossbar
+    /// tiles; the deterministic call order makes the whole network a
+    /// pure function of its configuration and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the conv stack shrinks the map to nothing, any
+    /// dimension is zero, or a supplied backend has the wrong shape.
+    pub fn with_backends(
+        cfg: &ConvNetConfig,
+        rng: &mut Rng64,
+        mut make: impl FnMut(usize, usize, &mut Rng64) -> B,
+    ) -> Self {
+        let built = ConvNet::try_with_backends(cfg, rng, |in_dim, out_dim, rng| {
+            Ok::<B, std::convert::Infallible>(make(in_dim, out_dim, rng))
+        });
+        match built {
+            Ok(net) => net,
+            Err(e) => match e {},
+        }
+    }
+
+    /// Fallible form of [`with_backends`](ConvNet::with_backends): the
+    /// factory may refuse a layer shape (e.g. an analog tiling that does
+    /// not fit), and the first error aborts construction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error `make` returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the conv stack shrinks the map to nothing, any
+    /// dimension is zero, or a supplied backend has the wrong shape.
+    pub fn try_with_backends<E>(
+        cfg: &ConvNetConfig,
+        rng: &mut Rng64,
+        mut make: impl FnMut(usize, usize, &mut Rng64) -> Result<B, E>,
+    ) -> Result<Self, E> {
         assert!(cfg.classes > 0 && cfg.embed_dim > 0, "degenerate head");
         let mut shape = cfg.input;
-        let mut convs = Vec::new();
-        let mut pools = Vec::new();
+        let mut stages = Vec::new();
+        let mut dstage = Vec::new();
         for &oc in &cfg.conv_channels {
-            let conv = ConvLayer::new(shape, oc, 3, rng);
+            let kernel = 3;
+            assert!(kernel <= shape.height && kernel <= shape.width, "kernel exceeds input");
+            dstage.push(vec![0.0; shape.len()]);
+            let backend = make(shape.channels * kernel * kernel, oc, rng)?;
+            let conv = ConvLayer::new(shape, oc, kernel, backend);
             shape = conv.out_shape;
-            convs.push(conv);
-            if shape.height >= 4 && shape.width >= 4 {
+            let conv_out_len = shape.len();
+            let pool = if shape.height >= 4 && shape.width >= 4 {
                 let pool = MaxPool::new(shape);
                 shape = pool.out_shape;
-                pools.push(Some(pool));
+                Some(pool)
             } else {
-                pools.push(None);
-            }
+                None
+            };
+            stages.push(ConvStage {
+                conv,
+                conv_out: vec![0.0; conv_out_len],
+                pool_out: if pool.is_some() { vec![0.0; shape.len()] } else { Vec::new() },
+                d_conv: if pool.is_some() { vec![0.0; conv_out_len] } else { Vec::new() },
+                pool,
+            });
         }
         assert!(!shape.is_empty(), "conv stack consumed the whole input");
-        let embed = DigitalLinear::new(shape.len(), cfg.embed_dim, rng);
-        let head = DigitalLinear::new(cfg.embed_dim, cfg.classes, rng);
-        ConvNet {
-            convs,
-            pools,
+        let embed = make(shape.len(), cfg.embed_dim, rng)?;
+        let head = make(cfg.embed_dim, cfg.classes, rng)?;
+        Ok(ConvNet {
+            stages,
             embed,
             head,
-            embed_pre: Vec::new(),
-            flat: Vec::new(),
-            embedded: Vec::new(),
-        }
+            embed_pre: vec![0.0; cfg.embed_dim],
+            embedded: vec![0.0; cfg.embed_dim],
+            logits: vec![0.0; cfg.classes],
+            dlogits: vec![0.0; cfg.classes],
+            dembedded: vec![0.0; cfg.embed_dim],
+            dpre: vec![0.0; cfg.embed_dim],
+            dflat: vec![0.0; shape.len()],
+            dstage,
+        })
     }
 
     /// Embedding dimensionality.
@@ -343,67 +483,133 @@ impl ConvNet {
         self.embed.out_dim()
     }
 
-    fn forward_features(&mut self, input: &[f32]) -> Vec<f32> {
-        let mut a = input.to_vec();
-        for (conv, pool) in self.convs.iter_mut().zip(&mut self.pools) {
-            a = conv.forward(&a);
-            if let Some(p) = pool {
-                a = p.forward(&a);
-            }
-        }
-        a
+    /// Class count of the softmax head.
+    pub fn classes(&self) -> usize {
+        self.head.out_dim()
     }
 
-    /// Penultimate (embedding) activations — the feature vector the MANN
-    /// memory stores.
-    pub fn embed(&mut self, input: &[f32]) -> Vec<f32> {
-        let flat = self.forward_features(input);
-        let mut e = self.embed.forward(&flat);
-        for v in &mut e {
-            *v = v.tanh();
+    /// Trainable layer count: conv stages + embedding + head.
+    pub fn layer_count(&self) -> usize {
+        self.stages.len() + 2
+    }
+
+    /// Every weight backend in construction order (conv stages, then
+    /// embedding, then head) — the hook checkpointing uses to serialize
+    /// analog tile state.
+    pub fn backends(&self) -> impl Iterator<Item = &B> {
+        self.stages.iter().map(|s| &s.conv.backend).chain([&self.embed, &self.head])
+    }
+
+    /// Mutable access to every weight backend, in the same order as
+    /// [`backends`](ConvNet::backends) — the restore-side hook.
+    pub fn backends_mut(&mut self) -> impl Iterator<Item = &mut B> {
+        let ConvNet { stages, embed, head, .. } = self;
+        stages.iter_mut().map(|s| &mut s.conv.backend).chain([embed, head])
+    }
+
+    // enw:hot
+    fn forward_features(&mut self, input: &[f32]) {
+        for i in 0..self.stages.len() {
+            let (done, rest) = self.stages.split_at_mut(i);
+            let Some(stage) = rest.first_mut() else { break };
+            let x = done.last().map_or(input, |s| s.output());
+            stage.run_forward(x);
         }
+    }
+
+    /// Penultimate (embedding) activations into a caller-owned buffer —
+    /// the feature vector the MANN memory stores. `out` is fully
+    /// overwritten.
+    // enw:hot
+    pub fn embed_into(&mut self, input: &[f32], out: &mut [f32]) {
+        self.forward_features(input);
+        let ConvNet { stages, embed, embed_pre, .. } = self;
+        let flat = stages.last().map_or(input, |s| s.output());
+        embed.forward_into(flat, embed_pre);
+        for (o, z) in out.iter_mut().zip(embed_pre.iter()) {
+            *o = z.tanh();
+        }
+    }
+
+    /// Penultimate (embedding) activations, allocating the result.
+    pub fn embed(&mut self, input: &[f32]) -> Vec<f32> {
+        let mut e = vec![0.0f32; self.embed_dim()];
+        self.embed_into(input, &mut e);
         e
     }
 
-    /// Raw logits for one input.
+    /// Raw logits for one input into a caller-owned buffer (`out` is
+    /// fully overwritten).
+    // enw:hot
+    pub fn predict_into(&mut self, input: &[f32], out: &mut [f32]) {
+        self.forward_features(input);
+        let ConvNet { stages, embed, head, embed_pre, embedded, .. } = self;
+        let flat = stages.last().map_or(input, |s| s.output());
+        embed.forward_into(flat, embed_pre);
+        for (e, z) in embedded.iter_mut().zip(embed_pre.iter()) {
+            *e = z.tanh();
+        }
+        head.forward_into(embedded, out);
+    }
+
+    /// Raw logits for one input, allocating the result.
     pub fn predict(&mut self, input: &[f32]) -> Vec<f32> {
-        let e = self.embed(input);
-        self.head.forward(&e)
+        let mut logits = vec![0.0f32; self.classes()];
+        self.predict_into(input, &mut logits);
+        logits
     }
 
-    /// Predicted class.
+    /// Predicted class (allocation-free: reuses the internal logits
+    /// buffer).
     pub fn classify(&mut self, input: &[f32]) -> usize {
-        argmax(&self.predict(input))
+        let mut logits = std::mem::take(&mut self.logits);
+        self.predict_into(input, &mut logits);
+        let class = argmax(&logits);
+        self.logits = logits;
+        class
     }
 
-    /// One SGD step; returns the sample loss.
+    /// One SGD step; returns the sample loss. Allocation-free in steady
+    /// state: every intermediate lives in a buffer sized at
+    /// construction.
     pub fn train_step(&mut self, input: &[f32], label: usize, lr: f32) -> f32 {
         // Forward with caching.
-        self.flat = self.forward_features(input);
-        self.embed_pre = self.embed.forward(&self.flat);
-        self.embedded = self.embed_pre.iter().map(|z| z.tanh()).collect();
-        let logits = self.head.forward(&self.embedded);
-        let (loss, dlogits) = softmax_cross_entropy(&logits, label);
+        self.forward_features(input);
+        let ConvNet {
+            stages,
+            embed,
+            head,
+            embed_pre,
+            embedded,
+            logits,
+            dlogits,
+            dembedded,
+            dpre,
+            dflat,
+            dstage,
+        } = self;
+        let flat = stages.last().map_or(input, |s| s.output());
+        embed.forward_into(flat, embed_pre);
+        for (e, z) in embedded.iter_mut().zip(embed_pre.iter()) {
+            *e = z.tanh();
+        }
+        head.forward_into(embedded, logits);
+        let loss = softmax_cross_entropy_into(logits, label, dlogits);
         // Head.
-        let dembedded = self.head.backward(&dlogits);
-        self.head.update(&dlogits, &self.embedded, lr);
-        // Embedding layer (tanh).
-        let dpre: Vec<f32> = dembedded
-            .iter()
-            .zip(&self.embed_pre)
-            .map(|(g, &z)| {
-                let t = z.tanh();
-                g * (1.0 - t * t)
-            })
-            .collect();
-        let mut dflat = self.embed.backward(&dpre);
-        self.embed.update(&dpre, &self.flat, lr);
-        // Conv stack in reverse.
-        for (conv, pool) in self.convs.iter_mut().zip(&mut self.pools).rev() {
-            if let Some(p) = pool {
-                dflat = p.backward(&dflat);
-            }
-            dflat = conv.backward_update(&dflat, lr);
+        head.backward_into(dlogits, dembedded);
+        head.update(dlogits, embedded, lr);
+        // Embedding layer (tanh; `embedded` already holds tanh(z)).
+        for ((d, g), t) in dpre.iter_mut().zip(dembedded.iter()).zip(embedded.iter()) {
+            *d = g * (1.0 - t * t);
+        }
+        embed.backward_into(dpre, dflat);
+        embed.update(dpre, flat, lr);
+        // Conv stack in reverse; dstage[i] receives the gradient wrt
+        // stage i's input, which is stage i-1's upstream.
+        let mut upstream: &[f32] = dflat;
+        for (stage, dst) in stages.iter_mut().rev().zip(dstage.iter_mut().rev()) {
+            stage.backward_update(upstream, lr, dst);
+            upstream = dst;
         }
         loss
     }
@@ -449,24 +655,30 @@ mod tests {
         }
     }
 
+    fn digital_conv(in_shape: MapShape, oc: usize, k: usize, seed: u64) -> ConvLayer<DigitalLinear> {
+        let mut rng = Rng64::new(seed);
+        let backend = DigitalLinear::new(in_shape.channels * k * k, oc, &mut rng);
+        ConvLayer::new(in_shape, oc, k, backend)
+    }
+
     #[test]
     fn shapes_flow_through() {
         let mut rng = Rng64::new(1);
         let mut net = ConvNet::new(&cfg(4), &mut rng);
         assert_eq!(net.predict(&[0.1; 64]).len(), 4);
         assert_eq!(net.embed(&[0.1; 64]).len(), 24);
+        assert_eq!(net.layer_count(), 3);
+        assert_eq!(net.backends_mut().count(), 3);
     }
 
     #[test]
     fn im2col_extracts_receptive_fields() {
-        let mut rng = Rng64::new(2);
         let shape = MapShape { channels: 1, height: 3, width: 3 };
-        let conv = ConvLayer::new(shape, 1, 3, &mut rng);
+        let mut conv = digital_conv(shape, 1, 3, 2);
         let input: Vec<f32> = (0..9).map(|i| i as f32).collect();
-        let patches = conv.im2col(&input);
-        assert_eq!(patches.rows(), 1); // single 3x3 position
-        assert_eq!(&patches.row(0)[..9], &input[..]);
-        assert_eq!(patches.row(0)[9], 1.0); // bias
+        conv.fill_patches(&input);
+        assert_eq!(conv.patches.rows(), 1); // single 3x3 position
+        assert_eq!(conv.patches.row(0), &input[..]); // no bias element
     }
 
     #[test]
@@ -476,7 +688,8 @@ mod tests {
         let mut input = vec![0.0f32; 16];
         input[5] = 3.0; // window (1,1) of the top-left 2x2 block? position (1,1)
         input[10] = 7.0;
-        let out = pool.forward(&input);
+        let mut out = vec![0.0f32; pool.out_shape.len()];
+        pool.forward_into(&input, &mut out);
         assert_eq!(out.len(), 4);
         assert_eq!(out[0], 3.0);
         assert_eq!(out[3], 7.0);
@@ -487,8 +700,10 @@ mod tests {
         let shape = MapShape { channels: 1, height: 2, width: 2 };
         let mut pool = MaxPool::new(shape);
         let input = [1.0f32, 5.0, 2.0, 3.0];
-        pool.forward(&input);
-        let d = pool.backward(&[1.0]);
+        let mut out = vec![0.0f32; 1];
+        pool.forward_into(&input, &mut out);
+        let mut d = vec![0.0f32; 4];
+        pool.backward_into(&[1.0], &mut d);
         assert_eq!(d, vec![0.0, 1.0, 0.0, 0.0]);
     }
 
@@ -496,22 +711,25 @@ mod tests {
     fn conv_gradient_matches_finite_difference() {
         // Check dL/dinput of a conv layer against finite differences of
         // L = sum(relu(conv(x))).
-        let mut rng = Rng64::new(3);
         let shape = MapShape { channels: 1, height: 4, width: 4 };
-        let mut conv = ConvLayer::new(shape, 2, 3, &mut rng);
+        let mut conv = digital_conv(shape, 2, 3, 3);
         let input: Vec<f32> = (0..16).map(|i| (i as f32 / 8.0) - 1.0).collect();
-        let out = conv.forward(&input);
+        let mut out = vec![0.0f32; conv.out_shape.len()];
+        conv.forward_into(&input, &mut out);
         let upstream = vec![1.0f32; out.len()];
         // lr = 0 isolates the input gradient from the weight update.
-        let dinput = conv.backward_update(&upstream, 0.0);
+        let mut dinput = vec![0.0f32; 16];
+        conv.backward_update_into(&upstream, 0.0, &mut dinput);
         let eps = 1e-3f32;
         for i in [0usize, 5, 10, 15] {
             let mut xp = input.clone();
             xp[i] += eps;
             let mut xm = input.clone();
             xm[i] -= eps;
-            let lp: f32 = conv.forward(&xp).iter().sum();
-            let lm: f32 = conv.forward(&xm).iter().sum();
+            conv.forward_into(&xp, &mut out);
+            let lp: f32 = out.iter().sum();
+            conv.forward_into(&xm, &mut out);
+            let lm: f32 = out.iter().sum();
             let num = (lp - lm) / (2.0 * eps);
             assert!((num - dinput[i]).abs() < 0.05, "pixel {i}: {num} vs {}", dinput[i]);
         }
@@ -535,6 +753,25 @@ mod tests {
     }
 
     #[test]
+    fn into_variants_match_allocating_forms() {
+        let mut rng = Rng64::new(8);
+        let mut net = ConvNet::new(&cfg(4), &mut rng);
+        let input: Vec<f32> = (0..64).map(|i| ((i % 9) as f32 - 4.0) / 9.0).collect();
+        let logits = net.predict(&input);
+        let mut buf = vec![0.0f32; 4];
+        net.predict_into(&input, &mut buf);
+        assert_eq!(
+            logits.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            buf.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        let e = net.embed(&input);
+        let mut ebuf = vec![0.0f32; 24];
+        net.embed_into(&input, &mut ebuf);
+        assert!(e.iter().zip(&ebuf).all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert_eq!(net.classify(&input), argmax(&logits));
+    }
+
+    #[test]
     fn deeper_stack_constructs() {
         let mut rng = Rng64::new(5);
         let cfg = ConvNetConfig {
@@ -545,6 +782,7 @@ mod tests {
         };
         let mut net = ConvNet::new(&cfg, &mut rng);
         assert_eq!(net.predict(&vec![0.0; 144]).len(), 2);
+        assert_eq!(net.layer_count(), 4);
     }
 
     #[test]

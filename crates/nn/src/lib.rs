@@ -25,6 +25,8 @@
 //!   scaling and calibrated activation clipping (the 2-bit claim of
 //!   Sec. II).
 //! * [`loss`] — softmax cross-entropy and squared error.
+//! * [`snapshot`] — byte-exact state serialization for bit-reproducible
+//!   checkpoint/resume of training runs.
 //! * [`data`] — labeled datasets and the synthetic image-classification
 //!   generator (the workspace's MNIST substitute).
 //! * [`fewshot`] — Omniglot-style class generators and N-way K-shot
@@ -65,6 +67,7 @@ pub mod metrics;
 pub mod mlp;
 pub mod quantized;
 pub mod rnn;
+pub mod snapshot;
 
 pub use activation::Activation;
 pub use backend::{DigitalLinear, LinearBackend};

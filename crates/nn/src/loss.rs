@@ -1,6 +1,6 @@
 //! Loss functions and their gradients with respect to network outputs.
 
-use enw_numerics::vector::softmax;
+use enw_numerics::vector::softmax_into;
 
 /// Softmax cross-entropy loss for one sample.
 ///
@@ -12,12 +12,25 @@ use enw_numerics::vector::softmax;
 ///
 /// Panics if `logits` is empty or `label` is out of range.
 pub fn softmax_cross_entropy(logits: &[f32], label: usize) -> (f32, Vec<f32>) {
-    assert!(label < logits.len(), "label {label} out of range");
-    let p = softmax(logits, 1.0);
-    let loss = -(p[label].max(1e-12)).ln();
-    let mut grad = p;
-    grad[label] -= 1.0;
+    let mut grad = vec![0.0f32; logits.len()];
+    let loss = softmax_cross_entropy_into(logits, label, &mut grad);
     (loss, grad)
+}
+
+/// [`softmax_cross_entropy`] into a caller-owned gradient buffer — the
+/// allocation-free form steady-state training loops use. `grad` is fully
+/// overwritten with `dL/dlogits`; the loss is returned.
+///
+/// # Panics
+///
+/// Panics if `logits` is empty, `label` is out of range, or the lengths
+/// mismatch.
+pub fn softmax_cross_entropy_into(logits: &[f32], label: usize, grad: &mut [f32]) -> f32 {
+    assert!(label < logits.len(), "label {label} out of range");
+    softmax_into(logits, 1.0, grad);
+    let loss = -(grad[label].max(1e-12)).ln();
+    grad[label] -= 1.0;
+    loss
 }
 
 /// Mean squared error for one sample: `L = ½‖y − t‖²`.
@@ -92,5 +105,17 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_label_panics() {
         softmax_cross_entropy(&[1.0, 2.0], 5);
+    }
+
+    #[test]
+    fn into_variant_is_bit_identical_to_allocating_form() {
+        let logits = [0.3f32, -0.7, 1.1, 0.0];
+        let (loss, grad) = softmax_cross_entropy(&logits, 2);
+        let mut buf = [0.0f32; 4];
+        let loss_into = softmax_cross_entropy_into(&logits, 2, &mut buf);
+        assert_eq!(loss.to_bits(), loss_into.to_bits());
+        for (a, b) in grad.iter().zip(&buf) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

@@ -49,7 +49,9 @@ fn axpy_row(out: &mut [f32], a: f32, b: &[f32]) {
 /// Cache-block sizes for the blocked `matmul` kernel: `MATMUL_KC` rows
 /// of `B` (one k-panel) by `MATMUL_NC` columns (one j-panel) are walked
 /// per tile, keeping the panel resident in L1/L2 while every output row
-/// in flight reuses it.
+/// in flight reuses it. Re-measured after the per-worker panel packing
+/// landed: 256×256, 64×1024 and 256×512 all sit within ~3% of 128×512
+/// at n = 1024 (inside host timing noise), so the original choice stands.
 const MATMUL_KC: usize = 128;
 const MATMUL_NC: usize = 512;
 
@@ -613,13 +615,39 @@ impl Matrix {
         let mut jb = 0;
         while jb < n {
             let je = (jb + MATMUL_NC).min(n);
+            let nstrips = (je - jb) / MATMUL_NR;
             let mut kb = 0;
             while kb < k {
                 let ke = (kb + MATMUL_KC).min(k);
+                let kc = ke - kb;
+                // Pack the panel's full-NR strips into thread-local
+                // scratch, NR-contiguous per k step: the microkernel's
+                // k-loop then streams the panel sequentially instead of
+                // striding by `n` per step. Under `par_matmul_into` the
+                // packing runs on each participant, so every worker owns
+                // a private packed copy of the panels it consumes —
+                // which is what keeps 8-thread chunks from contending on
+                // the same `B` cache lines. Values are copied verbatim
+                // and consumed in the identical (kk, j) order, so the
+                // result stays bitwise equal to the unpacked kernel.
+                let pack_len = if nrows >= MATMUL_MR { nstrips * kc * MATMUL_NR } else { 0 };
+                let mut pack_guard = None;
+                if pack_len > 0 {
+                    let mut g = enw_parallel::scratch::take_f32(pack_len);
+                    for s in 0..nstrips {
+                        let j0 = jb + s * MATMUL_NR;
+                        let panel = &mut g[s * kc * MATMUL_NR..(s + 1) * kc * MATMUL_NR];
+                        for (kk, dst) in (kb..ke).zip(panel.chunks_exact_mut(MATMUL_NR)) {
+                            dst.copy_from_slice(&b[kk * n + j0..kk * n + j0 + MATMUL_NR]);
+                        }
+                    }
+                    pack_guard = Some(g);
+                }
+                let packed: &[f32] = pack_guard.as_deref().unwrap_or(&[]);
                 let mut oi = 0;
                 while oi + MATMUL_MR <= nrows {
                     let i = rows.start + oi;
-                    self.matmul_microkernel_mr_nr(b, out_rows, i, oi, kb..ke, jb..je, n);
+                    self.matmul_microkernel_mr_nr(b, packed, out_rows, i, oi, kb..ke, jb..je, n);
                     oi += MATMUL_MR;
                 }
                 // Row remainder (< MR rows): per-term axpy, same
@@ -644,17 +672,21 @@ impl Matrix {
     /// The register microkernel: accumulates the `MATMUL_MR × MATMUL_NR`
     /// output tile at `(global row `i`, window row `oi`)` over the
     /// k-panel `ks`, one `MATMUL_NR`-wide column strip of `js` at a
-    /// time. The accumulator tile is loaded from the output once per
-    /// strip, updated in locals for the whole panel (fixed-size inner
-    /// loops the autovectorizer turns into packed fma), and stored back
-    /// once. Per output element the term order is ascending `k` with the
-    /// per-coefficient zero skip — exactly the naive kernel's fold, so
-    /// the bits match.
+    /// time. Full strips read the k-panel from `packed` (the caller's
+    /// NR-contiguous per-worker copy of `B`'s panel — see
+    /// [`matmul_block_rows`](Matrix::matmul_block_rows)); the column
+    /// remainder reads `b` directly. The accumulator tile is loaded from
+    /// the output once per strip, updated in locals for the whole panel
+    /// (fixed-size inner loops the autovectorizer turns into packed
+    /// fma), and stored back once. Per output element the term order is
+    /// ascending `k` with the per-coefficient zero skip — exactly the
+    /// naive kernel's fold, so the bits match.
     #[inline(always)]
     #[allow(clippy::too_many_arguments)]
     fn matmul_microkernel_mr_nr(
         &self,
         b: &[f32],
+        packed: &[f32],
         out_rows: &mut [f32],
         i: usize,
         oi: usize,
@@ -663,18 +695,20 @@ impl Matrix {
         n: usize,
     ) {
         let k = self.cols;
+        let kc = ks.end - ks.start;
         let a0 = &self.data[i * k..(i + 1) * k];
         let a1 = &self.data[(i + 1) * k..(i + 2) * k];
         let a2 = &self.data[(i + 2) * k..(i + 3) * k];
         let a3 = &self.data[(i + 3) * k..(i + 4) * k];
         let mut j = js.start;
+        let mut strip = 0;
         while j + MATMUL_NR <= js.end {
+            let panel = &packed[strip * kc * MATMUL_NR..(strip + 1) * kc * MATMUL_NR];
             let mut acc = [[0.0f32; MATMUL_NR]; MATMUL_MR];
             for (r, accr) in acc.iter_mut().enumerate() {
                 accr.copy_from_slice(&out_rows[(oi + r) * n + j..(oi + r) * n + j + MATMUL_NR]);
             }
-            for kk in ks.start..ks.end {
-                let bk = &b[kk * n + j..kk * n + j + MATMUL_NR];
+            for (kk, bk) in (ks.start..ks.end).zip(panel.chunks_exact(MATMUL_NR)) {
                 let (c0, c1, c2, c3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
                 if !skip_zero_coeff(c0) {
                     for (av, bv) in acc[0].iter_mut().zip(bk) {
@@ -701,6 +735,7 @@ impl Matrix {
                 out_rows[(oi + r) * n + j..(oi + r) * n + j + MATMUL_NR].copy_from_slice(accr);
             }
             j += MATMUL_NR;
+            strip += 1;
         }
         // Column remainder (< NR wide): per-term axpy on the tail strip,
         // still ascending k per element.

@@ -221,6 +221,73 @@ where
     results.into_iter().map(|r| r.expect("chunk not computed")).collect()
 }
 
+/// Like [`map_chunks`] for side-effect-only chunk bodies: no per-chunk
+/// result vector is built, so a parallel section costs **zero heap
+/// allocations** in steady state (the pool's mailboxes and latch are
+/// retained/stack-allocated). This is the fan-out primitive for
+/// zero-alloc training loops; reductions go through caller-owned
+/// buffers indexed by chunk, or an integer atomic when the combine is
+/// commutative in exact arithmetic (pulse counts, byte totals).
+pub fn run_chunks<F>(n: usize, chunk: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    let chunk = chunk.max(1);
+    let nchunks = n.div_ceil(chunk);
+    let range = move |c: usize| c * chunk..((c + 1) * chunk).min(n);
+    let slots = job_slots(nchunks);
+    if slots <= 1 {
+        for c in 0..nchunks {
+            f(range(c));
+        }
+        return;
+    }
+    let f = &f;
+    pool::run_job(slots, &move |slot| {
+        let mut c = slot;
+        while c < nchunks {
+            f(range(c));
+            c += slots;
+        }
+    });
+}
+
+/// Like [`for_each_chunk_mut`] for side-effect-only chunk bodies: hands
+/// each participant a disjoint `&mut` window of `data` without building
+/// a per-chunk result vector, so the section is allocation-free in
+/// steady state (see [`run_chunks`]).
+pub fn run_chunks_mut<T, F>(data: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunk = chunk.max(1);
+    let len = data.len();
+    let nchunks = len.div_ceil(chunk);
+    let slots = job_slots(nchunks);
+    if slots <= 1 {
+        for (c, window) in data.chunks_mut(chunk).enumerate() {
+            f(c * chunk, window);
+        }
+        return;
+    }
+    let base = DataPtr(data.as_mut_ptr());
+    let f = &f;
+    pool::run_job(slots, &move |slot| {
+        let mut c = slot;
+        while c < nchunks {
+            let start = c * chunk;
+            let end = ((c + 1) * chunk).min(len);
+            // SAFETY: fixed chunk boundaries make the windows disjoint,
+            // each chunk index belongs to exactly one slot, and `data`
+            // outlives the job.
+            let window = unsafe { base.window(start, end - start) };
+            f(start, window);
+            c += slots;
+        }
+    });
+}
+
 /// Abstract per-chunk work (≈ scalar operations) that [`plan_chunks`]
 /// aims for. Large enough to amortise chunk dispatch and the per-chunk
 /// result slot, small enough that a big kernel still splits into many
@@ -332,6 +399,49 @@ mod tests {
             for (i, &v) in data.iter().enumerate() {
                 assert_eq!(v, i as u32, "element {i} touched wrong number of times");
             }
+        }
+    }
+
+    #[test]
+    fn run_chunks_covers_every_index_once() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let hits: Vec<AtomicU32> = (0..29).map(|_| AtomicU32::new(0)).collect();
+        for t in [1, 3, 8] {
+            hits.iter().for_each(|h| h.store(0, Ordering::SeqCst));
+            let hits_ref = &hits;
+            with_threads(t, || {
+                run_chunks(29, 6, |r| {
+                    for i in r {
+                        hits_ref[i].fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::SeqCst), 1, "index {i} at {t} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn run_chunks_mut_matches_for_each_chunk_mut() {
+        let mut a = vec![0u32; 31];
+        let mut b = vec![0u32; 31];
+        for t in [1, 2, 8] {
+            a.iter_mut().for_each(|v| *v = 0);
+            b.iter_mut().for_each(|v| *v = 0);
+            with_threads(t, || {
+                for_each_chunk_mut(&mut a, 7, |start, w| {
+                    for (i, v) in w.iter_mut().enumerate() {
+                        *v = (start + i) as u32 * 3;
+                    }
+                });
+                run_chunks_mut(&mut b, 7, |start, w| {
+                    for (i, v) in w.iter_mut().enumerate() {
+                        *v = (start + i) as u32 * 3;
+                    }
+                });
+            });
+            assert_eq!(a, b, "thread count {t}");
         }
     }
 

@@ -81,10 +81,26 @@ assert len(r['picks']['selected']) == len(lanes), r
 " || { echo "BENCH_dse.json failed to parse or front is not a valid Pareto set"; exit 1; }
 
 echo "== exp15_parallel_scaling --smoke (thread-scaling gate) =="
-# Exits nonzero if any kernel's 2-thread speedup drops below 1.0x or any
-# lane loses bit-identity across thread counts.
+# Exits nonzero if any kernel's 2-thread speedup drops below 1.0x, the
+# matmul 8-thread speedup falls below 0.9x of its 4-thread one (panel
+# contention plateau), or any lane loses bit-identity across thread counts.
 cargo run --release -q -p enw-bench --bin exp15_parallel_scaling -- --smoke
 test -s BENCH_parallel_kernels.json || { echo "exp15 did not emit BENCH_parallel_kernels.json"; exit 1; }
+
+echo "== exp21_deep_analog --smoke (streaming tiled analog training) =="
+# Exits nonzero if any determinism/zero-alloc gate fails or the deep
+# stack falls under 6 trainable layers.
+cargo run --release -q -p enw-bench --bin exp21_deep_analog -- --smoke
+test -s BENCH_analog_training.json || { echo "exp21 did not emit BENCH_analog_training.json"; exit 1; }
+python3 -c "
+import json
+r = json.load(open('BENCH_analog_training.json'))
+d = r['determinism']
+assert d['rerun_identical'] and d['thread_invariant'] and d['resume_identical'], r
+assert r['zero_alloc']['zero_alloc_steady_state'], r
+assert r['deep']['layers'] >= 6, r
+assert len(r['surface']) >= 8, r
+" || { echo "BENCH_analog_training.json failed to parse or misses the training gates"; exit 1; }
 
 if [[ "${1:-}" == "--full" ]]; then
     echo "== cargo test -q --features proptest (property suites) =="

@@ -204,3 +204,86 @@ proptest! {
         prop_assert!(pooled.iter().all(|v| v.abs() <= 0.5 + 1e-4));
     }
 }
+
+use enw_core::crossbar::pipeline::{AnalogPipeline, PipelineConfig};
+use enw_core::crossbar::tiled::{TiledAnalogLayer, TilingConfig};
+use enw_core::nn::data::SyntheticImages;
+
+proptest! {
+    // Pipeline cases build and write-verify program whole tile grids, so
+    // keep the case count small.
+    #![proptest_config(ProptestConfig { cases: 10 })]
+
+    /// Checkpoint/resume of the streaming tiled pipeline is byte-identical
+    /// to the uninterrupted run for arbitrary seeds, split points, and
+    /// tile grids (including remainder tiles).
+    #[test]
+    fn pipeline_resume_is_byte_identical(
+        seed in any::<u64>(),
+        pre in 1usize..8,
+        post in 1usize..8,
+        tile_rows in 2usize..12,
+        tile_cols in 2usize..12,
+    ) {
+        let data = SyntheticImages::builder()
+            .classes(3)
+            .dim(64)
+            .train_per_class(4)
+            .test_per_class(1)
+            .build(&mut Rng64::new(seed))
+            .train;
+        let cfg = PipelineConfig {
+            net: ConvNetConfig {
+                input: MapShape { channels: 1, height: 8, width: 8 },
+                conv_channels: vec![2],
+                embed_dim: 6,
+                classes: 3,
+            },
+            spec: devices::rram(),
+            tile: TileConfig::default(),
+            tiling: TilingConfig { tile_rows, tile_cols },
+            lr: 0.01,
+            seed,
+        };
+        let mut a = AnalogPipeline::new(&cfg, &data).expect("valid pipeline config");
+        a.run(&data, pre);
+        let mid = a.checkpoint();
+        a.run(&data, post);
+        let finish = a.checkpoint();
+        let mut b = AnalogPipeline::new(&cfg, &data).expect("valid pipeline config");
+        b.restore(&mid).expect("own checkpoint restores");
+        b.run(&data, post);
+        prop_assert_eq!(b.checkpoint(), finish, "resumed run diverged");
+    }
+
+    /// A tiled layer over any grid shape covers the whole logical weight
+    /// matrix: its forward read agrees with the dense product of its
+    /// assembled weights for arbitrary inputs (ideal periphery, so the
+    /// only difference is partial-sum association).
+    #[test]
+    fn tiled_forward_matches_assembled_weights(
+        seed in any::<u64>(),
+        out_dim in 1usize..20,
+        in_dim in 1usize..20,
+        tile_rows in 1usize..8,
+        tile_cols in 1usize..8,
+    ) {
+        let mut rng = Rng64::new(seed);
+        let mut layer = TiledAnalogLayer::new(
+            out_dim,
+            in_dim,
+            &devices::ideal(4000),
+            TileConfig::ideal(),
+            TilingConfig { tile_rows, tile_cols },
+            &mut rng,
+        ).expect("valid tiled config");
+        let x: Vec<f32> = (0..in_dim).map(|_| rng.range(-1.0, 1.0) as f32).collect();
+        let mut xa = x.clone();
+        xa.push(1.0);
+        let y = layer.forward(&x);
+        let y_ref = layer.weights().matvec(&xa);
+        for (a, b) in y.iter().zip(&y_ref) {
+            prop_assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+}
